@@ -1,0 +1,29 @@
+package repro
+
+import (
+	"repro/internal/csrt"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// newSimNetPair wires two hosts with runtimes on one simulated LAN, the
+// minimal topology for protocol micro-benchmarks.
+func newSimNetPair(k *sim.Kernel, rng *sim.RNG) *benchNet {
+	net := simnet.NewNetwork(k, rng.Fork("net"))
+	lan := net.NewLAN(simnet.DefaultLANConfig("bench"))
+	h1, err := net.NewHost(1, lan)
+	if err != nil {
+		panic(err)
+	}
+	h2, err := net.NewHost(2, lan)
+	if err != nil {
+		panic(err)
+	}
+	rt1 := csrt.NewRuntime(k, 1, &csrt.ModelProfiler{}, net.Port(1, 1400), csrt.DefaultCostParams(), rng.Fork("rt1"))
+	rt1.Bind(csrt.NewCPUSet(1, k, nil))
+	rt2 := csrt.NewRuntime(k, 2, &csrt.ModelProfiler{}, net.Port(2, 1400), csrt.DefaultCostParams(), rng.Fork("rt2"))
+	rt2.Bind(csrt.NewCPUSet(1, k, nil))
+	h1.SetDeliver(func(pkt *simnet.Packet) { rt1.Deliver(pkt.Src, pkt.Data) })
+	h2.SetDeliver(func(pkt *simnet.Packet) { rt2.Deliver(pkt.Src, pkt.Data) })
+	return &benchNet{rt1: rt1, rt2: rt2}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/gcs"
+)
+
+// harness shares configuration and cached sweep results across subcommands.
+type harness struct {
+	fast bool
+	seed int64
+	txns int
+
+	sweep []sweepPoint // cached Figure 5/6 grid
+}
+
+// config labels one replication configuration of Figures 5 and 6.
+type config struct {
+	name  string
+	sites int
+	cpus  int
+}
+
+func (h *harness) configs() []config {
+	return []config{
+		{"1 CPU", 1, 1},
+		{"3 CPU", 1, 3},
+		{"6 CPU", 1, 6},
+		{"3 Sites", 3, 1},
+		{"6 Sites", 6, 1},
+	}
+}
+
+func (h *harness) clientGrid() []int {
+	if h.fast {
+		return []int{100, 500, 1000, 1500, 2000}
+	}
+	return []int{100, 250, 500, 750, 1000, 1250, 1500, 1750, 2000}
+}
+
+type sweepPoint struct {
+	cfg     config
+	clients int
+	res     *core.Results
+}
+
+// run executes one model configuration.
+func (h *harness) run(cfg core.Config) (*core.Results, error) {
+	if cfg.TotalTxns == 0 {
+		cfg.TotalTxns = h.txns
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = h.seed
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// ensureSweep runs (once) the full client grid over every configuration.
+func (h *harness) ensureSweep() error {
+	if h.sweep != nil {
+		return nil
+	}
+	total := len(h.configs()) * len(h.clientGrid())
+	done := 0
+	start := time.Now()
+	for _, cfg := range h.configs() {
+		for _, clients := range h.clientGrid() {
+			r, err := h.run(core.Config{
+				Sites:       cfg.sites,
+				CPUsPerSite: cfg.cpus,
+				Clients:     clients,
+				Seed:        h.seed,
+			})
+			if err != nil {
+				return fmt.Errorf("sweep %s/%d clients: %w", cfg.name, clients, err)
+			}
+			if r.SafetyErr != nil {
+				return fmt.Errorf("sweep %s/%d clients: safety: %v", cfg.name, clients, r.SafetyErr)
+			}
+			h.sweep = append(h.sweep, sweepPoint{cfg: cfg, clients: clients, res: r})
+			done++
+			fmt.Printf("\r[sweep %d/%d] %-8s %4d clients: %s        ",
+				done, total, cfg.name, clients, r.Summary())
+		}
+	}
+	fmt.Printf("\rsweep: %d runs in %v%s\n", total, time.Since(start).Round(time.Second),
+		"                                                            ")
+	return nil
+}
+
+// faultRun executes the Figure 7 / Table 2 fault configurations: 3 sites
+// with the constrained buffer pool the paper's prototype ran with.
+func (h *harness) faultRun(clients int, loss faults.Loss, seed int64) (*core.Results, error) {
+	return h.run(core.Config{
+		Sites:         3,
+		CPUsPerSite:   1,
+		Clients:       clients,
+		Seed:          seed,
+		Faults:        faults.Config{Loss: loss},
+		CollectTxnLog: true,
+		GCSTweak:      func(c *gcs.Config) { c.BufferBytes = 96 * 1024 },
+	})
+}
+
+// header prints a section banner.
+func header(title string) {
+	fmt.Printf("\n================ %s ================\n", title)
+}

@@ -1,0 +1,82 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 4 validation and Section 5 results).
+//
+// Subcommands:
+//
+//	fig3    CSRT validation: flood bandwidth and round-trip vs message size
+//	fig4    model validation: Q-Q of transaction latency (sim vs reference)
+//	fig5    throughput / latency / abort rate vs clients (Figure 5)
+//	fig6    resource usage vs clients (Figure 6)
+//	table1  abort rate breakdown per class (Table 1)
+//	fig7    fault injection: latency distributions and CPU usage (Figure 7)
+//	table2  abort rates under message loss (Table 2)
+//	all     everything above
+//
+// Use -fast for a reduced-scale pass (minutes instead of tens of minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	fast := fs.Bool("fast", false, "reduced scale: fewer transactions and sweep points")
+	seed := fs.Int64("seed", 42, "base random seed")
+	txns := fs.Int("txns", 0, "transactions per run (0 = paper's 10000, or 2000 with -fast)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig3|fig4|fig5|fig6|table1|fig7|table2|all")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	h := &harness{fast: *fast, seed: *seed, txns: *txns}
+	if h.txns == 0 {
+		h.txns = 10000
+		if h.fast {
+			h.txns = 2000
+		}
+	}
+	var err error
+	switch fs.Arg(0) {
+	case "fig3":
+		err = h.fig3()
+	case "fig4":
+		err = h.fig4()
+	case "fig5":
+		err = h.fig5and6(true, false)
+	case "fig6":
+		err = h.fig5and6(false, true)
+	case "table1":
+		err = h.table1()
+	case "fig7":
+		err = h.fig7()
+	case "table2":
+		err = h.table2()
+	case "all":
+		steps := []func() error{
+			h.fig3, h.fig4,
+			func() error { return h.fig5and6(true, true) },
+			h.table1, h.fig7, h.table2,
+		}
+		for _, step := range steps {
+			if err = step(); err != nil {
+				break
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown subcommand %q\n", fs.Arg(0))
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro reproduces "Testing the Dependability and Performance of
+// Group Communication Based Database Replication Protocols" (Sousa, Pereira,
+// Soares, Correia Jr., Rocha, Oliveira, Moura — DSN 2005).
+//
+// The repository implements the paper's testing tool — a centralized
+// discrete-event simulation that executes real implementations of the
+// Database State Machine certification procedure and of a view-synchronous
+// atomic multicast stack against simulated network, database engine, and
+// TPC-C traffic generator components — and regenerates every table and
+// figure of the paper's evaluation. See README.md, DESIGN.md and
+// EXPERIMENTS.md, and the per-package documentation under internal/.
+package repro

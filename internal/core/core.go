@@ -1,0 +1,395 @@
+// Package core assembles the complete testing tool of the paper: real
+// implementations of the replication protocols (internal/gcs,
+// internal/dbsm) running under the centralized simulation runtime
+// (internal/csrt) against simulated network (internal/simnet), database
+// engine (internal/db) and TPC-C traffic generator (internal/tpcc)
+// components, with fault injection (internal/faults) and global observation.
+//
+// A Model is configured, run, and produces Results containing every metric
+// the paper reports: throughput (tpm), latency distributions, abort-rate
+// breakdowns per transaction class, per-resource utilization, network
+// traffic, certification latency, and the off-line safety verdict.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/csrt"
+	"repro/internal/db"
+	"repro/internal/dbsm"
+	"repro/internal/faults"
+	"repro/internal/gcs"
+	"repro/internal/replica"
+	"repro/internal/runtimeapi"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/tpcc"
+	"repro/internal/trace"
+)
+
+// Config describes one experiment run.
+type Config struct {
+	// Sites is the number of replicas; 1 runs the centralized baseline
+	// without any replication protocol.
+	Sites int
+	// CPUsPerSite configures each site's processor count.
+	CPUsPerSite int
+	// Clients is the total emulated user count, split equally between
+	// sites in contiguous blocks (preserving warehouse locality).
+	Clients int
+	// TotalTxns bounds the run: clients stop issuing after this many
+	// submissions (the paper uses 10000).
+	TotalTxns int
+	// Seed drives every random stream; same seed, same run.
+	Seed int64
+	// Warehouses overrides the database scale (0 derives clients/10).
+	Warehouses int
+	// Calibration is the workload cost model (nil for default).
+	Calibration *tpcc.Calibration
+	// Storage configures each site's disk.
+	Storage db.StorageConfig
+	// LAN configures the network segment (zero value for the paper's
+	// Ethernet-100).
+	LAN simnet.LANConfig
+	// Costs are the CSRT's four message-overhead parameters (zero for
+	// calibrated defaults).
+	Costs csrt.CostParams
+	// GCSTweak adjusts the group communication configuration (buffer
+	// pool, windows, timeouts) before stacks are built.
+	GCSTweak func(*gcs.Config)
+	// Faults is the fault load.
+	Faults faults.Config
+	// ReadSetThreshold upgrades large read-sets to table locks.
+	ReadSetThreshold int
+	// DedicatedSequencer adds a group member (node 0) that orders
+	// messages but hosts no database and originates no application
+	// traffic — the paper's Section 5.3 mitigation for sequencer
+	// buffer-share exhaustion. Only meaningful when Sites > 1.
+	DedicatedSequencer bool
+	// ReplicationDegree stores each warehouse at this many sites instead
+	// of all of them (partial replication, Section 5.2's disk-bottleneck
+	// mitigation). 0 or >= Sites means full replication. Clients are
+	// then routed to their home warehouse's primary site.
+	ReplicationDegree int
+	// UseWallProfiler measures real protocol code with the wall clock
+	// instead of the deterministic cost model (non-reproducible runs).
+	UseWallProfiler bool
+	// MaxSimTime bounds simulated time (default 2h).
+	MaxSimTime sim.Time
+	// DrainTime runs the model beyond the last completion so protocol
+	// activity quiesces before the safety check (default 2s).
+	DrainTime sim.Time
+	// CollectTxnLog records every transaction in Results.TxnLog.
+	CollectTxnLog bool
+}
+
+func (c *Config) fill() {
+	if c.Sites == 0 {
+		c.Sites = 1
+	}
+	if c.CPUsPerSite == 0 {
+		c.CPUsPerSite = 1
+	}
+	if c.Clients == 0 {
+		c.Clients = 100
+	}
+	if c.TotalTxns == 0 {
+		c.TotalTxns = 10000
+	}
+	if c.Calibration == nil {
+		c.Calibration = tpcc.DefaultCalibration()
+	}
+	if c.LAN.BandwidthBps == 0 && c.LAN.MTU == 0 {
+		c.LAN = simnet.DefaultLANConfig("lan0")
+	}
+	if c.Costs == (csrt.CostParams{}) {
+		c.Costs = csrt.DefaultCostParams()
+	}
+	if c.MaxSimTime == 0 {
+		c.MaxSimTime = 2 * sim.Hour
+	}
+	if c.DrainTime == 0 {
+		c.DrainTime = 2 * sim.Second
+	}
+}
+
+// Site is one replica's assembled components.
+type Site struct {
+	ID      dbsm.SiteID
+	RT      *csrt.Runtime
+	CPUs    *csrt.CPUSet
+	Server  *db.Server
+	Stack   *gcs.Stack       // nil when Sites == 1
+	Replica *replica.Replica // nil when Sites == 1
+	Host    *simnet.Host
+	Gen     *tpcc.Generator
+
+	crashed     bool
+	outstanding int64
+}
+
+// Model is a configured instance of the testing tool.
+type Model struct {
+	cfg Config
+	k   *sim.Kernel
+	rng *sim.RNG
+	net *simnet.Network
+	lan *simnet.LAN
+
+	sites     []*Site
+	dedicated *Site // dedicated sequencer member, when configured
+	clients   []*tpcc.Client
+
+	issued   int
+	finished int64
+	lastDone sim.Time
+	txnLog   trace.TxnLog
+}
+
+// New builds a model from a config.
+func New(cfg Config) (*Model, error) {
+	cfg.fill()
+	if cfg.Sites < 1 || cfg.Sites > 32 {
+		return nil, fmt.Errorf("core: unsupported site count %d", cfg.Sites)
+	}
+	m := &Model{cfg: cfg, k: sim.NewKernel(), rng: sim.NewRNG(cfg.Seed)}
+	m.net = simnet.NewNetwork(m.k, m.rng.Fork("net"))
+	m.lan = m.net.NewLAN(cfg.LAN)
+
+	members := make([]runtimeapi.NodeID, cfg.Sites)
+	for i := range members {
+		members[i] = runtimeapi.NodeID(i + 1)
+	}
+	if cfg.DedicatedSequencer && cfg.Sites > 1 {
+		// Node 0 sorts first in the view, making it the sequencer.
+		members = append([]runtimeapi.NodeID{0}, members...)
+	}
+	m.net.SetGroup(1, members)
+
+	warehouses := cfg.Warehouses
+	if warehouses == 0 {
+		warehouses = tpcc.Warehouses(cfg.Clients)
+	}
+
+	for _, id := range members {
+		host, err := m.net.NewHost(id, m.lan)
+		if err != nil {
+			return nil, fmt.Errorf("core: site %d: %w", id, err)
+		}
+		var prof csrt.Profiler = &csrt.ModelProfiler{}
+		if cfg.UseWallProfiler {
+			prof = &csrt.WallProfiler{}
+		}
+		rt := csrt.NewRuntime(m.k, id, prof, m.net.Port(id, 0), cfg.Costs,
+			m.rng.Fork(fmt.Sprintf("rt-%d", id)))
+		ncpu := cfg.CPUsPerSite
+		if id == 0 {
+			ncpu = 1 // the dedicated sequencer only runs protocol code
+		}
+		cpus := csrt.NewCPUSet(ncpu, m.k, nil)
+		rt.Bind(cpus)
+		host.SetDeliver(func(pkt *simnet.Packet) { rt.Deliver(pkt.Src, pkt.Data) })
+
+		site := &Site{ID: dbsm.SiteID(id), RT: rt, CPUs: cpus, Host: host}
+
+		if len(members) > 1 {
+			gcfg := gcs.Config{
+				Self:         id,
+				Members:      members,
+				Group:        1,
+				UseMulticast: true,
+			}
+			if cfg.GCSTweak != nil {
+				cfg.GCSTweak(&gcfg)
+			}
+			stack, err := gcs.New(rt, gcfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: site %d stack: %w", id, err)
+			}
+			site.Stack = stack
+		}
+
+		if id != 0 {
+			storage := db.NewStorage(m.k, cfg.Storage, m.rng.Fork(fmt.Sprintf("disk-%d", id)))
+			server := db.NewServer(m.k, dbsm.SiteID(id), cpus, storage)
+			server.ReadSetThreshold = cfg.ReadSetThreshold
+			site.Server = server
+			site.Gen = tpcc.NewGenerator(dbsm.SiteID(id), warehouses, cfg.Calibration,
+				m.rng.Fork(fmt.Sprintf("gen-%d", id)))
+			if site.Stack != nil {
+				site.Replica = replica.New(rt, site.Stack, server, replica.Options{
+					ReadSetThreshold: cfg.ReadSetThreshold,
+					Replicates:       replicatesFunc(int(id)-1, cfg.Sites, cfg.ReplicationDegree),
+				})
+			}
+		}
+		if site.Stack != nil {
+			site.Stack.Start()
+			if site.Replica != nil {
+				site.Replica.Start()
+			}
+		}
+
+		// Fault wiring.
+		if cfg.Faults.DriftsSite(int32(id)) {
+			rt.SetClockDrift(cfg.Faults.ClockDriftRate)
+		}
+		if cfg.Faults.DelaysSite(int32(id)) {
+			rt.SetSchedulingLatency(cfg.Faults.SchedLatencyGen(),
+				m.rng.Fork(fmt.Sprintf("lat-%d", id)))
+		}
+		if lm := cfg.Faults.Loss.NewModel(); lm != nil {
+			host.SetLoss(lm)
+		}
+		if id == 0 {
+			m.dedicated = site
+		} else {
+			m.sites = append(m.sites, site)
+		}
+	}
+
+	for _, cr := range cfg.Faults.Crashes {
+		idx := int(cr.Site) - 1
+		if idx < 0 || idx >= len(m.sites) {
+			return nil, fmt.Errorf("core: crash targets unknown site %d", cr.Site)
+		}
+		site := m.sites[idx]
+		m.k.ScheduleAt(cr.At, func() { m.crash(site) })
+	}
+
+	// Clients are assigned round-robin: the ten clients of one warehouse
+	// spread across sites, so hot-row conflicts that local locks would
+	// serialize on a single site surface as certification conflicts
+	// between sites — the replication effect of Table 1. Under partial
+	// replication, clients are instead routed to the primary site of
+	// their home warehouse, which stores their data.
+	partial := cfg.ReplicationDegree > 0 && cfg.ReplicationDegree < cfg.Sites
+	for i := 0; i < cfg.Clients; i++ {
+		var site *Site
+		if partial {
+			site = m.sites[primarySiteIndex(i/tpcc.ClientsPerWarehouse, cfg.Sites)]
+		} else {
+			site = m.sites[i%cfg.Sites]
+		}
+		cl := &tpcc.Client{
+			ID:     i,
+			Server: site.Server,
+			Gen:    site.Gen,
+			Think:  cfg.Calibration.ThinkTime,
+			Stop:   m.takeTxnSlot,
+			OnDone: m.onDone,
+		}
+		m.clients = append(m.clients, cl)
+		cl.Start(m.k, m.rng.Fork(fmt.Sprintf("client-%d", i)))
+	}
+	return m, nil
+}
+
+// Kernel exposes the simulation kernel (tests, custom drivers).
+func (m *Model) Kernel() *sim.Kernel { return m.k }
+
+// Sites exposes the assembled replicas.
+func (m *Model) Sites() []*Site { return m.sites }
+
+// Dedicated exposes the dedicated sequencer member, or nil.
+func (m *Model) Dedicated() *Site { return m.dedicated }
+
+// Network exposes the simulated network.
+func (m *Model) Network() *simnet.Network { return m.net }
+
+// takeTxnSlot reserves one transaction from the global budget; it reports
+// true (stop) when the budget is exhausted.
+func (m *Model) takeTxnSlot() bool {
+	if m.issued >= m.cfg.TotalTxns {
+		return true
+	}
+	m.issued++
+	return false
+}
+
+func (m *Model) siteOf(server *db.Server) *Site {
+	for _, s := range m.sites {
+		if s.Server == server {
+			return s
+		}
+	}
+	return nil
+}
+
+func (m *Model) onDone(c *tpcc.Client, t *db.Txn, o db.Outcome) {
+	m.finished++
+	m.lastDone = m.k.Now()
+	if m.cfg.CollectTxnLog {
+		site := m.siteOf(c.Server)
+		m.txnLog.Add(trace.Record{
+			TID:     t.TID,
+			Class:   t.Class,
+			Site:    site.ID,
+			Client:  c.ID,
+			Submit:  t.SubmitAt,
+			End:     t.EndAt,
+			Outcome: o,
+		})
+	}
+}
+
+// crash stops a site completely.
+func (m *Model) crash(s *Site) {
+	s.crashed = true
+	s.RT.Crash()
+	s.Host.SetDown(true)
+	s.Server.Crash()
+	if s.Stack != nil {
+		s.Stack.Stop()
+	}
+	if s.Replica != nil {
+		s.Replica.Stop()
+	}
+}
+
+// Run executes the model to completion and assembles results.
+func (m *Model) Run() (*Results, error) {
+	cfg := m.cfg
+	const chunk = 500 * sim.Millisecond
+	var drainUntil sim.Time = -1
+	for cursor := sim.Time(0); ; {
+		cursor += chunk
+		if cursor > cfg.MaxSimTime {
+			cursor = cfg.MaxSimTime
+		}
+		if err := m.k.RunUntil(cursor); err != nil {
+			return nil, fmt.Errorf("core: run: %w", err)
+		}
+		if m.k.Pending() == 0 {
+			break
+		}
+		if cursor >= cfg.MaxSimTime {
+			break
+		}
+		if m.quiesced() {
+			if drainUntil < 0 {
+				drainUntil = cursor + cfg.DrainTime
+			}
+			if cursor >= drainUntil {
+				break
+			}
+		}
+	}
+	return m.results(), nil
+}
+
+// quiesced reports whether issuance stopped and no live site has work in
+// flight.
+func (m *Model) quiesced() bool {
+	if m.issued < m.cfg.TotalTxns {
+		return false
+	}
+	live := int64(0)
+	for _, s := range m.sites {
+		if !s.crashed {
+			sub, com, ab := s.Server.Totals()
+			live += sub - com - ab
+		}
+	}
+	return live == 0
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"repro/internal/dbsm"
+	"repro/internal/tpcc"
+)
+
+// Partitioning for partial replication (Section 5.2's mitigation of the
+// read-one/write-all disk bottleneck; evaluated as ongoing work in
+// Section 7). Placement is warehouse-granular: warehouse w is stored at
+// ReplicationDegree consecutive sites starting at its primary, and a
+// client's transactions are routed to its home warehouse's primary site.
+// Certification and total order remain global, so the safety property is
+// exactly that of full replication; only the write-back fan-out shrinks.
+
+// primarySiteIndex maps a warehouse to the index (0-based) of its primary
+// site.
+func primarySiteIndex(wh, sites int) int { return wh % sites }
+
+// replicatesAt reports whether the site at index idx stores warehouse wh
+// under the given replication degree.
+func replicatesAt(wh, idx, sites, degree int) bool {
+	if degree <= 0 || degree >= sites {
+		return true
+	}
+	p := primarySiteIndex(wh, sites)
+	for k := 0; k < degree; k++ {
+		if (p+k)%sites == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// replicatesFunc builds the per-site placement predicate. Tuples without a
+// warehouse (the shared item catalog) live everywhere.
+func replicatesFunc(idx, sites, degree int) func(dbsm.TupleID) bool {
+	if degree <= 0 || degree >= sites {
+		return nil // full replication
+	}
+	return func(id dbsm.TupleID) bool {
+		wh, ok := tpcc.WarehouseOf(id)
+		if !ok {
+			return true
+		}
+		return replicatesAt(wh, idx, sites, degree)
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/db"
+	"repro/internal/dbsm"
+	"repro/internal/gcs"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ClassResult is one row of an abort-rate table (paper Tables 1 and 2).
+type ClassResult struct {
+	Name      string
+	Submitted int64
+	Committed int64
+	AbortLock int64
+	AbortCert int64
+	AbortUser int64
+	// AbortRatePct is aborted/completed in percent.
+	AbortRatePct float64
+	// MeanLatencyMS is the average committed latency.
+	MeanLatencyMS float64
+}
+
+// SiteResult summarizes one replica.
+type SiteResult struct {
+	Site          dbsm.SiteID
+	Crashed       bool
+	Submitted     int64
+	Committed     int64
+	Aborted       int64
+	CPUUtilPct    float64 // all work
+	CPUSimUtilPct float64 // transaction processing
+	CPURealUtil   float64 // protocol (real) jobs — Figure 7(c)
+	DiskUtilPct   float64 // Figure 6(b)
+	RemoteApplied int64
+}
+
+// Results carries everything the paper's evaluation reports for one run.
+type Results struct {
+	// Duration is the measurement window (start to last completion).
+	Duration sim.Time
+	// Issued counts client submissions (including ones swallowed by
+	// crashed sites).
+	Issued int
+	// Submitted/Committed/Aborted aggregate server-side transactions.
+	Submitted int64
+	Committed int64
+	Aborted   int64
+	// TPM is committed transactions per minute — Figure 5(a).
+	TPM float64
+	// MeanLatencyMS and P95LatencyMS summarize committed latency —
+	// Figure 5(b).
+	MeanLatencyMS float64
+	P95LatencyMS  float64
+	// AbortRatePct is the overall abort percentage — Figure 5(c).
+	AbortRatePct float64
+	// Classes breaks abort rates down per class — Tables 1 and 2.
+	Classes []ClassResult
+	// Sites summarizes each replica.
+	Sites []SiteResult
+	// CPUUtilPct / CPURealUtilPct / DiskUtilPct average utilization over
+	// live sites — Figures 6(a), 7(c), 6(b).
+	CPUUtilPct     float64
+	CPURealUtilPct float64
+	DiskUtilPct    float64
+	// NetKBps is total network traffic — Figure 6(c).
+	NetKBps float64
+	// LatCommitted/LatReadOnly/LatUpdate/CertLat are latency samples (ms)
+	// for distribution plots — Figures 4, 7(a), 7(b).
+	LatCommitted *metrics.Sample
+	LatReadOnly  *metrics.Sample
+	LatUpdate    *metrics.Sample
+	CertLat      *metrics.Sample
+	// GCS aggregates protocol counters over all stacks.
+	GCS gcs.Stats
+	// SafetyErr is the off-line commit-sequence comparison verdict
+	// (Section 5.3); nil means all operational sites committed identical
+	// sequences.
+	SafetyErr error
+	// Inconsistencies must be zero (local abort vs global commit).
+	Inconsistencies int64
+	// TxnLog holds per-transaction records when CollectTxnLog was set.
+	TxnLog *trace.TxnLog
+	// Events is the number of simulation events dispatched.
+	Events int64
+}
+
+// results assembles the report after the run.
+func (m *Model) results() *Results {
+	r := &Results{
+		Issued:       m.issued,
+		LatCommitted: &metrics.Sample{},
+		LatReadOnly:  &metrics.Sample{},
+		LatUpdate:    &metrics.Sample{},
+		CertLat:      &metrics.Sample{},
+		TxnLog:       &m.txnLog,
+		Events:       m.k.Executed(),
+	}
+	duration := m.lastDone
+	if duration <= 0 {
+		duration = m.k.Now()
+	}
+	r.Duration = duration
+
+	classAgg := map[string]*ClassResult{}
+	classLat := map[string]*metrics.Sample{}
+	liveSites := 0
+	for _, s := range m.sites {
+		sub, com, ab := s.Server.Totals()
+		sr := SiteResult{
+			Site:          s.ID,
+			Crashed:       s.crashed,
+			Submitted:     sub,
+			Committed:     com,
+			Aborted:       ab,
+			RemoteApplied: s.Server.RemoteApplied(),
+		}
+		if duration > 0 {
+			sr.CPUUtilPct = s.CPUs.Utilization(duration)
+			sr.CPUSimUtilPct = s.CPUs.ClassUtilization("sim", duration)
+			sr.CPURealUtil = s.CPUs.ClassUtilization("real", duration)
+			sr.DiskUtilPct = s.Server.Storage().Utilization(duration)
+		}
+		r.Sites = append(r.Sites, sr)
+		r.Submitted += sub
+		r.Committed += com
+		r.Aborted += ab
+		if !s.crashed {
+			liveSites++
+			r.CPUUtilPct += sr.CPUUtilPct
+			r.CPURealUtilPct += sr.CPURealUtil
+			r.DiskUtilPct += sr.DiskUtilPct
+		}
+		collectClasses(s, classAgg, classLat)
+		for _, v := range s.Server.LatCommitted.Values() {
+			r.LatCommitted.Add(v)
+		}
+		for _, v := range s.Server.LatReadOnly.Values() {
+			r.LatReadOnly.Add(v)
+		}
+		for _, v := range s.Server.LatUpdate.Values() {
+			r.LatUpdate.Add(v)
+		}
+		for _, v := range s.Server.CertLat.Values() {
+			r.CertLat.Add(v)
+		}
+		r.Inconsistencies += s.Server.Inconsistencies()
+		if s.Stack != nil {
+			st := s.Stack.Stats()
+			r.GCS.Sent += st.Sent
+			r.GCS.Retransmits += st.Retransmits
+			r.GCS.Nacks += st.Nacks
+			r.GCS.Gossips += st.Gossips
+			r.GCS.Delivered += st.Delivered
+			r.GCS.Blocked += st.Blocked
+			r.GCS.BlockedTime += st.BlockedTime
+			r.GCS.ViewChanges += st.ViewChanges
+		}
+	}
+	if liveSites > 0 {
+		r.CPUUtilPct /= float64(liveSites)
+		r.CPURealUtilPct /= float64(liveSites)
+		r.DiskUtilPct /= float64(liveSites)
+	}
+	if m.dedicated != nil && m.dedicated.Stack != nil {
+		st := m.dedicated.Stack.Stats()
+		r.GCS.Sent += st.Sent
+		r.GCS.Retransmits += st.Retransmits
+		r.GCS.Nacks += st.Nacks
+		r.GCS.Gossips += st.Gossips
+		r.GCS.Blocked += st.Blocked
+		r.GCS.BlockedTime += st.BlockedTime
+	}
+	if duration > 0 {
+		r.TPM = float64(r.Committed) / (duration.Seconds() / 60)
+		r.NetKBps = float64(m.net.TotalBytes()) / 1024 / duration.Seconds()
+	}
+	r.MeanLatencyMS = r.LatCommitted.Mean()
+	r.P95LatencyMS = r.LatCommitted.Quantile(0.95)
+	done := r.Committed + r.Aborted
+	r.AbortRatePct = metrics.Rate(r.Aborted, done)
+
+	for name, cr := range classAgg {
+		cr.AbortRatePct = metrics.Rate(cr.AbortLock+cr.AbortCert+cr.AbortUser,
+			cr.Committed+cr.AbortLock+cr.AbortCert+cr.AbortUser)
+		cr.MeanLatencyMS = classLat[name].Mean()
+	}
+	names := make([]string, 0, len(classAgg))
+	for n := range classAgg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r.Classes = append(r.Classes, *classAgg[n])
+	}
+
+	// Off-line safety check over commit logs (replicated runs only).
+	if len(m.sites) > 1 {
+		logs := make(map[dbsm.SiteID]*trace.CommitLog, len(m.sites))
+		operational := make(map[dbsm.SiteID]bool, len(m.sites))
+		for _, s := range m.sites {
+			logs[s.ID] = s.Replica.CommitLog()
+			operational[s.ID] = !s.crashed
+		}
+		r.SafetyErr = trace.CheckConsistency(logs, operational)
+	}
+	return r
+}
+
+func collectClasses(s *Site, agg map[string]*ClassResult, lat map[string]*metrics.Sample) {
+	s.Server.EachClass(func(name string, cs *db.ClassStats) {
+		cr := agg[name]
+		if cr == nil {
+			cr = &ClassResult{Name: name}
+			agg[name] = cr
+			lat[name] = &metrics.Sample{}
+		}
+		cr.Submitted += cs.Submitted
+		cr.Committed += cs.Committed
+		cr.AbortLock += cs.AbortLock
+		cr.AbortCert += cs.AbortCert
+		cr.AbortUser += cs.AbortUser
+		for _, v := range cs.Lat.Values() {
+			lat[name].Add(v)
+		}
+	})
+}
+
+// Summary renders a one-line digest.
+func (r *Results) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tpm=%.0f latency=%.1fms abort=%.2f%% cpu=%.1f%% disk=%.1f%% net=%.1fKB/s",
+		r.TPM, r.MeanLatencyMS, r.AbortRatePct, r.CPUUtilPct, r.DiskUtilPct, r.NetKBps)
+	if r.SafetyErr != nil {
+		fmt.Fprintf(&b, " SAFETY-VIOLATION(%v)", r.SafetyErr)
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dbsm"
+	"repro/internal/sim"
+)
+
+func TestResourceSampler(t *testing.T) {
+	m, err := New(Config{Sites: 3, Clients: 200, TotalTxns: 600, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := m.StartResourceSampler(200 * sim.Millisecond)
+	r, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SafetyErr != nil {
+		t.Fatalf("safety: %v", r.SafetyErr)
+	}
+	if len(log.Samples()) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	// Series per site exist and timestamps are monotone.
+	for site := 1; site <= 3; site++ {
+		series := log.SiteSeries(dbsm.SiteID(site))
+		if len(series) < 10 {
+			t.Fatalf("site %d has %d samples", site, len(series))
+		}
+		for i := 1; i < len(series); i++ {
+			if series[i].At < series[i-1].At {
+				t.Fatal("non-monotone sample times")
+			}
+		}
+	}
+	// Under load, some sample must show a busy CPU and a nonzero queue
+	// somewhere (200 clients on one CPU per site is far beyond saturation).
+	busySeen, queueSeen := false, false
+	for _, s := range log.Samples() {
+		if s.CPUBusy > 0 {
+			busySeen = true
+		}
+		if s.CPUQueue > 0 || s.DiskQueue > 0 {
+			queueSeen = true
+		}
+	}
+	if !busySeen || !queueSeen {
+		t.Fatalf("sampler saw no activity: busy=%v queue=%v", busySeen, queueSeen)
+	}
+	if log.MaxCPUQueue(1) == 0 && log.MaxCPUQueue(2) == 0 && log.MaxCPUQueue(3) == 0 {
+		t.Fatal("no CPU queueing observed at a saturating load")
+	}
+}

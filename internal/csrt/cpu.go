@@ -1,0 +1,283 @@
+package csrt
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Work classes for CPU usage accounting, matching the paper's breakdown of
+// simulated transaction-processing jobs versus real protocol jobs
+// (Figures 6a and 7c).
+const (
+	ClassSim  = "sim"  // simulated jobs: transaction processing
+	ClassReal = "real" // real jobs: protocol code under test
+)
+
+// Job is one unit of CPU demand.
+//
+// A simulated job carries a known duration Dur. A real job carries a
+// function Fn whose cost is unknown beforehand: Fn is executed when the job
+// is dispatched, the profiler measures its cost, and the CPU stays busy for
+// exactly that long (Section 2.2, Figure 1a). Done, if set, fires when the
+// CPU completes the job.
+type Job struct {
+	// Dur is the duration of a simulated job. Ignored when Fn is set.
+	Dur sim.Time
+	// Fn is the body of a real job. Its measured cost becomes the busy
+	// period.
+	Fn func()
+	// Done fires when the CPU finishes the job.
+	Done func()
+	// Class labels the job for usage accounting; defaults to ClassSim
+	// (ClassReal when Fn is set).
+	Class string
+
+	remaining sim.Time // for preempted simulated jobs
+}
+
+func (j *Job) class() string {
+	if j.Class != "" {
+		return j.Class
+	}
+	if j.Fn != nil {
+		return ClassReal
+	}
+	return ClassSim
+}
+
+// runReal is installed by the Runtime: it executes a real job body under the
+// profiler and returns the measured cost.
+type runReal func(fn func()) sim.Time
+
+// CPU is one simulated processor: a busy flag plus queues of pending jobs
+// (Section 2.2). Real jobs take priority over simulated jobs and preempt a
+// running simulated job; the preempted job resumes afterwards with its
+// remaining duration.
+type CPU struct {
+	id       int
+	k        *sim.Kernel
+	usage    *metrics.UsageMeter
+	exec     runReal
+	realQ    []*Job
+	simQ     []*Job
+	busy     bool
+	cur      *Job
+	curStart sim.Time
+	curEnd   sim.Time
+	curEvt   sim.EventID
+	stopped  bool
+}
+
+// NewCPU returns an idle CPU attached to the kernel. exec may be nil when
+// the CPU will only ever run simulated jobs (e.g. a non-replicated server).
+func NewCPU(id int, k *sim.Kernel, exec runReal) *CPU {
+	return &CPU{id: id, k: k, usage: metrics.NewUsageMeter(), exec: exec}
+}
+
+// Usage exposes the busy-time accounting for this CPU.
+func (c *CPU) Usage() *metrics.UsageMeter { return c.usage }
+
+// Busy reports whether the CPU is currently occupied.
+func (c *CPU) Busy() bool { return c.busy }
+
+// QueueLen reports the number of queued (not running) jobs.
+func (c *CPU) QueueLen() int { return len(c.realQ) + len(c.simQ) }
+
+// Stop makes the CPU drop all work, modeling a crashed host. Pending and
+// future jobs are discarded and Done callbacks never fire.
+func (c *CPU) Stop() {
+	c.stopped = true
+	c.realQ = nil
+	c.simQ = nil
+	if c.busy && c.curEvt != 0 {
+		c.k.Cancel(c.curEvt)
+	}
+	c.busy = false
+	c.cur = nil
+}
+
+// Submit enqueues a job for execution, dispatching immediately if possible.
+func (c *CPU) Submit(j *Job) {
+	if c.stopped {
+		return
+	}
+	if j.Fn != nil {
+		c.realQ = append(c.realQ, j)
+		if c.busy && c.cur != nil && c.cur.Fn == nil {
+			c.preemptCurrent()
+		}
+	} else {
+		j.remaining = j.Dur
+		c.simQ = append(c.simQ, j)
+	}
+	if !c.busy {
+		c.dispatch()
+	}
+}
+
+// preemptCurrent suspends the running simulated job so the CPU can be
+// reassigned to a real job (paper Section 3.1: "As real jobs have a higher
+// priority, simulated transaction executing can be preempted").
+func (c *CPU) preemptCurrent() {
+	j := c.cur
+	now := c.k.Now()
+	c.usage.AddBusy(j.class(), int64(now-c.curStart))
+	j.remaining = c.curEnd - now
+	c.k.Cancel(c.curEvt)
+	// Resume at the front of the simulated queue.
+	c.simQ = append([]*Job{j}, c.simQ...)
+	c.busy = false
+	c.cur = nil
+	c.curEvt = 0
+}
+
+// dispatch starts the next pending job, real jobs first.
+func (c *CPU) dispatch() {
+	if c.busy || c.stopped {
+		return
+	}
+	var j *Job
+	switch {
+	case len(c.realQ) > 0:
+		j = c.realQ[0]
+		copy(c.realQ, c.realQ[1:])
+		c.realQ = c.realQ[:len(c.realQ)-1]
+	case len(c.simQ) > 0:
+		j = c.simQ[0]
+		copy(c.simQ, c.simQ[1:])
+		c.simQ = c.simQ[:len(c.simQ)-1]
+	default:
+		return
+	}
+	c.busy = true
+	c.cur = j
+
+	var dur sim.Time
+	if j.Fn != nil {
+		if c.exec == nil {
+			panic(fmt.Sprintf("csrt: CPU %d received a real job but has no executor", c.id))
+		}
+		// Execute the real code now; the measured cost becomes the
+		// busy period (Figure 1a: δ2 = ∆1).
+		dur = c.exec(j.Fn)
+	} else {
+		dur = j.remaining
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	c.curStart = c.k.Now()
+	c.curEnd = c.curStart + dur
+	c.curEvt = c.k.SchedulePri(dur, sim.PriorityHigh, func() { c.complete(j) })
+}
+
+func (c *CPU) complete(j *Job) {
+	c.usage.AddBusy(j.class(), int64(c.k.Now()-c.curStart))
+	c.busy = false
+	c.cur = nil
+	c.curEvt = 0
+	if j.Done != nil && !c.stopped {
+		j.Done()
+	}
+	c.dispatch()
+}
+
+// CPUSet is the collection of processors of one site. Simulated jobs are
+// spread round-robin across all CPUs (taking any idle CPU first, as the
+// paper's scheduler does); real protocol jobs all execute on CPU 0,
+// preserving the single-threaded semantics of the protocol stack.
+type CPUSet struct {
+	cpus []*CPU
+	next int
+}
+
+// NewCPUSet creates n CPUs attached to the kernel.
+func NewCPUSet(n int, k *sim.Kernel, exec runReal) *CPUSet {
+	if n < 1 {
+		n = 1
+	}
+	s := &CPUSet{cpus: make([]*CPU, n)}
+	for i := range s.cpus {
+		var e runReal
+		if i == 0 {
+			e = exec
+		}
+		s.cpus[i] = NewCPU(i, k, e)
+	}
+	return s
+}
+
+// N reports the number of CPUs.
+func (s *CPUSet) N() int { return len(s.cpus) }
+
+// CPU returns processor i.
+func (s *CPUSet) CPU(i int) *CPU { return s.cpus[i] }
+
+// SubmitSim schedules a simulated job of the given duration on the next
+// available CPU.
+func (s *CPUSet) SubmitSim(dur sim.Time, done func()) {
+	s.SubmitSimClass(ClassSim, dur, done)
+}
+
+// SubmitSimClass is SubmitSim with an explicit accounting class.
+func (s *CPUSet) SubmitSimClass(class string, dur sim.Time, done func()) {
+	cpu := s.pick()
+	cpu.Submit(&Job{Dur: dur, Done: done, Class: class})
+}
+
+// SubmitReal schedules a real job on CPU 0.
+func (s *CPUSet) SubmitReal(fn func(), done func()) {
+	s.cpus[0].Submit(&Job{Fn: fn, Done: done})
+}
+
+// pick chooses an idle CPU if one exists, else round-robins.
+func (s *CPUSet) pick() *CPU {
+	for i := 0; i < len(s.cpus); i++ {
+		idx := (s.next + i) % len(s.cpus)
+		if !s.cpus[idx].Busy() && s.cpus[idx].QueueLen() == 0 {
+			s.next = (idx + 1) % len(s.cpus)
+			return s.cpus[idx]
+		}
+	}
+	cpu := s.cpus[s.next]
+	s.next = (s.next + 1) % len(s.cpus)
+	return cpu
+}
+
+// Stop stops every CPU (crash).
+func (s *CPUSet) Stop() {
+	for _, c := range s.cpus {
+		c.Stop()
+	}
+}
+
+// BusyNS sums busy nanoseconds over all CPUs for one class ("" for all).
+func (s *CPUSet) BusyNS(class string) int64 {
+	var t int64
+	for _, c := range s.cpus {
+		if class == "" {
+			t += c.usage.TotalBusy()
+		} else {
+			t += c.usage.Busy(class)
+		}
+	}
+	return t
+}
+
+// Utilization reports aggregate CPU utilization over elapsed time.
+func (s *CPUSet) Utilization(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return 100 * float64(s.BusyNS("")) / (float64(elapsed) * float64(len(s.cpus)))
+}
+
+// ClassUtilization reports per-class utilization over elapsed time.
+func (s *CPUSet) ClassUtilization(class string, elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return 100 * float64(s.BusyNS(class)) / (float64(elapsed) * float64(len(s.cpus)))
+}

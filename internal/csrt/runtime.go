@@ -1,0 +1,280 @@
+package csrt
+
+import (
+	"repro/internal/runtimeapi"
+	"repro/internal/sim"
+)
+
+// Port is the network attachment point the Runtime injects packets into.
+// It is implemented by the simulated network (internal/simnet adapter).
+// delay offsets the injection from the current kernel time, carrying the
+// paper's δ′q = ∆1 + δq correction: effects of real code appear only after
+// the CPU time the code has consumed so far.
+type Port interface {
+	Send(dst runtimeapi.NodeID, data []byte, delay sim.Time) error
+	Multicast(g runtimeapi.Group, data []byte, delay sim.Time) error
+	MTU() int
+}
+
+// CostParams are the four configuration parameters of the centralized
+// simulation runtime (Section 4.1): fixed and per-byte CPU overhead for
+// sending and receiving a message. Per-byte values are nanoseconds per byte.
+type CostParams struct {
+	SendFixed   sim.Time
+	SendPerByte float64
+	RecvFixed   sim.Time
+	RecvPerByte float64
+}
+
+// SendCost computes the CPU cost of sending an n-byte message.
+func (c CostParams) SendCost(n int) sim.Time {
+	return c.SendFixed + sim.Time(c.SendPerByte*float64(n))
+}
+
+// RecvCost computes the CPU cost of receiving an n-byte message.
+func (c CostParams) RecvCost(n int) sim.Time {
+	return c.RecvFixed + sim.Time(c.RecvPerByte*float64(n))
+}
+
+// DefaultCostParams is the calibration obtained by the paper's network
+// flooding benchmark on the PIII-1GHz/Ethernet-100 test system. The values
+// reproduce Figure 3(a): a single sender writing 4 KB datagrams achieves
+// ~550 Mbit/s of socket output.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		SendFixed:   10 * sim.Microsecond,
+		SendPerByte: 12,
+		RecvFixed:   8 * sim.Microsecond,
+		RecvPerByte: 10,
+	}
+}
+
+// Runtime is the simulation-side implementation of runtimeapi.Runtime: the
+// bridge that lets real protocol code run under the discrete-event kernel
+// (Section 2.3). One Runtime exists per simulated node.
+type Runtime struct {
+	k    *sim.Kernel
+	node runtimeapi.NodeID
+	cpus *CPUSet
+	prof Profiler
+	port Port
+	cost CostParams
+	rng  *sim.RNG
+	recv runtimeapi.Receiver
+
+	inJob    bool
+	jobStart sim.Time
+	extra    sim.Time // send/recv stack overhead accrued by the current job
+
+	down bool
+
+	// Fault injection (Section 5.3).
+	driftRate float64                 // clock drift rate r
+	schedLat  func(*sim.RNG) sim.Time // extra latency for future events
+	latRNG    *sim.RNG
+}
+
+var _ runtimeapi.Runtime = (*Runtime)(nil)
+
+// NewRuntime creates the runtime for one node. cpus must have been created
+// with NewCPUSetFor(r) or have its executor wired via Bind.
+func NewRuntime(k *sim.Kernel, node runtimeapi.NodeID, prof Profiler, port Port, cost CostParams, rng *sim.RNG) *Runtime {
+	return &Runtime{k: k, node: node, prof: prof, port: port, cost: cost, rng: rng}
+}
+
+// Bind attaches the CPU set that executes this node's jobs and installs this
+// runtime as its real-job executor. It must be called exactly once before
+// the simulation starts.
+func (r *Runtime) Bind(cpus *CPUSet) {
+	r.cpus = cpus
+	for _, c := range cpus.cpus {
+		if c.exec == nil && c.id == 0 {
+			c.exec = r.execReal
+		}
+	}
+	cpus.cpus[0].exec = r.execReal
+}
+
+// CPUs returns the bound CPU set.
+func (r *Runtime) CPUs() *CPUSet { return r.cpus }
+
+// SetClockDrift installs the clock-drift fault: scheduled delays are scaled
+// up by (1+rate) and measured durations scaled down by 1/(1+rate).
+func (r *Runtime) SetClockDrift(rate float64) { r.driftRate = rate }
+
+// SetSchedulingLatency installs the scheduling-latency fault: gen produces a
+// random extra delay added to every event scheduled in the future.
+func (r *Runtime) SetSchedulingLatency(gen func(*sim.RNG) sim.Time, rng *sim.RNG) {
+	r.schedLat = gen
+	r.latRNG = rng
+}
+
+// Crash stops the node at the current instant: all queued and future work is
+// dropped and the node neither sends nor receives from now on.
+func (r *Runtime) Crash() {
+	r.down = true
+	if r.cpus != nil {
+		r.cpus.Stop()
+	}
+}
+
+// Down reports whether the node has crashed.
+func (r *Runtime) Down() bool { return r.down }
+
+func (r *Runtime) driftFactor() float64 { return 1 + r.driftRate }
+
+// scaleMeasured converts a profiler-measured duration into the simulated
+// time line, applying clock drift.
+func (r *Runtime) scaleMeasured(d sim.Time) sim.Time {
+	if r.driftRate == 0 {
+		return d
+	}
+	return sim.Time(float64(d) / r.driftFactor())
+}
+
+// execReal runs a real job body under the profiler and returns the total
+// busy duration to charge to the CPU: measured code cost plus the stack
+// overhead accrued by sends/receives during the job.
+func (r *Runtime) execReal(fn func()) sim.Time {
+	r.inJob = true
+	r.jobStart = r.k.Now()
+	r.extra = 0
+	r.prof.Begin()
+	fn()
+	total := r.scaleMeasured(r.prof.End()) + r.extra
+	r.inJob = false
+	r.extra = 0
+	return total
+}
+
+// elapsedInJob reports the simulated CPU time consumed by the current job so
+// far: the δ used to offset effects of real code (Figure 1b).
+func (r *Runtime) elapsedInJob() sim.Time {
+	if !r.inJob {
+		return 0
+	}
+	return r.scaleMeasured(r.prof.Elapsed()) + r.extra
+}
+
+// Self implements runtimeapi.Runtime.
+func (r *Runtime) Self() runtimeapi.NodeID { return r.node }
+
+// Now implements runtimeapi.Runtime: within a real job it reports kernel
+// time plus the job's elapsed cost, so real code observes time advancing as
+// it computes.
+func (r *Runtime) Now() sim.Time {
+	return r.k.Now() + r.elapsedInJob()
+}
+
+// Rand implements runtimeapi.Runtime.
+func (r *Runtime) Rand() *sim.RNG { return r.rng }
+
+// Charge implements runtimeapi.Runtime: real code declares model cost.
+// Charges outside a job context (setup code) are discarded — there is no
+// CPU occupancy to account them to.
+func (r *Runtime) Charge(cost sim.Time) {
+	if r.inJob {
+		r.prof.Charge(cost)
+	}
+}
+
+// MTU implements runtimeapi.Runtime.
+func (r *Runtime) MTU() int { return r.port.MTU() }
+
+// SetReceiver implements runtimeapi.Runtime.
+func (r *Runtime) SetReceiver(recv runtimeapi.Receiver) { r.recv = recv }
+
+type simTimer struct {
+	evt       sim.EventID
+	k         *sim.Kernel
+	cancelled bool
+	fired     bool
+}
+
+func (t *simTimer) Cancel() bool {
+	if t.cancelled || t.fired {
+		return false
+	}
+	t.cancelled = true
+	t.k.Cancel(t.evt)
+	return true
+}
+
+// Schedule implements runtimeapi.Runtime. The callback executes as a real
+// job on the node's CPU. When called from within real code, the event is
+// offset by the job's elapsed cost so it cannot land in the simulation past
+// and never includes runtime overhead in the measurement (Section 2.2).
+func (r *Runtime) Schedule(d sim.Time, fn func()) runtimeapi.Timer {
+	r.prof.Pause()
+	defer r.prof.Resume()
+	if d < 0 {
+		d = 0
+	}
+	if r.driftRate != 0 {
+		d = sim.Time(float64(d) * r.driftFactor())
+	}
+	if d > 0 && r.schedLat != nil {
+		d += r.schedLat(r.latRNG)
+	}
+	delay := r.elapsedInJob() + d
+	t := &simTimer{k: r.k}
+	t.evt = r.k.Schedule(delay, func() {
+		t.fired = true
+		if t.cancelled || r.down {
+			return
+		}
+		r.cpus.SubmitReal(fn, nil)
+	})
+	return t
+}
+
+// Send implements runtimeapi.Runtime: charges the configured send overhead
+// to the CPU and injects the datagram at now + elapsed job cost.
+func (r *Runtime) Send(dst runtimeapi.NodeID, data []byte) error {
+	if r.down {
+		return runtimeapi.ErrDown
+	}
+	if len(data) > r.port.MTU() {
+		return runtimeapi.ErrTooBig
+	}
+	r.prof.Pause()
+	defer r.prof.Resume()
+	r.extra += r.cost.SendCost(len(data))
+	return r.port.Send(dst, data, r.elapsedInJob())
+}
+
+// Multicast implements runtimeapi.Runtime. A LAN multicast is one wire
+// transmission, so the send overhead is charged once.
+func (r *Runtime) Multicast(g runtimeapi.Group, data []byte) error {
+	if r.down {
+		return runtimeapi.ErrDown
+	}
+	if len(data) > r.port.MTU() {
+		return runtimeapi.ErrTooBig
+	}
+	r.prof.Pause()
+	defer r.prof.Resume()
+	r.extra += r.cost.SendCost(len(data))
+	return r.port.Multicast(g, data, r.elapsedInJob())
+}
+
+// Deliver is called by the network adapter when a datagram arrives for this
+// node. Reception is a real job: the CPU is charged the receive overhead and
+// then the protocol's receiver upcall runs under the profiler.
+func (r *Runtime) Deliver(src runtimeapi.NodeID, data []byte) {
+	if r.down {
+		return
+	}
+	r.cpus.SubmitReal(func() {
+		r.extra += r.cost.RecvCost(len(data))
+		if r.recv != nil {
+			r.recv(src, data)
+		}
+	}, nil)
+}
+
+// Start schedules fn as the node's initialization job at time zero offsets;
+// protocol stacks use it to begin operation from within a profiled context.
+func (r *Runtime) Start(fn func()) {
+	r.Schedule(0, fn)
+}

@@ -1,0 +1,211 @@
+package db
+
+import "repro/internal/dbsm"
+
+// LockManager implements the concurrency control policy of Section 3.1,
+// modeled on PostgreSQL's multi-version behaviour: fetched items are
+// ignored; updated items are exclusively locked. All of a transaction's
+// locks are acquired atomically (its items are known beforehand), so
+// deadlock detection is unnecessary and waiting transactions hold nothing.
+// When a holder commits, every transaction waiting on its locks aborts
+// (write-write conflict); when it aborts, the next waiter acquires. Already
+// certified transactions (remote or local) preempt and abort uncertified
+// local holders — those would abort in certification anyway.
+type LockManager struct {
+	// OnPreempt is invoked when an uncertified holder is aborted by a
+	// certified transaction; the server finalizes the abort.
+	OnPreempt func(*Txn)
+	// OnWaiterAbort is invoked when a waiter aborts because the holder
+	// committed.
+	OnWaiterAbort func(*Txn)
+
+	locks map[dbsm.TupleID]*lockState
+	dirty []dbsm.TupleID // released locks pending waiter processing
+	busy  bool           // re-entrancy guard for processDirty
+
+	waits int64 // transactions that had to wait at least once
+}
+
+type lockState struct {
+	holder  *Txn
+	waiters []*lockWaiter
+}
+
+type lockWaiter struct {
+	t     *Txn
+	grant func()
+}
+
+// NewLockManager builds an empty manager.
+func NewLockManager() *LockManager {
+	return &LockManager{locks: make(map[dbsm.TupleID]*lockState)}
+}
+
+// Waits reports how many acquisitions had to block.
+func (lm *LockManager) Waits() int64 { return lm.waits }
+
+func (lm *LockManager) state(id dbsm.TupleID) *lockState {
+	l := lm.locks[id]
+	if l == nil {
+		l = &lockState{}
+		lm.locks[id] = l
+	}
+	return l
+}
+
+// AcquireAll atomically acquires every lock in t's write set, invoking grant
+// when all are held. A read-only transaction is granted immediately. If a
+// lock is busy the transaction waits (holding nothing). Certified
+// transactions preempt uncertified holders.
+func (lm *LockManager) AcquireAll(t *Txn, grant func()) {
+	lm.tryAcquire(&lockWaiter{t: t, grant: grant})
+	lm.processDirty()
+}
+
+func (lm *LockManager) tryAcquire(w *lockWaiter) {
+	t := w.t
+	if len(t.WriteSet) == 0 {
+		w.grant()
+		return
+	}
+	if t.certified {
+		// Preempt uncertified holders: they would fail certification
+		// against this already-certified transaction anyway.
+		for _, id := range t.WriteSet {
+			l := lm.state(id)
+			if h := l.holder; h != nil && !h.certified && h != t {
+				lm.releaseHolder(h)
+				if lm.OnPreempt != nil {
+					lm.OnPreempt(h)
+				}
+			}
+		}
+	}
+	// Atomic check: all free or none taken.
+	for _, id := range t.WriteSet {
+		l := lm.state(id)
+		if l.holder != nil && l.holder != t {
+			l.waiters = append(l.waiters, w)
+			lm.waits++
+			return
+		}
+	}
+	for _, id := range t.WriteSet {
+		lm.state(id).holder = t
+	}
+	t.holding = true
+	w.grant()
+}
+
+// releaseHolder removes t as holder of all its locks without processing
+// waiters yet (the caller batches that via processDirty).
+func (lm *LockManager) releaseHolder(t *Txn) {
+	for _, id := range t.WriteSet {
+		l := lm.state(id)
+		if l.holder == t {
+			l.holder = nil
+			lm.dirty = append(lm.dirty, id)
+		}
+	}
+	t.holding = false
+}
+
+// ReleaseCommit releases t's locks after commit: waiting uncertified
+// transactions abort (write-write conflict with the committed holder);
+// certified waiters proceed to acquisition.
+func (lm *LockManager) ReleaseCommit(t *Txn) {
+	if !t.holding {
+		return
+	}
+	for _, id := range t.WriteSet {
+		l := lm.state(id)
+		if l.holder != t {
+			continue
+		}
+		l.holder = nil
+		kept := l.waiters[:0]
+		for _, w := range l.waiters {
+			if w.t.certified {
+				kept = append(kept, w)
+			} else if lm.OnWaiterAbort != nil {
+				lm.OnWaiterAbort(w.t)
+			}
+		}
+		l.waiters = kept
+		lm.dirty = append(lm.dirty, id)
+	}
+	t.holding = false
+	lm.processDirty()
+}
+
+// ReleaseAbort releases t's locks after an abort: the next waiters retry
+// acquisition.
+func (lm *LockManager) ReleaseAbort(t *Txn) {
+	if !t.holding {
+		return
+	}
+	lm.releaseHolder(t)
+	lm.processDirty()
+}
+
+// RemoveWaiter drops a waiter (whose transaction aborted for another
+// reason) from all wait lists.
+func (lm *LockManager) RemoveWaiter(t *Txn) {
+	for _, id := range t.WriteSet {
+		l := lm.locks[id]
+		if l == nil {
+			continue
+		}
+		kept := l.waiters[:0]
+		for _, w := range l.waiters {
+			if w.t != t {
+				kept = append(kept, w)
+			}
+		}
+		l.waiters = kept
+	}
+}
+
+// processDirty retries waiters of released locks, FIFO, until quiescent.
+func (lm *LockManager) processDirty() {
+	if lm.busy {
+		return
+	}
+	lm.busy = true
+	for len(lm.dirty) > 0 {
+		id := lm.dirty[0]
+		lm.dirty = lm.dirty[1:]
+		l := lm.locks[id]
+		if l == nil || l.holder != nil || len(l.waiters) == 0 {
+			continue
+		}
+		w := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		if w.t.finished || w.t.aborted {
+			lm.dirty = append(lm.dirty, id) // try the next waiter
+			continue
+		}
+		lm.tryAcquire(w)
+	}
+	lm.busy = false
+}
+
+// HeldLocks reports how many locks are currently held (for tests).
+func (lm *LockManager) HeldLocks() int {
+	n := 0
+	for _, l := range lm.locks {
+		if l.holder != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// WaiterCount reports how many waiters are queued (for tests).
+func (lm *LockManager) WaiterCount() int {
+	n := 0
+	for _, l := range lm.locks {
+		n += len(l.waiters)
+	}
+	return n
+}

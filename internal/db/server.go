@@ -1,0 +1,358 @@
+package db
+
+import (
+	"sort"
+
+	"repro/internal/csrt"
+	"repro/internal/dbsm"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// ClassStats aggregates per-transaction-class results, feeding the paper's
+// Tables 1 and 2 (abort rate breakdowns) and Figure 5.
+type ClassStats struct {
+	Submitted int64
+	Committed int64
+	AbortLock int64
+	AbortCert int64
+	AbortUser int64
+	// Lat holds committed-transaction latencies in milliseconds.
+	Lat metrics.Sample
+}
+
+// Aborted reports all aborts of the class.
+func (c *ClassStats) Aborted() int64 { return c.AbortLock + c.AbortCert + c.AbortUser }
+
+// AbortRate reports aborted/completed as a percentage.
+func (c *ClassStats) AbortRate() float64 {
+	done := c.Committed + c.Aborted()
+	return metrics.Rate(c.Aborted(), done)
+}
+
+// Server is one database site (Section 3.1): CPUs, storage, locks, and the
+// transaction execution pipeline. Replication (termination protocol) is
+// plugged in via SetTerminator; without it the server runs as a classic
+// centralized database, the paper's baseline configuration.
+type Server struct {
+	k       *sim.Kernel
+	site    dbsm.SiteID
+	cpus    *csrt.CPUSet
+	storage *Storage
+	lm      *LockManager
+
+	// ReadSetThreshold upgrades large read-sets to table locks before
+	// certification (0 disables).
+	ReadSetThreshold int
+
+	// SectorFilter, if set, maps a committed write-set to the number of
+	// sectors written locally. Partial replication installs a filter
+	// counting only locally-replicated rows; nil writes every row.
+	SectorFilter func(ws dbsm.ItemSet) int
+
+	terminator  func(*Txn)
+	pendingCert map[uint64]*Txn
+	lastApplied uint64
+	down        bool
+
+	classes map[string]*ClassStats
+	// CertLat samples the distributed termination latency in ms (commit
+	// request to certification outcome) for Figure 7(b).
+	CertLat metrics.Sample
+	// LatCommitted samples all committed-transaction latencies in ms.
+	LatCommitted metrics.Sample
+	// LatReadOnly and LatUpdate split latencies for the Figure 4
+	// validation.
+	LatReadOnly metrics.Sample
+	LatUpdate   metrics.Sample
+
+	remoteApplied   int64
+	inconsistencies int64
+}
+
+// NewServer builds a site over its CPU set and storage.
+func NewServer(k *sim.Kernel, site dbsm.SiteID, cpus *csrt.CPUSet, storage *Storage) *Server {
+	s := &Server{
+		k:           k,
+		site:        site,
+		cpus:        cpus,
+		storage:     storage,
+		lm:          NewLockManager(),
+		pendingCert: make(map[uint64]*Txn),
+		classes:     make(map[string]*ClassStats),
+	}
+	s.lm.OnPreempt = func(t *Txn) {
+		t.aborted = true
+		t.epoch++
+		s.finish(t, AbortLock)
+	}
+	s.lm.OnWaiterAbort = func(t *Txn) {
+		t.aborted = true
+		t.epoch++
+		s.finish(t, AbortLock)
+	}
+	return s
+}
+
+// Site reports this server's replica identifier.
+func (s *Server) Site() dbsm.SiteID { return s.site }
+
+// Storage exposes the disk model (resource usage reporting).
+func (s *Server) Storage() *Storage { return s.storage }
+
+// CPUs exposes the processor set.
+func (s *Server) CPUs() *csrt.CPUSet { return s.cpus }
+
+// Locks exposes the lock manager (tests, introspection).
+func (s *Server) Locks() *LockManager { return s.lm }
+
+// SetTerminator installs the distributed termination hook: it receives
+// update transactions entering the committing stage (Section 3.3). Leaving
+// it unset yields a centralized, non-replicated server.
+func (s *Server) SetTerminator(fn func(*Txn)) { s.terminator = fn }
+
+// LastApplied reports the certification sequence applied at this site.
+func (s *Server) LastApplied() uint64 { return s.lastApplied }
+
+// RemoteApplied reports how many remote transactions were installed.
+func (s *Server) RemoteApplied() int64 { return s.remoteApplied }
+
+// Inconsistencies counts safety violations observed (a transaction aborted
+// locally but committed by certification); it must remain zero.
+func (s *Server) Inconsistencies() int64 { return s.inconsistencies }
+
+// Down reports whether the site has crashed.
+func (s *Server) Down() bool { return s.down }
+
+// Crash stops the site: in-flight transactions never complete and their
+// clients stay blocked, as in the paper's crash fault model.
+func (s *Server) Crash() { s.down = true }
+
+// Class returns (creating if needed) the stats bucket for a class.
+func (s *Server) Class(name string) *ClassStats {
+	cs := s.classes[name]
+	if cs == nil {
+		cs = &ClassStats{}
+		s.classes[name] = cs
+	}
+	return cs
+}
+
+// EachClass iterates classes in sorted order.
+func (s *Server) EachClass(fn func(name string, cs *ClassStats)) {
+	names := make([]string, 0, len(s.classes))
+	for n := range s.classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fn(n, s.classes[n])
+	}
+}
+
+// Totals sums class counters.
+func (s *Server) Totals() (submitted, committed, aborted int64) {
+	for _, cs := range s.classes {
+		submitted += cs.Submitted
+		committed += cs.Committed
+		aborted += cs.Aborted()
+	}
+	return
+}
+
+// Submit starts a transaction: take the snapshot, acquire all write locks
+// atomically, then execute.
+func (s *Server) Submit(t *Txn) {
+	if s.down {
+		return // clients of a crashed site block forever
+	}
+	t.server = s
+	t.SubmitAt = s.k.Now()
+	t.Snapshot = s.lastApplied
+	s.Class(t.Class).Submitted++
+	s.lm.AcquireAll(t, func() {
+		t.LocksAt = s.k.Now()
+		s.step(t)
+	})
+}
+
+// step advances the operation pipeline.
+func (s *Server) step(t *Txn) {
+	if t.aborted || t.finished || s.down {
+		return
+	}
+	if t.opIdx >= len(t.Ops) {
+		s.commitPhase(t)
+		return
+	}
+	op := t.Ops[t.opIdx]
+	t.opIdx++
+	epoch := t.epoch
+	next := func() {
+		if t.epoch == epoch && !t.aborted && !s.down {
+			s.step(t)
+		}
+	}
+	switch op.Kind {
+	case OpFetch:
+		if s.storage.Read(next) {
+			next() // cache hit: no storage resources consumed
+		}
+	case OpProcess:
+		s.cpus.SubmitSim(op.CPU, next)
+	case OpWrite:
+		// Write-back is deferred to commit (the value sizes are already
+		// summed in WriteBytes); the step itself is free.
+		next()
+	default:
+		next()
+	}
+}
+
+// commitPhase runs the commit operation's CPU cost, then finishes locally
+// (read-only or centralized) or enters the distributed termination protocol.
+func (s *Server) commitPhase(t *Txn) {
+	epoch := t.epoch
+	s.cpus.SubmitSim(t.CommitCPU, func() {
+		if t.epoch != epoch || t.aborted || t.finished || s.down {
+			return
+		}
+		switch {
+		case t.UserAbort:
+			// Application rollback at the end of execution.
+			s.lm.ReleaseAbort(t)
+			s.finish(t, AbortUser)
+		case t.ReadOnly:
+			// Read-only transactions commit locally; no I/O is
+			// performed at commit (Section 4.1).
+			s.finish(t, Committed)
+		case s.terminator == nil:
+			// Centralized baseline: write back and release. One
+			// sector per written row: updated tuples live on
+			// distinct pages.
+			s.storage.WriteSectors(len(t.WriteSet), func() {
+				if s.down || t.finished {
+					return
+				}
+				s.lm.ReleaseCommit(t)
+				s.finish(t, Committed)
+			})
+		default:
+			t.CommitReqAt = s.k.Now()
+			s.pendingCert[t.TID] = t
+			s.terminator(t)
+		}
+	})
+}
+
+// ResolveLocal delivers the certification outcome for a local transaction,
+// in total delivery order. On commit, the write-back happens while the locks
+// are still held; on abort, locks release immediately.
+func (s *Server) ResolveLocal(tid uint64, commit bool, seq uint64) {
+	t, ok := s.pendingCert[tid]
+	if !ok || s.down {
+		return
+	}
+	delete(s.pendingCert, tid)
+	s.CertLat.Add((s.k.Now() - t.CommitReqAt).Millis())
+	if t.finished {
+		// Preempted by a certified transaction while awaiting its own
+		// outcome. Certification must have aborted it everywhere;
+		// anything else is a safety violation.
+		if commit {
+			s.inconsistencies++
+		}
+		return
+	}
+	if !commit {
+		s.lm.ReleaseAbort(t)
+		s.finish(t, AbortCert)
+		return
+	}
+	t.certified = true
+	if seq > s.lastApplied {
+		s.lastApplied = seq
+	}
+	s.storage.WriteSectors(s.writeSectors(t.WriteSet), func() {
+		if s.down || t.finished {
+			return
+		}
+		s.lm.ReleaseCommit(t)
+		s.finish(t, Committed)
+	})
+}
+
+// NoteApplied advances the local snapshot horizon without installing
+// anything — used by partial replication when a certified transaction wrote
+// no locally-stored rows.
+func (s *Server) NoteApplied(seq uint64) {
+	if seq > s.lastApplied {
+		s.lastApplied = seq
+	}
+}
+
+// ApplyRemote installs a remotely-certified transaction: acquire its locks
+// (preempting conflicting local transactions), write back, release.
+func (s *Server) ApplyRemote(c *dbsm.TxnCert, seq uint64) {
+	if s.down {
+		return
+	}
+	if seq > s.lastApplied {
+		s.lastApplied = seq
+	}
+	rt := &Txn{
+		TID:        c.TID,
+		Class:      "(remote)",
+		WriteSet:   c.WriteSet,
+		WriteBytes: c.WriteBytes,
+		certified:  true,
+	}
+	s.lm.AcquireAll(rt, func() {
+		s.storage.WriteSectors(s.writeSectors(c.WriteSet), func() {
+			if s.down {
+				return
+			}
+			s.lm.ReleaseCommit(rt)
+			s.remoteApplied++
+		})
+	})
+}
+
+// writeSectors sizes a commit's local write-back.
+func (s *Server) writeSectors(ws dbsm.ItemSet) int {
+	if s.SectorFilter != nil {
+		return s.SectorFilter(ws)
+	}
+	return len(ws)
+}
+
+// finish records the outcome exactly once and notifies the issuer.
+func (s *Server) finish(t *Txn, outcome Outcome) {
+	if t.finished {
+		return
+	}
+	t.finished = true
+	t.EndAt = s.k.Now()
+	cs := s.Class(t.Class)
+	switch outcome {
+	case Committed:
+		cs.Committed++
+		lat := t.Latency().Millis()
+		cs.Lat.Add(lat)
+		s.LatCommitted.Add(lat)
+		if t.ReadOnly {
+			s.LatReadOnly.Add(lat)
+		} else {
+			s.LatUpdate.Add(lat)
+		}
+	case AbortLock:
+		cs.AbortLock++
+	case AbortCert:
+		cs.AbortCert++
+	case AbortUser:
+		cs.AbortUser++
+	}
+	if t.Done != nil {
+		t.Done(t, outcome)
+	}
+}

@@ -1,0 +1,128 @@
+package db
+
+import (
+	"repro/internal/dbsm"
+	"repro/internal/sim"
+)
+
+// OpKind classifies transaction operations (Section 3.1): fetch a data item,
+// do some processing, or write back a data item.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpFetch OpKind = iota + 1
+	OpProcess
+	OpWrite
+)
+
+// Op is one step of a transaction's execution.
+type Op struct {
+	Kind OpKind
+	// Item is the tuple accessed by fetch/write operations.
+	Item dbsm.TupleID
+	// CPU is the processing time of an OpProcess step.
+	CPU sim.Time
+	// Size is the value size in bytes of an OpWrite step.
+	Size int
+}
+
+// Outcome is a transaction's fate.
+type Outcome int
+
+// Transaction outcomes. AbortLock is a local write-write conflict (a lock
+// holder committed while this transaction waited, or a certified transaction
+// preempted it); AbortCert is a certification failure; AbortUser is an
+// application rollback (TPC-C's 1% intentional new-order aborts); AbortCrash
+// means the site died.
+const (
+	Committed Outcome = iota + 1
+	AbortLock
+	AbortCert
+	AbortUser
+	AbortCrash
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Committed:
+		return "committed"
+	case AbortLock:
+		return "abort-lock"
+	case AbortCert:
+		return "abort-cert"
+	case AbortUser:
+		return "abort-user"
+	case AbortCrash:
+		return "abort-crash"
+	default:
+		return "unknown"
+	}
+}
+
+// Txn is one transaction instance flowing through a server.
+type Txn struct {
+	// TID is the global transaction identifier.
+	TID uint64
+	// Class labels the workload class (e.g. "payment-long") for the abort
+	// rate breakdowns of Tables 1 and 2.
+	Class string
+	// ReadOnly transactions skip the distributed termination protocol;
+	// their latency is unaffected by replication (Section 5.1).
+	ReadOnly bool
+	// Ops is the execution script.
+	Ops []Op
+	// ReadSet and WriteSet are known before execution starts, enabling
+	// atomic lock acquisition without deadlock detection (Section 3.1).
+	ReadSet  dbsm.ItemSet
+	WriteSet dbsm.ItemSet
+	// WriteBytes is the total size of written values.
+	WriteBytes int
+	// CommitCPU is the processing cost of the commit operation itself
+	// (profiled at just under 2ms for all classes).
+	CommitCPU sim.Time
+	// UserAbort marks a transaction the application rolls back at the end
+	// of execution (TPC-C's 1% new-order aborts).
+	UserAbort bool
+
+	// Done receives the final outcome exactly once.
+	Done func(*Txn, Outcome)
+
+	// Measurement timestamps, filled by the server.
+	SubmitAt    sim.Time
+	LocksAt     sim.Time // when locks were granted
+	CommitReqAt sim.Time // when the commit request entered termination
+	EndAt       sim.Time
+
+	// Snapshot is the certification sequence applied locally when the
+	// transaction started: the concurrency horizon for certification.
+	Snapshot uint64
+
+	// internal state
+	opIdx     int
+	aborted   bool
+	certified bool
+	finished  bool
+	holding   bool // currently holds its write locks
+	epoch     int  // invalidates in-flight op callbacks after preemption
+	server    *Server
+}
+
+// CertInfo builds the certification message for this transaction.
+func (t *Txn) CertInfo(site dbsm.SiteID, readSetThreshold int) *dbsm.TxnCert {
+	rs := t.ReadSet
+	if readSetThreshold > 0 {
+		rs = rs.UpgradeToTableLocks(readSetThreshold)
+	}
+	return &dbsm.TxnCert{
+		TID:           t.TID,
+		Site:          site,
+		LastCommitted: t.Snapshot,
+		ReadSet:       rs,
+		WriteSet:      t.WriteSet,
+		WriteBytes:    t.WriteBytes,
+	}
+}
+
+// Latency reports submit-to-outcome latency (valid after completion).
+func (t *Txn) Latency() sim.Time { return t.EndAt - t.SubmitAt }

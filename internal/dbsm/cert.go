@@ -1,0 +1,223 @@
+package dbsm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// SiteID identifies a replica site (matches runtimeapi.NodeID numerically).
+type SiteID int32
+
+// MakeTID builds a globally unique transaction identifier from the
+// originating site and a site-local counter.
+func MakeTID(site SiteID, local uint32) uint64 {
+	return uint64(uint32(site))<<32 | uint64(local)
+}
+
+// TIDSite extracts the originating site of a transaction identifier.
+func TIDSite(tid uint64) SiteID { return SiteID(tid >> 32) }
+
+// TxnCert is the information gathered when a transaction enters the
+// committing stage and atomically multicast to all replicas (Section 3.3):
+// identifiers of tuples read and written, the values of written tuples
+// (represented by their total size; padding makes the wire message match
+// real traffic), and the sequence number of the last transaction committed
+// locally, which determines which transactions executed concurrently.
+type TxnCert struct {
+	// TID is the globally unique transaction identifier.
+	TID uint64
+	// Site is the originating replica.
+	Site SiteID
+	// LastCommitted is the certification sequence number of the last
+	// transaction applied at Site when this transaction started.
+	LastCommitted uint64
+	// ReadSet and WriteSet are the sorted tuple identifier sets.
+	ReadSet  ItemSet
+	WriteSet ItemSet
+	// WriteBytes is the total size of the written tuple values.
+	WriteBytes int
+}
+
+const certHeader = 8 + 4 + 8 + 4 + 4 + 4
+
+// MarshaledSize reports the wire size of the certification message,
+// including value padding.
+func (t *TxnCert) MarshaledSize() int {
+	return certHeader + 8*(len(t.ReadSet)+len(t.WriteSet)) + t.WriteBytes
+}
+
+// Marshal encodes the certification message. Written values are represented
+// by zero padding of the appropriate length, sizing the message as in a real
+// system. The prototype avoids copying already-marshaled buffers, so Marshal
+// allocates exactly once.
+func (t *TxnCert) Marshal() []byte {
+	buf := make([]byte, 0, t.MarshaledSize())
+	buf = binary.BigEndian.AppendUint64(buf, t.TID)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(t.Site))
+	buf = binary.BigEndian.AppendUint64(buf, t.LastCommitted)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(t.ReadSet)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(t.WriteSet)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(t.WriteBytes))
+	for _, id := range t.ReadSet {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(id))
+	}
+	for _, id := range t.WriteSet {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(id))
+	}
+	buf = append(buf, make([]byte, t.WriteBytes)...)
+	return buf
+}
+
+// errBadCert reports a malformed certification message.
+var errBadCert = errors.New("dbsm: malformed certification message")
+
+// Unmarshal decodes a certification message.
+func Unmarshal(b []byte) (*TxnCert, error) {
+	if len(b) < certHeader {
+		return nil, errBadCert
+	}
+	t := &TxnCert{
+		TID:           binary.BigEndian.Uint64(b[0:8]),
+		Site:          SiteID(binary.BigEndian.Uint32(b[8:12])),
+		LastCommitted: binary.BigEndian.Uint64(b[12:20]),
+	}
+	nr := int(binary.BigEndian.Uint32(b[20:24]))
+	nw := int(binary.BigEndian.Uint32(b[24:28]))
+	t.WriteBytes = int(binary.BigEndian.Uint32(b[28:32]))
+	if nr < 0 || nw < 0 || len(b) < certHeader+8*(nr+nw)+t.WriteBytes {
+		return nil, errBadCert
+	}
+	t.ReadSet = make(ItemSet, nr)
+	for i := 0; i < nr; i++ {
+		t.ReadSet[i] = TupleID(binary.BigEndian.Uint64(b[certHeader+8*i:]))
+	}
+	t.WriteSet = make(ItemSet, nw)
+	for i := 0; i < nw; i++ {
+		t.WriteSet[i] = TupleID(binary.BigEndian.Uint64(b[certHeader+8*nr+8*i:]))
+	}
+	return t, nil
+}
+
+// Outcome is the certification verdict, identical at every replica.
+type Outcome struct {
+	// Commit reports whether the transaction passed certification.
+	Commit bool
+	// Seq is the commit sequence number (1-based) when Commit is true.
+	Seq uint64
+}
+
+// Certifier executes the deterministic certification procedure. Each replica
+// feeds it the totally-ordered stream of TxnCert messages; because the input
+// order and the procedure are identical everywhere, every replica reaches
+// the same verdict for every transaction.
+type Certifier struct {
+	// Charge, if set, is invoked with the number of identifier
+	// comparisons performed, letting the caller account CPU cost for
+	// this real code.
+	Charge func(items int)
+	// MaxHistory bounds retained committed write-sets (0 = unlimited).
+	// Pruning is a pure function of the certified stream, so every
+	// replica prunes identically; a transaction whose snapshot predates
+	// the retained window aborts deterministically (conservative).
+	MaxHistory int
+
+	history []histEntry
+	seq     uint64
+	pruned  uint64 // highest seq dropped by pruning
+	applied map[SiteID]uint64
+}
+
+type histEntry struct {
+	seq      uint64
+	writeSet ItemSet
+}
+
+// NewCertifier returns an empty certifier.
+func NewCertifier() *Certifier {
+	return &Certifier{applied: make(map[SiteID]uint64)}
+}
+
+// Seq reports the current commit sequence number (count of committed
+// transactions so far).
+func (c *Certifier) Seq() uint64 { return c.seq }
+
+// HistoryLen reports retained committed write-sets (for GC tests).
+func (c *Certifier) HistoryLen() int { return len(c.history) }
+
+// Certify decides a transaction's fate: it aborts iff its read-set
+// intersects the write-set of any committed transaction that executed
+// concurrently (certification sequence number greater than the
+// transaction's LastCommitted snapshot).
+func (c *Certifier) Certify(t *TxnCert) Outcome {
+	if t.LastCommitted < c.pruned && len(t.ReadSet) > 0 {
+		// Entries possibly concurrent with this transaction were
+		// pruned: conflicts can no longer be ruled out. Abort —
+		// deterministically, since pruning follows the certified
+		// stream identically at every replica.
+		return Outcome{Commit: false}
+	}
+	// Binary search for the first concurrent entry.
+	idx := sort.Search(len(c.history), func(i int) bool {
+		return c.history[i].seq > t.LastCommitted
+	})
+	comparisons := 0
+	for _, e := range c.history[idx:] {
+		comparisons += len(e.writeSet) + len(t.ReadSet)
+		if e.writeSet.Intersects(t.ReadSet) {
+			if c.Charge != nil {
+				c.Charge(comparisons)
+			}
+			return Outcome{Commit: false}
+		}
+	}
+	if c.Charge != nil {
+		c.Charge(comparisons)
+	}
+	c.seq++
+	if len(t.WriteSet) > 0 {
+		c.history = append(c.history, histEntry{seq: c.seq, writeSet: t.WriteSet.Clone()})
+		if c.MaxHistory > 0 && len(c.history) > c.MaxHistory {
+			drop := len(c.history) - c.MaxHistory
+			c.pruned = c.history[drop-1].seq
+			c.history = append(c.history[:0:0], c.history[drop:]...)
+		}
+	}
+	return Outcome{Commit: true, Seq: c.seq}
+}
+
+// NoteApplied records that a site has applied all transactions up to seq.
+//
+// CAUTION: GC based on these advisory values is only safe when the caller
+// can bound the age of in-flight snapshots; replica deployments use the
+// deterministic MaxHistory pruning instead, because timer-driven GC is not a
+// function of the certified stream and can diverge across replicas.
+func (c *Certifier) NoteApplied(site SiteID, seq uint64) {
+	if seq > c.applied[site] {
+		c.applied[site] = seq
+	}
+}
+
+// GC drops history entries every site has already applied. sites lists the
+// current replica membership.
+func (c *Certifier) GC(sites []SiteID) {
+	if len(sites) == 0 {
+		return
+	}
+	low := c.seq
+	for _, s := range sites {
+		if a := c.applied[s]; a < low {
+			low = a
+		}
+	}
+	idx := sort.Search(len(c.history), func(i int) bool { return c.history[i].seq > low })
+	if idx > 0 {
+		c.history = append(c.history[:0:0], c.history[idx:]...)
+	}
+}
+
+// String aids debugging.
+func (c *Certifier) String() string {
+	return fmt.Sprintf("certifier{seq=%d history=%d}", c.seq, len(c.history))
+}

@@ -1,0 +1,119 @@
+// Package faults defines the fault loads of Section 5.3. Faults are
+// injected by intercepting calls in and out of the centralized simulation
+// runtime (clock drift, scheduling latency), by discarding messages at
+// reception (random and bursty loss), and by stopping nodes (crash).
+package faults
+
+import (
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// LossKind selects a message loss model.
+type LossKind int
+
+// Loss model kinds.
+const (
+	LossNone LossKind = iota
+	// LossRandom discards each message independently with probability
+	// Rate, modeling transmission errors.
+	LossRandom
+	// LossBursty alternates receive/discard periods with random
+	// durations, modeling congestion; the long-run loss fraction is Rate
+	// and bursts average MeanBurst messages.
+	LossBursty
+)
+
+// Loss configures message loss at every receiver.
+type Loss struct {
+	Kind      LossKind
+	Rate      float64
+	MeanBurst float64
+}
+
+// nominalMsgInterval converts the paper's burst lengths quoted in messages
+// into period durations: at the evaluated loads each host receives roughly
+// one message every 10ms.
+const nominalMsgInterval = 10 * sim.Millisecond
+
+// NewModel builds a fresh (per-host) loss model, or nil for LossNone.
+func (l Loss) NewModel() simnet.LossModel {
+	switch l.Kind {
+	case LossRandom:
+		return &simnet.RandomLoss{P: l.Rate}
+	case LossBursty:
+		mb := l.MeanBurst
+		if mb <= 0 {
+			mb = 5
+		}
+		return &simnet.BurstyLoss{Rate: l.Rate, MeanBurst: sim.Time(mb * float64(nominalMsgInterval))}
+	default:
+		return nil
+	}
+}
+
+// Crash stops a site at a given instant; the node ceases all interaction.
+type Crash struct {
+	Site int32
+	At   sim.Time
+}
+
+// Config is a complete fault load for one run.
+type Config struct {
+	// ClockDriftRate postpones scheduled events by the factor (1+rate)
+	// and scales measured durations down, per drifting site.
+	ClockDriftRate float64
+	// ClockDriftSites lists affected sites (empty with a nonzero rate
+	// means all sites drift).
+	ClockDriftSites []int32
+	// SchedLatencyMean adds an exponentially-distributed delay to events
+	// scheduled in the future.
+	SchedLatencyMean sim.Time
+	// SchedLatencySites lists affected sites (empty means all).
+	SchedLatencySites []int32
+	// Loss applies to every receiver.
+	Loss Loss
+	// Crashes stop sites at fixed times.
+	Crashes []Crash
+}
+
+// Any reports whether the configuration injects any fault.
+func (c Config) Any() bool {
+	return c.ClockDriftRate != 0 || c.SchedLatencyMean != 0 ||
+		c.Loss.Kind != LossNone || len(c.Crashes) > 0
+}
+
+// DriftsSite reports whether a site's clock drifts under this config.
+func (c Config) DriftsSite(site int32) bool {
+	if c.ClockDriftRate == 0 {
+		return false
+	}
+	return matchSite(c.ClockDriftSites, site)
+}
+
+// DelaysSite reports whether a site suffers scheduling latency.
+func (c Config) DelaysSite(site int32) bool {
+	if c.SchedLatencyMean == 0 {
+		return false
+	}
+	return matchSite(c.SchedLatencySites, site)
+}
+
+func matchSite(list []int32, site int32) bool {
+	if len(list) == 0 {
+		return true
+	}
+	for _, s := range list {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
+// SchedLatencyGen returns the delay generator for the scheduling-latency
+// fault.
+func (c Config) SchedLatencyGen() func(*sim.RNG) sim.Time {
+	mean := c.SchedLatencyMean
+	return func(g *sim.RNG) sim.Time { return g.ExpDur(mean) }
+}

@@ -1,0 +1,105 @@
+package gcs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/csrt"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Property: no wire input, however malformed, may panic a parser. Truncated
+// or garbage traffic must be dropped, not crash a replica.
+func TestParsersNeverPanicOnArbitraryBytes(t *testing.T) {
+	parsers := []func([]byte){
+		func(b []byte) { _, _ = parseData(b) },
+		func(b []byte) { _, _ = parseNack(b) },
+		func(b []byte) { _, _ = parseGossip(b) },
+		func(b []byte) { _, _ = parseAssigns(b) },
+		func(b []byte) { _, _ = parseHeartbeat(b) },
+		func(b []byte) { _, _ = parsePropose(b) },
+		func(b []byte) { _, _ = parseFlushAck(b) },
+		func(b []byte) { _, _ = parseDecide(b) },
+		func(b []byte) { _, _ = parseInstalled(b) },
+	}
+	f := func(data []byte) bool {
+		for _, p := range parsers {
+			p(data)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a stack receiving arbitrary garbage datagrams neither panics nor
+// corrupts subsequent legitimate traffic.
+func TestStackSurvivesGarbageTraffic(t *testing.T) {
+	c := newCluster(t, 3, 21, nil)
+	g := sim.NewRNG(99)
+	// Interleave garbage with real casts.
+	for i := 0; i < 50; i++ {
+		garbage := make([]byte, g.IntRange(0, 64))
+		for j := range garbage {
+			garbage[j] = byte(g.Intn(256))
+		}
+		at := sim.Time(i+1) * 3 * sim.Millisecond
+		c.k.ScheduleAt(at, func() { c.rts[2].Deliver(1, garbage) })
+		c.castAt(at, NodeID(i%3+1), []byte{byte(i)})
+	}
+	c.run(5 * sim.Second)
+	c.checkAgreement(nodes(3), 50)
+}
+
+// The dissemination mode must not change outcomes, only traffic shape:
+// unicast fallback sends n-1 copies where multicast sends one.
+func TestUnicastFallbackTrafficCost(t *testing.T) {
+	run := func(useMulticast bool) int64 {
+		k := sim.NewKernel()
+		rng := sim.NewRNG(33)
+		net := simnet.NewNetwork(k, rng.Fork("net"))
+		lan := net.NewLAN(simnet.DefaultLANConfig("lan"))
+		members := []NodeID{1, 2, 3}
+		net.SetGroup(1, members)
+		stacks := map[NodeID]*Stack{}
+		rts := map[NodeID]*csrt.Runtime{}
+		for _, id := range members {
+			host, err := net.NewHost(id, lan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt := csrt.NewRuntime(k, id, &csrt.ModelProfiler{}, net.Port(id, 1400), csrt.CostParams{}, rng.Fork(string(rune('a'+id))))
+			rt.Bind(csrt.NewCPUSet(1, k, nil))
+			host.SetDeliver(func(pkt *simnet.Packet) { rt.Deliver(pkt.Src, pkt.Data) })
+			st, err := New(rt, Config{Self: id, Members: members, Group: 1, UseMulticast: useMulticast})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stacks[id] = st
+			rts[id] = rt
+			st.Start()
+		}
+		for i := 0; i < 10; i++ {
+			at := sim.Time(i+1) * 10 * sim.Millisecond
+			k.ScheduleAt(at, func() {
+				rts[1].CPUs().SubmitReal(func() { stacks[1].Multicast(make([]byte, 500)) }, nil)
+			})
+		}
+		if err := k.RunUntil(2 * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range members {
+			if got := stacks[id].Stats().Delivered; got != 10 {
+				t.Fatalf("mode multicast=%v: member %d delivered %d", useMulticast, id, got)
+			}
+		}
+		return net.TotalBytes()
+	}
+	mcast := run(true)
+	ucast := run(false)
+	if ucast <= mcast {
+		t.Fatalf("unicast fallback should cost more wire bytes: %d vs %d", ucast, mcast)
+	}
+}

@@ -1,0 +1,394 @@
+package gcs
+
+import (
+	"sort"
+
+	"repro/internal/runtimeapi"
+	"repro/internal/sim"
+)
+
+// Membership / view synchrony states.
+const (
+	membStable   = iota // normal operation
+	membFlushing        // received a proposal, frozen, acked
+	membDeciding        // received the decision, repairing to flush targets
+)
+
+// membership maintains views (Section 3.4): a heartbeat-based failure
+// detector triggers a coordinator-driven agreement on the next view. The
+// protocol imposes negligible overhead during stable operation. View changes
+// flush the reliable layer so that all surviving members deliver the same
+// set of messages before the new view is installed (view synchrony), and the
+// sequencer is replaced if it failed.
+type membership struct {
+	s *Stack
+
+	lastHeard map[NodeID]sim.Time
+	lastSent  sim.Time
+	suspected map[NodeID]bool
+	state     int
+
+	// Coordinator state.
+	proposing   bool
+	proposal    *proposeMsg
+	acks        map[NodeID]*flushAckMsg
+	decision    *decideMsg
+	installAcks map[NodeID]bool
+	retryTimer  runtimeapi.Timer
+
+	// Member state.
+	pendingDecide *decideMsg
+}
+
+func newMembership(s *Stack) *membership {
+	return &membership{
+		s:         s,
+		lastHeard: make(map[NodeID]sim.Time),
+		suspected: make(map[NodeID]bool),
+	}
+}
+
+// startTimers begins failure detection and heartbeating.
+func (mb *membership) startTimers() {
+	now := mb.s.rt.Now()
+	for _, p := range mb.s.view.Members {
+		mb.lastHeard[p] = now
+	}
+	mb.scheduleFD()
+	mb.scheduleHB()
+}
+
+func (mb *membership) scheduleFD() {
+	mb.s.rt.Schedule(mb.s.cfg.FailTimeout/4, func() {
+		mb.fdTick()
+		if !mb.s.stopped {
+			mb.scheduleFD()
+		}
+	})
+}
+
+func (mb *membership) scheduleHB() {
+	mb.s.rt.Schedule(mb.s.cfg.HeartbeatPeriod, func() {
+		mb.hbTick()
+		if !mb.s.stopped {
+			mb.scheduleHB()
+		}
+	})
+}
+
+// heard records liveness evidence for a peer.
+func (mb *membership) heard(p NodeID) {
+	mb.lastHeard[p] = mb.s.rt.Now()
+}
+
+// sentSomething suppresses the next heartbeat if other traffic flowed.
+func (mb *membership) sentSomething() {
+	mb.lastSent = mb.s.rt.Now()
+}
+
+// dataProgress is invoked by the reliable layer on every stream advance so
+// a pending view installation can re-check its flush condition.
+func (mb *membership) dataProgress() {
+	if mb.state == membDeciding {
+		mb.checkInstall()
+	}
+}
+
+// hbTick emits a heartbeat when the member has been silent.
+func (mb *membership) hbTick() {
+	if mb.s.stopped {
+		return
+	}
+	now := mb.s.rt.Now()
+	if now-mb.lastSent >= mb.s.cfg.HeartbeatPeriod {
+		hb := heartbeatMsg{ViewID: mb.s.view.ID}
+		mb.s.transmit(hb.marshal(make([]byte, 0, 5)))
+		mb.lastSent = now
+	}
+}
+
+// fdTick suspects members that have been silent beyond the timeout.
+func (mb *membership) fdTick() {
+	if mb.s.stopped {
+		return
+	}
+	now := mb.s.rt.Now()
+	changed := false
+	for _, p := range mb.s.view.Members {
+		if p == mb.s.cfg.Self || mb.suspected[p] {
+			continue
+		}
+		if now-mb.lastHeard[p] > mb.s.cfg.FailTimeout {
+			mb.suspected[p] = true
+			changed = true
+		}
+	}
+	if changed {
+		mb.maybeInitiate()
+	}
+}
+
+// alive lists current members not suspected, sorted.
+func (mb *membership) alive() []NodeID {
+	out := make([]NodeID, 0, len(mb.s.view.Members))
+	for _, p := range mb.s.view.Members {
+		if !mb.suspected[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// maybeInitiate starts a view change if this member is the lowest-ranked
+// live member (the coordinator).
+func (mb *membership) maybeInitiate() {
+	if mb.state != membStable || mb.proposing {
+		return
+	}
+	alive := mb.alive()
+	if len(alive) == 0 || alive[0] != mb.s.cfg.Self {
+		return
+	}
+	mb.proposing = true
+	mb.proposal = &proposeMsg{
+		NewViewID: mb.s.view.ID + 1,
+		Proposer:  mb.s.cfg.Self,
+		Members:   alive,
+	}
+	mb.acks = make(map[NodeID]*flushAckMsg)
+	mb.installAcks = make(map[NodeID]bool)
+	mb.decision = nil
+	mb.broadcastProposal()
+	mb.armRetry()
+}
+
+func (mb *membership) broadcastProposal() {
+	wire := mb.proposal.marshal(make([]byte, 0, 64))
+	for _, p := range mb.proposal.Members {
+		if p == mb.s.cfg.Self {
+			continue
+		}
+		if mb.acks[p] == nil {
+			mb.s.transmitTo(p, wire)
+		}
+	}
+	// Handle my own proposal locally.
+	mb.onPropose(mb.proposal)
+}
+
+func (mb *membership) armRetry() {
+	if mb.retryTimer != nil {
+		return
+	}
+	mb.retryTimer = mb.s.rt.Schedule(mb.s.cfg.RetransPeriod, func() {
+		mb.retryTimer = nil
+		mb.retryTick()
+	})
+}
+
+// retryTick retransmits coordinator messages until everyone progressed.
+func (mb *membership) retryTick() {
+	if mb.s.stopped || !mb.proposing {
+		return
+	}
+	if mb.decision == nil {
+		mb.broadcastProposal()
+		mb.armRetry()
+		return
+	}
+	allInstalled := true
+	wire := mb.decision.marshal(make([]byte, 0, 128))
+	for _, p := range mb.decision.Members {
+		if p == mb.s.cfg.Self {
+			continue
+		}
+		if !mb.installAcks[p] {
+			allInstalled = false
+			mb.s.transmitTo(p, wire)
+		}
+	}
+	if allInstalled {
+		mb.proposing = false
+		return
+	}
+	mb.armRetry()
+}
+
+// onPropose handles a view-change proposal: freeze transmissions and answer
+// with the local receive state (the flush snapshot).
+func (mb *membership) onPropose(m *proposeMsg) {
+	if m.NewViewID <= mb.s.view.ID {
+		// Stale: that view is already installed here.
+		ack := installedMsg{NewViewID: m.NewViewID}
+		mb.s.transmitTo(m.Proposer, ack.marshal(make([]byte, 0, 5)))
+		return
+	}
+	if mb.state == membDeciding {
+		return // already past the flush phase for a pending view
+	}
+	mb.state = membFlushing
+	mb.s.rm.freeze()
+	// Members absent from the proposal are the suspected ones.
+	present := make(map[NodeID]bool, len(m.Members))
+	for _, p := range m.Members {
+		present[p] = true
+	}
+	for _, p := range mb.s.view.Members {
+		if !present[p] {
+			mb.suspected[p] = true
+		}
+	}
+	ack := flushAckMsg{NewViewID: m.NewViewID}
+	for _, p := range mb.s.view.Members {
+		ack.Contig = append(ack.Contig, memberSeq{Member: p, Seq: mb.s.rm.contiguous(p)})
+	}
+	if m.Proposer == mb.s.cfg.Self {
+		mb.onFlushAck(mb.s.cfg.Self, &ack)
+	} else {
+		mb.s.transmitTo(m.Proposer, ack.marshal(make([]byte, 0, 7+12*len(ack.Contig))))
+	}
+}
+
+// onFlushAck (coordinator) collects flush snapshots; once all proposed
+// members answered, compute per-sender flush targets and decide.
+func (mb *membership) onFlushAck(src NodeID, m *flushAckMsg) {
+	if !mb.proposing || mb.proposal == nil || m.NewViewID != mb.proposal.NewViewID || mb.decision != nil {
+		return
+	}
+	mb.acks[src] = m
+	for _, p := range mb.proposal.Members {
+		if mb.acks[p] == nil {
+			return
+		}
+	}
+	// Compute targets: the highest contiguous sequence any survivor holds
+	// for each old-view stream, and who holds it.
+	targets := make([]flushTarget, 0, len(mb.s.view.Members))
+	for _, p := range mb.s.view.Members {
+		var best uint64
+		holder := mb.s.cfg.Self
+		for _, q := range mb.proposal.Members {
+			ack := mb.acks[q]
+			for _, c := range ack.Contig {
+				if c.Member == p && c.Seq > best {
+					best = c.Seq
+					holder = q
+				}
+			}
+		}
+		targets = append(targets, flushTarget{Member: p, Seq: best, Holder: holder})
+	}
+	mb.decision = &decideMsg{
+		NewViewID: mb.proposal.NewViewID,
+		Proposer:  mb.s.cfg.Self,
+		Members:   mb.proposal.Members,
+		Targets:   targets,
+	}
+	wire := mb.decision.marshal(make([]byte, 0, 128))
+	for _, p := range mb.decision.Members {
+		if p != mb.s.cfg.Self {
+			mb.s.transmitTo(p, wire)
+		}
+	}
+	mb.onDecide(mb.decision)
+	mb.armRetry()
+}
+
+// onDecide moves to the repair phase: fetch everything up to the flush
+// targets, then install.
+func (mb *membership) onDecide(m *decideMsg) {
+	if m.NewViewID <= mb.s.view.ID {
+		ack := installedMsg{NewViewID: m.NewViewID}
+		mb.s.transmitTo(m.Proposer, ack.marshal(make([]byte, 0, 5)))
+		return
+	}
+	if mb.state == membDeciding {
+		return
+	}
+	if mb.state == membStable {
+		mb.s.rm.freeze()
+	}
+	mb.state = membDeciding
+	mb.pendingDecide = m
+	for _, t := range m.Targets {
+		if t.Member == mb.s.cfg.Self {
+			continue
+		}
+		mb.s.rm.requestRepairTo(t.Member, t.Seq, t.Holder)
+	}
+	mb.checkInstall()
+}
+
+// checkInstall installs the pending view once every old stream has been
+// received up to its flush target.
+func (mb *membership) checkInstall() {
+	m := mb.pendingDecide
+	if m == nil {
+		return
+	}
+	for _, t := range m.Targets {
+		if mb.s.rm.contiguous(t.Member) < t.Seq {
+			return
+		}
+	}
+	mb.pendingDecide = nil
+	oldSequencer := mb.s.view.Sequencer()
+
+	newMembers := make([]NodeID, len(m.Members))
+	copy(newMembers, m.Members)
+	sort.Slice(newMembers, func(i, j int) bool { return newMembers[i] < newMembers[j] })
+
+	targets := make(map[NodeID]uint64, len(m.Targets))
+	inNew := make(map[NodeID]bool, len(newMembers))
+	for _, p := range newMembers {
+		inNew[p] = true
+	}
+	for _, t := range m.Targets {
+		targets[t.Member] = t.Seq
+		if !inNew[t.Member] {
+			mb.s.rm.excludePeer(t.Member, t.Seq)
+		}
+	}
+
+	mb.s.view = View{ID: m.NewViewID, Members: newMembers}
+	mb.s.rank = mb.s.indexOf(mb.s.cfg.Self)
+	mb.s.stats.ViewChanges++
+	mb.state = membStable
+	mb.suspected = make(map[NodeID]bool)
+	now := mb.s.rt.Now()
+	for _, p := range newMembers {
+		mb.lastHeard[p] = now
+	}
+
+	if mb.s.rank < 0 {
+		// Excluded from the view: halt.
+		mb.s.stopped = true
+		return
+	}
+	mb.s.stab.resetForView()
+	mb.s.to.onInstall(!inNew[oldSequencer], targets)
+	mb.s.rm.unfreeze()
+	if m.Proposer != mb.s.cfg.Self {
+		ack := installedMsg{NewViewID: m.NewViewID}
+		mb.s.transmitTo(m.Proposer, ack.marshal(make([]byte, 0, 5)))
+	} else {
+		mb.installAcks[mb.s.cfg.Self] = true
+	}
+	if mb.s.onView != nil {
+		mb.s.onView(mb.s.view)
+	}
+}
+
+// onInstalled (coordinator) tracks completion of the view change.
+func (mb *membership) onInstalled(src NodeID, m *installedMsg) {
+	if !mb.proposing || mb.decision == nil || m.NewViewID != mb.decision.NewViewID {
+		return
+	}
+	mb.installAcks[src] = true
+	for _, p := range mb.decision.Members {
+		if !mb.installAcks[p] && p != mb.s.cfg.Self {
+			return
+		}
+	}
+	mb.proposing = false
+}

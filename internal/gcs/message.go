@@ -1,0 +1,421 @@
+package gcs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/runtimeapi"
+)
+
+// Wire message kinds.
+const (
+	kindData      byte = iota + 1 // sender-stream chunk (new transmission)
+	kindRetrans                   // sender-stream chunk (retransmission)
+	kindNack                      // receiver-initiated repair request
+	kindGossip                    // stability detection round state
+	kindHeartbeat                 // liveness when otherwise idle
+	kindPropose                   // view change: proposal
+	kindFlushAck                  // view change: member state snapshot
+	kindDecide                    // view change: decision
+	kindInstalled                 // view change: member finished install
+)
+
+// Payload kinds carried inside data chunks.
+const (
+	payloadApp byte = iota + 1 // application message (certification traffic)
+	payloadSeq                 // sequencer ordering assignments
+)
+
+// Fragment markers.
+const (
+	fragFull byte = iota // complete message in one chunk
+	fragFirst
+	fragMid
+	fragLast
+)
+
+// errTruncated reports a malformed (short) wire message.
+var errTruncated = errors.New("gcs: truncated message")
+
+// dataMsg is one chunk of a sender's reliable stream.
+type dataMsg struct {
+	Sender  runtimeapi.NodeID
+	Seq     uint64
+	Frag    byte
+	Payload byte // payloadApp or payloadSeq; meaningful on first/full chunk
+	Data    []byte
+}
+
+const dataHeader = 1 + 4 + 8 + 1 + 1 + 2
+
+func (m *dataMsg) marshal(kind byte, buf []byte) []byte {
+	buf = append(buf, kind)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Sender))
+	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
+	buf = append(buf, m.Frag, m.Payload)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Data)))
+	buf = append(buf, m.Data...)
+	return buf
+}
+
+func parseData(b []byte) (*dataMsg, error) {
+	if len(b) < dataHeader {
+		return nil, errTruncated
+	}
+	m := &dataMsg{
+		Sender:  runtimeapi.NodeID(binary.BigEndian.Uint32(b[1:5])),
+		Seq:     binary.BigEndian.Uint64(b[5:13]),
+		Frag:    b[13],
+		Payload: b[14],
+	}
+	n := int(binary.BigEndian.Uint16(b[15:17]))
+	if len(b) < dataHeader+n {
+		return nil, errTruncated
+	}
+	m.Data = b[dataHeader : dataHeader+n]
+	return m, nil
+}
+
+// seqRange is a [From, To] inclusive range of missing sequence numbers.
+type seqRange struct{ From, To uint64 }
+
+// nackMsg requests retransmission of ranges from a sender's stream.
+type nackMsg struct {
+	Target runtimeapi.NodeID // stream owner
+	Ranges []seqRange
+}
+
+func (m *nackMsg) marshal(buf []byte) []byte {
+	buf = append(buf, kindNack)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Target))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Ranges)))
+	for _, r := range m.Ranges {
+		buf = binary.BigEndian.AppendUint64(buf, r.From)
+		buf = binary.BigEndian.AppendUint64(buf, r.To)
+	}
+	return buf
+}
+
+func parseNack(b []byte) (*nackMsg, error) {
+	if len(b) < 7 {
+		return nil, errTruncated
+	}
+	m := &nackMsg{Target: runtimeapi.NodeID(binary.BigEndian.Uint32(b[1:5]))}
+	n := int(binary.BigEndian.Uint16(b[5:7]))
+	if len(b) < 7+16*n {
+		return nil, errTruncated
+	}
+	m.Ranges = make([]seqRange, n)
+	for i := 0; i < n; i++ {
+		off := 7 + 16*i
+		m.Ranges[i] = seqRange{
+			From: binary.BigEndian.Uint64(b[off : off+8]),
+			To:   binary.BigEndian.Uint64(b[off+8 : off+16]),
+		}
+	}
+	return m, nil
+}
+
+// gossipMsg carries one stability round's state: the set W of voters (as a
+// bitmask over view member positions), the vector M of per-sender contiguous
+// sequence numbers received by all voters, and the vector S of known-stable
+// sequence numbers (Section 3.4). H is the gossiping member's own contiguous
+// receive vector: it lets receivers detect losses at the tail of a stream
+// (when no later packet would reveal the gap) and trigger NACK repair.
+type gossipMsg struct {
+	ViewID uint32
+	Round  uint64
+	W      uint32
+	M      []uint64
+	S      []uint64
+	H      []uint64
+}
+
+func (m *gossipMsg) marshal(buf []byte) []byte {
+	buf = append(buf, kindGossip)
+	buf = binary.BigEndian.AppendUint32(buf, m.ViewID)
+	buf = binary.BigEndian.AppendUint64(buf, m.Round)
+	buf = binary.BigEndian.AppendUint32(buf, m.W)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.M)))
+	for _, v := range m.M {
+		buf = binary.BigEndian.AppendUint64(buf, v)
+	}
+	for _, v := range m.S {
+		buf = binary.BigEndian.AppendUint64(buf, v)
+	}
+	for _, v := range m.H {
+		buf = binary.BigEndian.AppendUint64(buf, v)
+	}
+	return buf
+}
+
+func parseGossip(b []byte) (*gossipMsg, error) {
+	if len(b) < 19 {
+		return nil, errTruncated
+	}
+	m := &gossipMsg{
+		ViewID: binary.BigEndian.Uint32(b[1:5]),
+		Round:  binary.BigEndian.Uint64(b[5:13]),
+		W:      binary.BigEndian.Uint32(b[13:17]),
+	}
+	n := int(binary.BigEndian.Uint16(b[17:19]))
+	if len(b) < 19+24*n {
+		return nil, errTruncated
+	}
+	m.M = make([]uint64, n)
+	m.S = make([]uint64, n)
+	m.H = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		m.M[i] = binary.BigEndian.Uint64(b[19+8*i:])
+	}
+	for i := 0; i < n; i++ {
+		m.S[i] = binary.BigEndian.Uint64(b[19+8*n+8*i:])
+	}
+	for i := 0; i < n; i++ {
+		m.H[i] = binary.BigEndian.Uint64(b[19+16*n+8*i:])
+	}
+	return m, nil
+}
+
+// seqAssign is one total-order assignment: global sequence number for the
+// message identified by (Sender, Seq).
+type seqAssign struct {
+	Sender runtimeapi.NodeID
+	Seq    uint64
+	Global uint64
+}
+
+func marshalAssigns(assigns []seqAssign) []byte {
+	buf := make([]byte, 0, 2+20*len(assigns))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(assigns)))
+	for _, a := range assigns {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(a.Sender))
+		buf = binary.BigEndian.AppendUint64(buf, a.Seq)
+		buf = binary.BigEndian.AppendUint64(buf, a.Global)
+	}
+	return buf
+}
+
+func parseAssigns(b []byte) ([]seqAssign, error) {
+	if len(b) < 2 {
+		return nil, errTruncated
+	}
+	n := int(binary.BigEndian.Uint16(b[:2]))
+	if len(b) < 2+20*n {
+		return nil, errTruncated
+	}
+	out := make([]seqAssign, n)
+	for i := 0; i < n; i++ {
+		off := 2 + 20*i
+		out[i] = seqAssign{
+			Sender: runtimeapi.NodeID(binary.BigEndian.Uint32(b[off : off+4])),
+			Seq:    binary.BigEndian.Uint64(b[off+4 : off+12]),
+			Global: binary.BigEndian.Uint64(b[off+12 : off+20]),
+		}
+	}
+	return out, nil
+}
+
+// heartbeatMsg keeps failure detectors quiet during idle periods.
+type heartbeatMsg struct{ ViewID uint32 }
+
+func (m *heartbeatMsg) marshal(buf []byte) []byte {
+	buf = append(buf, kindHeartbeat)
+	return binary.BigEndian.AppendUint32(buf, m.ViewID)
+}
+
+func parseHeartbeat(b []byte) (*heartbeatMsg, error) {
+	if len(b) < 5 {
+		return nil, errTruncated
+	}
+	return &heartbeatMsg{ViewID: binary.BigEndian.Uint32(b[1:5])}, nil
+}
+
+// proposeMsg starts a view change: the coordinator proposes a new membership.
+type proposeMsg struct {
+	NewViewID uint32
+	Proposer  runtimeapi.NodeID
+	Members   []runtimeapi.NodeID
+}
+
+func (m *proposeMsg) marshal(buf []byte) []byte {
+	buf = append(buf, kindPropose)
+	buf = binary.BigEndian.AppendUint32(buf, m.NewViewID)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Proposer))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Members)))
+	for _, id := range m.Members {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(id))
+	}
+	return buf
+}
+
+func parsePropose(b []byte) (*proposeMsg, error) {
+	if len(b) < 11 {
+		return nil, errTruncated
+	}
+	m := &proposeMsg{
+		NewViewID: binary.BigEndian.Uint32(b[1:5]),
+		Proposer:  runtimeapi.NodeID(binary.BigEndian.Uint32(b[5:9])),
+	}
+	n := int(binary.BigEndian.Uint16(b[9:11]))
+	if len(b) < 11+4*n {
+		return nil, errTruncated
+	}
+	m.Members = make([]runtimeapi.NodeID, n)
+	for i := 0; i < n; i++ {
+		m.Members[i] = runtimeapi.NodeID(binary.BigEndian.Uint32(b[11+4*i:]))
+	}
+	return m, nil
+}
+
+// flushAckMsg is a member's snapshot answering a proposal: per old-view
+// sender, the highest contiguously received sequence number.
+type flushAckMsg struct {
+	NewViewID uint32
+	Contig    []memberSeq
+}
+
+// memberSeq pairs a member with a sequence number.
+type memberSeq struct {
+	Member runtimeapi.NodeID
+	Seq    uint64
+}
+
+func (m *flushAckMsg) marshal(buf []byte) []byte {
+	buf = append(buf, kindFlushAck)
+	buf = binary.BigEndian.AppendUint32(buf, m.NewViewID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Contig)))
+	for _, c := range m.Contig {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(c.Member))
+		buf = binary.BigEndian.AppendUint64(buf, c.Seq)
+	}
+	return buf
+}
+
+func parseFlushAck(b []byte) (*flushAckMsg, error) {
+	if len(b) < 7 {
+		return nil, errTruncated
+	}
+	m := &flushAckMsg{NewViewID: binary.BigEndian.Uint32(b[1:5])}
+	n := int(binary.BigEndian.Uint16(b[5:7]))
+	if len(b) < 7+12*n {
+		return nil, errTruncated
+	}
+	m.Contig = make([]memberSeq, n)
+	for i := 0; i < n; i++ {
+		off := 7 + 12*i
+		m.Contig[i] = memberSeq{
+			Member: runtimeapi.NodeID(binary.BigEndian.Uint32(b[off : off+4])),
+			Seq:    binary.BigEndian.Uint64(b[off+4 : off+12]),
+		}
+	}
+	return m, nil
+}
+
+// decideMsg concludes a view change: the new membership, plus for every old
+// member the flush target (highest sequence anyone received) and the holder
+// to NACK for repair.
+type decideMsg struct {
+	NewViewID uint32
+	Proposer  runtimeapi.NodeID
+	Members   []runtimeapi.NodeID
+	Targets   []flushTarget
+}
+
+type flushTarget struct {
+	Member runtimeapi.NodeID
+	Seq    uint64
+	Holder runtimeapi.NodeID
+}
+
+func (m *decideMsg) marshal(buf []byte) []byte {
+	buf = append(buf, kindDecide)
+	buf = binary.BigEndian.AppendUint32(buf, m.NewViewID)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Proposer))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Members)))
+	for _, id := range m.Members {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(id))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Targets)))
+	for _, t := range m.Targets {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(t.Member))
+		buf = binary.BigEndian.AppendUint64(buf, t.Seq)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(t.Holder))
+	}
+	return buf
+}
+
+func parseDecide(b []byte) (*decideMsg, error) {
+	if len(b) < 11 {
+		return nil, errTruncated
+	}
+	m := &decideMsg{
+		NewViewID: binary.BigEndian.Uint32(b[1:5]),
+		Proposer:  runtimeapi.NodeID(binary.BigEndian.Uint32(b[5:9])),
+	}
+	n := int(binary.BigEndian.Uint16(b[9:11]))
+	if len(b) < 11+4*n+2 {
+		return nil, errTruncated
+	}
+	m.Members = make([]runtimeapi.NodeID, n)
+	for i := 0; i < n; i++ {
+		m.Members[i] = runtimeapi.NodeID(binary.BigEndian.Uint32(b[11+4*i:]))
+	}
+	off := 11 + 4*n
+	nt := int(binary.BigEndian.Uint16(b[off : off+2]))
+	off += 2
+	if len(b) < off+16*nt {
+		return nil, errTruncated
+	}
+	m.Targets = make([]flushTarget, nt)
+	for i := 0; i < nt; i++ {
+		o := off + 16*i
+		m.Targets[i] = flushTarget{
+			Member: runtimeapi.NodeID(binary.BigEndian.Uint32(b[o : o+4])),
+			Seq:    binary.BigEndian.Uint64(b[o+4 : o+12]),
+			Holder: runtimeapi.NodeID(binary.BigEndian.Uint32(b[o+12 : o+16])),
+		}
+	}
+	return m, nil
+}
+
+// installedMsg acknowledges that a member finished installing a view.
+type installedMsg struct{ NewViewID uint32 }
+
+func (m *installedMsg) marshal(buf []byte) []byte {
+	buf = append(buf, kindInstalled)
+	return binary.BigEndian.AppendUint32(buf, m.NewViewID)
+}
+
+func parseInstalled(b []byte) (*installedMsg, error) {
+	if len(b) < 5 {
+		return nil, errTruncated
+	}
+	return &installedMsg{NewViewID: binary.BigEndian.Uint32(b[1:5])}, nil
+}
+
+func kindName(k byte) string {
+	switch k {
+	case kindData:
+		return "data"
+	case kindRetrans:
+		return "retrans"
+	case kindNack:
+		return "nack"
+	case kindGossip:
+		return "gossip"
+	case kindHeartbeat:
+		return "heartbeat"
+	case kindPropose:
+		return "propose"
+	case kindFlushAck:
+		return "flushack"
+	case kindDecide:
+		return "decide"
+	case kindInstalled:
+		return "installed"
+	default:
+		return fmt.Sprintf("kind(%d)", k)
+	}
+}

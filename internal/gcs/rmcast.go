@@ -1,0 +1,452 @@
+package gcs
+
+import (
+	"repro/internal/runtimeapi"
+	"repro/internal/sim"
+)
+
+// relMcast is the bottom layer (Section 3.4): reliable FIFO multicast with
+// IP-multicast dissemination, window-based receiver-initiated loss repair,
+// and two-phase flow control (rate-based on first transmission, buffer-share
+// and window based afterwards). Messages are buffered — at the sender for
+// retransmission and at receivers for relay during view changes — until the
+// stability protocol declares them received by all members.
+type relMcast struct {
+	s *Stack
+
+	// Sender side.
+	sendSeq      uint64 // next sequence number for my stream
+	sendBuf      map[uint64][]byte
+	sendBufBytes int
+	stableSelf   uint64 // my stream is stable up to here (GC'd)
+	outQ         []outChunk
+	frozen       bool
+	blockedAt    sim.Time
+	blocked      bool
+
+	// Rate-based flow control (phase one).
+	tokens     float64
+	lastRefill sim.Time
+	rateTimer  runtimeapi.Timer
+
+	// Receiver side.
+	peers map[NodeID]*peerState
+}
+
+type outChunk struct {
+	seq  uint64
+	wire []byte
+}
+
+type peerState struct {
+	id           NodeID
+	recvNext     uint64 // next expected (contiguous prefix is recvNext-1)
+	maxSeen      uint64
+	recvBuf      map[uint64]*dataMsg // received chunks kept until stable
+	stableUpto   uint64              // GC'd boundary
+	nackTimer    runtimeapi.Timer
+	repairTarget NodeID // where to send NACKs (sender, or holder in flush)
+	excluded     bool
+
+	// Reassembly of fragmented application messages.
+	reasm        []byte
+	reasmMsgID   uint64
+	reasmKind    byte
+	reasmActive  bool
+	lastChunkSeq uint64 // of the message being reassembled
+}
+
+func newRelMcast(s *Stack) *relMcast {
+	rm := &relMcast{
+		s:       s,
+		sendBuf: make(map[uint64][]byte),
+		peers:   make(map[NodeID]*peerState),
+		tokens:  float64(s.cfg.MaxPacket * 2),
+	}
+	for _, m := range s.cfg.Members {
+		rm.peers[m] = &peerState{id: m, recvNext: 1, repairTarget: m}
+	}
+	return rm
+}
+
+func (rm *relMcast) peer(id NodeID) *peerState {
+	p := rm.peers[id]
+	if p == nil {
+		p = &peerState{id: id, recvNext: 1, repairTarget: id}
+		rm.peers[id] = p
+	}
+	return p
+}
+
+// contiguous reports the highest sequence number such that every message of
+// p's stream up to it has been received locally (own stream: sent counts as
+// received).
+func (rm *relMcast) contiguous(p NodeID) uint64 { return rm.peer(p).recvNext - 1 }
+
+// share is this member's slice of the buffer pool.
+func (rm *relMcast) share() int { return rm.s.cfg.BufferBytes / len(rm.s.view.Members) }
+
+// cast fragments a payload into stream chunks and queues them for
+// flow-controlled transmission. All chunks of one message are enqueued
+// atomically so a view-change freeze cannot split a message.
+func (rm *relMcast) cast(payloadKind byte, payload []byte) {
+	maxChunk := rm.s.cfg.MaxPacket - dataHeader
+	total := len(payload)
+	rm.s.rt.Charge(rm.s.cfg.Costs.msgCost(total))
+	if total == 0 {
+		payload = []byte{}
+	}
+	n := (total + maxChunk - 1) / maxChunk
+	if n == 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		lo := i * maxChunk
+		hi := min(lo+maxChunk, total)
+		var frag byte
+		switch {
+		case n == 1:
+			frag = fragFull
+		case i == 0:
+			frag = fragFirst
+		case i == n-1:
+			frag = fragLast
+		default:
+			frag = fragMid
+		}
+		rm.sendSeq++
+		m := dataMsg{
+			Sender:  rm.s.cfg.Self,
+			Seq:     rm.sendSeq,
+			Frag:    frag,
+			Payload: payloadKind,
+			Data:    payload[lo:hi],
+		}
+		wire := m.marshal(kindData, make([]byte, 0, dataHeader+hi-lo))
+		rm.outQ = append(rm.outQ, outChunk{seq: m.Seq, wire: wire})
+	}
+	rm.drain()
+}
+
+// drain transmits queued chunks while flow control allows: enough rate
+// tokens (phase one), and unstable bytes within the buffer share and window
+// (phase two). Blocked chunks wait for stability GC or token refill.
+func (rm *relMcast) drain() {
+	if rm.frozen || rm.s.stopped {
+		return
+	}
+	rm.refillTokens()
+	for len(rm.outQ) > 0 {
+		c := rm.outQ[0]
+		size := len(c.wire)
+		unstableCount := rm.sendSeq - rm.stableSelf - uint64(len(rm.outQ))
+		if rm.sendBufBytes+size > rm.share() || unstableCount >= uint64(rm.s.cfg.Window) {
+			rm.noteBlocked()
+			return // wait for stability to free share/window
+		}
+		if rm.tokens < float64(size) {
+			rm.noteBlocked()
+			rm.scheduleRateTimer(size)
+			return
+		}
+		rm.tokens -= float64(size)
+		rm.outQ = rm.outQ[1:]
+		rm.sendBuf[c.seq] = c.wire
+		rm.sendBufBytes += size
+		rm.s.stats.Sent++
+		rm.s.transmit(c.wire)
+		rm.s.memb.sentSomething()
+		// Self-delivery: my own stream is received locally at send time.
+		if m, err := parseData(c.wire); err == nil {
+			rm.onData(m)
+		}
+	}
+	rm.clearBlocked()
+}
+
+func (rm *relMcast) noteBlocked() {
+	if !rm.blocked {
+		rm.blocked = true
+		rm.blockedAt = rm.s.rt.Now()
+		rm.s.stats.Blocked++
+	}
+}
+
+func (rm *relMcast) clearBlocked() {
+	if rm.blocked {
+		rm.blocked = false
+		rm.s.stats.BlockedTime += rm.s.rt.Now() - rm.blockedAt
+	}
+}
+
+func (rm *relMcast) refillTokens() {
+	now := rm.s.rt.Now()
+	dt := now - rm.lastRefill
+	if dt <= 0 {
+		return
+	}
+	rm.lastRefill = now
+	burst := float64(max(2*rm.s.cfg.MaxPacket, int(rm.s.cfg.RateBps/50)))
+	rm.tokens += float64(rm.s.cfg.RateBps) * dt.Seconds()
+	if rm.tokens > burst {
+		rm.tokens = burst
+	}
+}
+
+func (rm *relMcast) scheduleRateTimer(need int) {
+	if rm.rateTimer != nil {
+		return
+	}
+	deficit := float64(need) - rm.tokens
+	wait := sim.FromSeconds(deficit / float64(rm.s.cfg.RateBps))
+	if wait < sim.Microsecond {
+		wait = sim.Microsecond
+	}
+	rm.rateTimer = rm.s.rt.Schedule(wait, func() {
+		rm.rateTimer = nil
+		rm.drain()
+	})
+}
+
+// freeze suspends first transmissions during a view-change flush. Repair
+// traffic (NACK service) continues.
+func (rm *relMcast) freeze() { rm.frozen = true }
+
+// unfreeze resumes transmissions after a view is installed.
+func (rm *relMcast) unfreeze() {
+	rm.frozen = false
+	rm.drain()
+}
+
+// onData handles an incoming (or self-delivered) stream chunk: duplicate
+// filtering, FIFO advance, gap detection.
+func (rm *relMcast) onData(m *dataMsg) {
+	ps := rm.peer(m.Sender)
+	if ps.excluded || m.Seq < ps.recvNext {
+		return
+	}
+	if _, dup := ps.recvBuf[m.Seq]; dup {
+		return
+	}
+	if ps.recvBuf == nil {
+		ps.recvBuf = make(map[uint64]*dataMsg)
+	}
+	ps.recvBuf[m.Seq] = m
+	if m.Seq > ps.maxSeen {
+		ps.maxSeen = m.Seq
+	}
+	for {
+		next, ok := ps.recvBuf[ps.recvNext]
+		if !ok {
+			break
+		}
+		rm.fifoDeliver(ps, next)
+		ps.recvNext++
+	}
+	if ps.recvNext <= ps.maxSeen {
+		rm.armNackTimer(ps)
+	}
+	rm.s.memb.dataProgress()
+}
+
+// armNackTimer schedules gap repair for a peer's stream.
+func (rm *relMcast) armNackTimer(ps *peerState) {
+	if ps.nackTimer != nil {
+		return
+	}
+	ps.nackTimer = rm.s.rt.Schedule(rm.s.cfg.NackDelay, func() {
+		ps.nackTimer = nil
+		rm.repairGaps(ps)
+	})
+}
+
+// repairGaps sends a NACK listing missing ranges and re-arms while gaps
+// persist (receiver-initiated repair).
+func (rm *relMcast) repairGaps(ps *peerState) {
+	if rm.s.stopped || ps.excluded || ps.recvNext > ps.maxSeen {
+		return
+	}
+	var ranges []seqRange
+	var from uint64
+	inGap := false
+	for seq := ps.recvNext; seq <= ps.maxSeen && len(ranges) < 16; seq++ {
+		_, have := ps.recvBuf[seq]
+		if !have && !inGap {
+			inGap = true
+			from = seq
+		}
+		if have && inGap {
+			inGap = false
+			ranges = append(ranges, seqRange{From: from, To: seq - 1})
+		}
+	}
+	if inGap && len(ranges) < 16 {
+		ranges = append(ranges, seqRange{From: from, To: ps.maxSeen})
+	}
+	if len(ranges) == 0 {
+		return
+	}
+	rm.s.rt.Charge(rm.s.cfg.Costs.PerNack)
+	nack := nackMsg{Target: ps.id, Ranges: ranges}
+	target := ps.repairTarget
+	if target == rm.s.cfg.Self || target == 0 {
+		target = ps.id
+	}
+	rm.s.stats.Nacks++
+	rm.s.transmitTo(target, nack.marshal(make([]byte, 0, 7+16*len(ranges))))
+	// Re-arm: keep nagging until the gap closes.
+	ps.nackTimer = rm.s.rt.Schedule(rm.s.cfg.RetransPeriod, func() {
+		ps.nackTimer = nil
+		rm.repairGaps(ps)
+	})
+}
+
+// learnHorizon records that p's stream extends at least to seq (learned from
+// gossip) and arms repair if we're missing part of it.
+func (rm *relMcast) learnHorizon(p NodeID, seq uint64) {
+	ps := rm.peer(p)
+	if ps.excluded {
+		return
+	}
+	if seq > ps.maxSeen {
+		ps.maxSeen = seq
+	}
+	if ps.recvNext <= ps.maxSeen {
+		rm.armNackTimer(ps)
+	}
+}
+
+// requestRepairTo raises the known horizon of p's stream to target and
+// directs NACKs at holder (view-change flush repair).
+func (rm *relMcast) requestRepairTo(p NodeID, target uint64, holder NodeID) {
+	ps := rm.peer(p)
+	if target > ps.maxSeen {
+		ps.maxSeen = target
+	}
+	ps.repairTarget = holder
+	if ps.recvNext <= ps.maxSeen {
+		rm.repairGaps(ps)
+	}
+}
+
+// onNack serves retransmissions from the send buffer (own stream) or the
+// receive buffer (relaying another member's stream during flush).
+func (rm *relMcast) onNack(src NodeID, m *nackMsg) {
+	if m.Target == rm.s.cfg.Self {
+		for _, r := range m.Ranges {
+			for seq := r.From; seq <= r.To; seq++ {
+				wire, ok := rm.sendBuf[seq]
+				if !ok {
+					continue
+				}
+				rt := make([]byte, len(wire))
+				copy(rt, wire)
+				rt[0] = kindRetrans
+				rm.s.stats.Retransmits++
+				rm.s.rt.Charge(rm.s.cfg.Costs.PerRetrans)
+				rm.s.transmitTo(src, rt)
+			}
+		}
+		return
+	}
+	ps := rm.peers[m.Target]
+	if ps == nil {
+		return
+	}
+	for _, r := range m.Ranges {
+		for seq := r.From; seq <= r.To; seq++ {
+			dm, ok := ps.recvBuf[seq]
+			if !ok {
+				continue
+			}
+			rm.s.stats.Retransmits++
+			rm.s.rt.Charge(rm.s.cfg.Costs.PerRetrans)
+			rm.s.transmitTo(src, dm.marshal(kindRetrans, make([]byte, 0, dataHeader+len(dm.Data))))
+		}
+	}
+}
+
+// fifoDeliver advances a sender's FIFO stream by one chunk, reassembling
+// fragmented messages and routing complete ones upward.
+func (rm *relMcast) fifoDeliver(ps *peerState, m *dataMsg) {
+	switch m.Frag {
+	case fragFull:
+		rm.complete(ps.id, m.Seq, m.Seq, m.Payload, m.Data)
+	case fragFirst:
+		ps.reasmActive = true
+		ps.reasmMsgID = m.Seq
+		ps.reasmKind = m.Payload
+		ps.reasm = append(ps.reasm[:0], m.Data...)
+	case fragMid:
+		if ps.reasmActive {
+			ps.reasm = append(ps.reasm, m.Data...)
+		}
+	case fragLast:
+		if ps.reasmActive {
+			ps.reasm = append(ps.reasm, m.Data...)
+			data := make([]byte, len(ps.reasm))
+			copy(data, ps.reasm)
+			ps.reasmActive = false
+			rm.complete(ps.id, ps.reasmMsgID, m.Seq, ps.reasmKind, data)
+		}
+	}
+}
+
+// complete routes a fully reassembled message to the total order layer.
+func (rm *relMcast) complete(sender NodeID, msgID, lastSeq uint64, payloadKind byte, data []byte) {
+	switch payloadKind {
+	case payloadApp:
+		rm.s.to.onAppData(sender, msgID, lastSeq, data)
+	case payloadSeq:
+		assigns, err := parseAssigns(data)
+		if err != nil {
+			return
+		}
+		rm.s.to.onAssigns(assigns)
+	}
+}
+
+// gcStable discards buffered messages of p's stream up to seq, releasing
+// sender buffer share when p is self. Stability only ever advances over
+// contiguous prefixes received by all members, so this is safe.
+func (rm *relMcast) gcStable(p NodeID, upto uint64) {
+	ps := rm.peer(p)
+	if upto <= ps.stableUpto {
+		return
+	}
+	for seq := ps.stableUpto + 1; seq <= upto; seq++ {
+		delete(ps.recvBuf, seq)
+	}
+	ps.stableUpto = upto
+	if p == rm.s.cfg.Self && upto > rm.stableSelf {
+		for seq := rm.stableSelf + 1; seq <= upto; seq++ {
+			if wire, ok := rm.sendBuf[seq]; ok {
+				rm.sendBufBytes -= len(wire)
+				delete(rm.sendBuf, seq)
+			}
+		}
+		rm.stableSelf = upto
+		rm.drain() // share freed: release any blocked chunks
+	}
+}
+
+// excludePeer truncates a crashed member's stream beyond the flush target
+// and stops expecting traffic from it.
+func (rm *relMcast) excludePeer(p NodeID, upto uint64) {
+	ps := rm.peer(p)
+	ps.excluded = true
+	for seq := upto + 1; seq <= ps.maxSeen; seq++ {
+		delete(ps.recvBuf, seq)
+	}
+	if ps.maxSeen > upto {
+		ps.maxSeen = upto
+	}
+	if ps.reasmActive {
+		ps.reasmActive = false
+		ps.reasm = ps.reasm[:0]
+	}
+	if ps.nackTimer != nil {
+		ps.nackTimer.Cancel()
+		ps.nackTimer = nil
+	}
+}

@@ -1,0 +1,172 @@
+package gcs
+
+import "repro/internal/runtimeapi"
+
+// stability implements the scalable stability detection protocol of
+// Section 3.4: asynchronous rounds gossiping (i) a vector S of sequence
+// numbers of known stable messages, (ii) a set W of processes that have
+// voted in the current round, and (iii) a vector M of sequence numbers of
+// messages already received by all voters. When W includes all operational
+// processes, S is updated from M. Because each member contributes its
+// contiguous received prefix, a round can only garbage collect contiguous
+// sequences of messages received by all participants — the property behind
+// the paper's observed blocking under independent random loss.
+type stability struct {
+	s      *Stack
+	round  uint64
+	w      uint32
+	m      map[NodeID]uint64 // min contiguous among voters
+	stable map[NodeID]uint64 // S
+	timer  runtimeapi.Timer
+}
+
+func newStability(s *Stack) *stability {
+	st := &stability{
+		s:      s,
+		stable: make(map[NodeID]uint64),
+	}
+	st.beginRound(1)
+	return st
+}
+
+// startTimer begins periodic gossip.
+func (st *stability) startTimer() { st.scheduleTick() }
+
+func (st *stability) scheduleTick() {
+	st.timer = st.s.rt.Schedule(st.s.cfg.StabilityPeriod, func() {
+		st.tick()
+		if !st.s.stopped {
+			st.scheduleTick()
+		}
+	})
+}
+
+// beginRound resets round state with only the local vote.
+func (st *stability) beginRound(r uint64) {
+	st.round = r
+	st.w = 1 << uint(st.s.rank)
+	st.m = st.localContig()
+}
+
+// localContig snapshots this member's contiguous received prefix per sender.
+func (st *stability) localContig() map[NodeID]uint64 {
+	m := make(map[NodeID]uint64, len(st.s.view.Members))
+	for _, p := range st.s.view.Members {
+		m[p] = st.s.rm.contiguous(p)
+	}
+	return m
+}
+
+// fullMask is the voter bitmask covering all current view members.
+func (st *stability) fullMask() uint32 {
+	return (1 << uint(len(st.s.view.Members))) - 1
+}
+
+// tick gossips the current round state to the group.
+func (st *stability) tick() {
+	if st.s.stopped {
+		return
+	}
+	g := gossipMsg{
+		ViewID: st.s.view.ID,
+		Round:  st.round,
+		W:      st.w,
+		M:      st.vector(st.m),
+		S:      st.vector(st.stable),
+		H:      st.vector(st.localContig()),
+	}
+	st.s.stats.Gossips++
+	st.s.transmit(g.marshal(make([]byte, 0, 19+24*len(st.s.view.Members))))
+	st.s.memb.sentSomething()
+}
+
+// vector orders a per-member map by current view member order for the wire.
+func (st *stability) vector(m map[NodeID]uint64) []uint64 {
+	v := make([]uint64, len(st.s.view.Members))
+	for i, p := range st.s.view.Members {
+		v[i] = m[p]
+	}
+	return v
+}
+
+// onGossip merges a peer's round state.
+func (st *stability) onGossip(g *gossipMsg) {
+	if g.ViewID != st.s.view.ID || len(g.M) != len(st.s.view.Members) {
+		return
+	}
+	st.s.rt.Charge(st.s.cfg.Costs.PerGossip)
+	// Stability knowledge is monotone: always merge S.
+	advanced := false
+	for i, p := range st.s.view.Members {
+		if g.S[i] > st.stable[p] {
+			st.stable[p] = g.S[i]
+			advanced = true
+		}
+	}
+	// Learn stream horizons: another member has received further into p's
+	// stream than we have — a tail loss no data packet would reveal.
+	if len(g.H) == len(st.s.view.Members) {
+		for i, p := range st.s.view.Members {
+			if p == st.s.cfg.Self {
+				continue
+			}
+			if g.H[i] > st.s.rm.contiguous(p) {
+				st.s.rm.learnHorizon(p, g.H[i])
+			}
+		}
+	}
+	switch {
+	case g.Round > st.round:
+		// Join the newer round: adopt its state plus my vote.
+		st.round = g.Round
+		st.w = g.W | 1<<uint(st.s.rank)
+		st.m = st.minMerge(g.M, st.localContig())
+	case g.Round == st.round:
+		st.w |= g.W
+		st.m = st.minMerge(g.M, st.m)
+	}
+	if st.w == st.fullMask() {
+		// Round complete: everything in M is stable.
+		for _, p := range st.s.view.Members {
+			if st.m[p] > st.stable[p] {
+				st.stable[p] = st.m[p]
+				advanced = true
+			}
+		}
+		st.beginRound(st.round + 1)
+	}
+	if advanced {
+		st.gcAdvance()
+	}
+}
+
+// minMerge combines a wire vector with a local map, taking elementwise
+// minima (messages received by *all* voters).
+func (st *stability) minMerge(wire []uint64, local map[NodeID]uint64) map[NodeID]uint64 {
+	out := make(map[NodeID]uint64, len(st.s.view.Members))
+	for i, p := range st.s.view.Members {
+		v := wire[i]
+		if lv, ok := local[p]; ok && lv < v {
+			v = lv
+		}
+		out[p] = v
+	}
+	return out
+}
+
+// gcAdvance releases buffers for newly stable prefixes.
+func (st *stability) gcAdvance() {
+	for _, p := range st.s.view.Members {
+		st.s.rm.gcStable(p, st.stable[p])
+	}
+}
+
+// resetForView restarts rounds over the new membership. Stable knowledge for
+// surviving members carries over.
+func (st *stability) resetForView() {
+	st.beginRound(1)
+}
+
+// stableSeq reports the known-stable prefix of p's stream (for tests and
+// introspection).
+func (st *stability) stableSeq(p NodeID) uint64 { return st.stable[p] }

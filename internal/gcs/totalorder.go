@@ -1,0 +1,205 @@
+package gcs
+
+import "sort"
+
+// totalOrder implements the fixed sequencer protocol (Section 3.4): the
+// first member of the current view issues global sequence numbers for
+// application messages; all members buffer and deliver messages according to
+// those numbers. Sequencing assignments travel through the reliable
+// multicast layer as messages of the sequencer's own stream — which is why
+// the sequencer multicasts far more messages than other members and is the
+// first to exhaust its buffer share when stability stalls (Section 5.3).
+type totalOrder struct {
+	s *Stack
+
+	nextGlobal  uint64 // sequencer only: next number to assign
+	maxAssigned uint64
+	nextDeliver uint64            // all members: delivered up to here
+	order       map[uint64]msgKey // global -> message
+	assigned    map[msgKey]bool
+	pending     map[msgKey]pendingMsg
+
+	// Optimistic delivery bookkeeping: arrival positions, compared with
+	// the final order to count mispredictions.
+	optSeq     uint64
+	optIndex   map[msgKey]uint64
+	lastOptFin uint64
+
+	batch          []seqAssign
+	batchScheduled bool
+}
+
+type msgKey struct {
+	sender NodeID
+	msgID  uint64 // sequence number of the message's first chunk
+}
+
+type pendingMsg struct {
+	data    []byte
+	lastSeq uint64 // sequence number of the message's last chunk
+}
+
+func newTotalOrder(s *Stack) *totalOrder {
+	return &totalOrder{
+		s:        s,
+		order:    make(map[uint64]msgKey),
+		assigned: make(map[msgKey]bool),
+		pending:  make(map[msgKey]pendingMsg),
+		optIndex: make(map[msgKey]uint64),
+	}
+}
+
+// onAppData receives a complete (reassembled) application message from the
+// reliable layer, in per-sender FIFO order.
+func (to *totalOrder) onAppData(sender NodeID, msgID, lastSeq uint64, data []byte) {
+	key := msgKey{sender: sender, msgID: msgID}
+	to.pending[key] = pendingMsg{data: data, lastSeq: lastSeq}
+	if to.s.onOpt != nil {
+		// Optimistic total order: tentatively deliver in spontaneous
+		// (arrival) order, before the sequencer's assignment.
+		to.optSeq++
+		to.optIndex[key] = to.optSeq
+		to.s.stats.Optimistic++
+		to.s.onOpt(OptDelivery{Sender: sender, MsgID: msgID, Payload: data})
+	}
+	if to.s.IsSequencer() && !to.assigned[key] {
+		to.assign(key)
+	}
+	to.tryDeliver()
+}
+
+// assign issues the next global sequence number and batches the
+// announcement.
+func (to *totalOrder) assign(key msgKey) {
+	to.s.rt.Charge(to.s.cfg.Costs.PerAssign)
+	g := to.nextGlobal + 1
+	to.nextGlobal = g
+	if g > to.maxAssigned {
+		to.maxAssigned = g
+	}
+	to.order[g] = key
+	to.assigned[key] = true
+	to.batch = append(to.batch, seqAssign{Sender: key.sender, Seq: key.msgID, Global: g})
+	if !to.batchScheduled {
+		to.batchScheduled = true
+		to.s.rt.Schedule(0, to.flushBatch)
+	}
+}
+
+// flushBatch multicasts accumulated assignments as one message of the
+// sequencer's stream.
+func (to *totalOrder) flushBatch() {
+	to.batchScheduled = false
+	if len(to.batch) == 0 || to.s.stopped {
+		return
+	}
+	payload := marshalAssigns(to.batch)
+	to.batch = to.batch[:0]
+	to.s.rm.cast(payloadSeq, payload)
+}
+
+// onAssigns records ordering announcements from the sequencer.
+func (to *totalOrder) onAssigns(assigns []seqAssign) {
+	for _, a := range assigns {
+		key := msgKey{sender: a.Sender, msgID: a.Seq}
+		if to.assigned[key] {
+			continue // sequencer hearing its own announcement
+		}
+		to.order[a.Global] = key
+		to.assigned[key] = true
+		if a.Global > to.maxAssigned {
+			to.maxAssigned = a.Global
+		}
+	}
+	to.tryDeliver()
+}
+
+// tryDeliver hands messages to the application in global sequence order,
+// whenever both the order assignment and the message body are present.
+func (to *totalOrder) tryDeliver() {
+	for {
+		key, ok := to.order[to.nextDeliver+1]
+		if !ok {
+			return
+		}
+		pm, have := to.pending[key]
+		if !have {
+			return
+		}
+		to.nextDeliver++
+		delete(to.pending, key)
+		delete(to.order, to.nextDeliver)
+		if to.s.onOpt != nil {
+			if idx, ok := to.optIndex[key]; ok {
+				if idx < to.lastOptFin {
+					to.s.stats.Mispredicted++
+				} else {
+					to.lastOptFin = idx
+				}
+				delete(to.optIndex, key)
+			}
+		}
+		to.s.deliver(Delivery{Global: to.nextDeliver, Sender: key.sender, Payload: pm.data})
+	}
+}
+
+// onInstall re-establishes total order across a view change. When the old
+// sequencer left the view, all members deterministically order the leftover
+// messages — those fully covered by the flush targets but never assigned —
+// and the new sequencer takes over numbering. Messages from excluded members
+// beyond the flush target are discarded identically everywhere.
+func (to *totalOrder) onInstall(oldSequencerGone bool, targets map[NodeID]uint64) {
+	if !oldSequencerGone {
+		return
+	}
+	var leftovers []msgKey
+	for key, pm := range to.pending {
+		if to.assigned[key] {
+			continue
+		}
+		t, hadTarget := targets[key.sender]
+		inView := to.s.view.Contains(key.sender)
+		switch {
+		case hadTarget && pm.lastSeq <= t:
+			leftovers = append(leftovers, key)
+		case !inView:
+			// From an excluded member, beyond the flush target:
+			// other members may not have it. Drop.
+			delete(to.pending, key)
+		}
+		// Messages from surviving members beyond the target stay
+		// pending; the new sequencer assigns them below or on arrival.
+	}
+	sort.Slice(leftovers, func(i, j int) bool {
+		if leftovers[i].sender != leftovers[j].sender {
+			return leftovers[i].sender < leftovers[j].sender
+		}
+		return leftovers[i].msgID < leftovers[j].msgID
+	})
+	for _, key := range leftovers {
+		to.maxAssigned++
+		to.order[to.maxAssigned] = key
+		to.assigned[key] = true
+	}
+	to.nextGlobal = to.maxAssigned
+	if to.s.IsSequencer() {
+		// Take over numbering: assign surviving members' pending
+		// messages that nobody ordered, in deterministic order.
+		var rest []msgKey
+		for key := range to.pending {
+			if !to.assigned[key] && to.s.view.Contains(key.sender) {
+				rest = append(rest, key)
+			}
+		}
+		sort.Slice(rest, func(i, j int) bool {
+			if rest[i].sender != rest[j].sender {
+				return rest[i].sender < rest[j].sender
+			}
+			return rest[i].msgID < rest[j].msgID
+		})
+		for _, key := range rest {
+			to.assign(key)
+		}
+	}
+	to.tryDeliver()
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleSummary(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	// Sample (n-1) stddev of this classic dataset is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev()-want) > 1e-9 {
+		t.Fatalf("StdDev = %v, want %v", s.StdDev(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatal("min/max wrong")
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Quantile(0.5) != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	if s.ECDFPoints(10) != nil {
+		t.Fatal("empty sample should produce no ECDF points")
+	}
+}
+
+func TestSampleECDF(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := s.ECDF(c.x); got != c.want {
+			t.Fatalf("ECDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestSampleECDFPointsMonotone(t *testing.T) {
+	var s Sample
+	for i := 0; i < 100; i++ {
+		s.Add(float64((i * 37) % 100))
+	}
+	pts := s.ECDFPoints(20)
+	if len(pts) != 20 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].Y < pts[i-1].Y {
+			t.Fatal("ECDF points must be monotone")
+		}
+	}
+	if pts[len(pts)-1].Y != 1 {
+		t.Fatalf("last ECDF y = %v, want 1", pts[len(pts)-1].Y)
+	}
+}
+
+func TestQQIdenticalSamplesOnDiagonal(t *testing.T) {
+	var a, b Sample
+	for i := 0; i < 500; i++ {
+		v := float64(i % 53)
+		a.Add(v)
+		b.Add(v)
+	}
+	for _, p := range QQ(&a, &b, 25) {
+		if math.Abs(p.X-p.Y) > 1e-9 {
+			t.Fatalf("QQ point off diagonal: %+v", p)
+		}
+	}
+}
+
+func TestQQShiftedSamples(t *testing.T) {
+	var a, b Sample
+	for i := 0; i < 100; i++ {
+		a.Add(float64(i))
+		b.Add(float64(i) + 10)
+	}
+	for _, p := range QQ(&a, &b, 10) {
+		if math.Abs(p.Y-p.X-10) > 1e-9 {
+			t.Fatalf("expected constant shift, got %+v", p)
+		}
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{9, 1, 5, 5, 3, 7, 2} {
+		s.Add(v)
+	}
+	f := func(a, b float64) bool {
+		qa := math.Abs(math.Mod(a, 1))
+		qb := math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return s.Quantile(qa) <= s.Quantile(qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsageMeter(t *testing.T) {
+	u := NewUsageMeter()
+	u.AddBusy("sim", 500)
+	u.AddBusy("real", 250)
+	u.AddBusy("sim", 250)
+	if u.Busy("sim") != 750 {
+		t.Fatalf("sim busy = %d", u.Busy("sim"))
+	}
+	if u.TotalBusy() != 1000 {
+		t.Fatalf("total busy = %d", u.TotalBusy())
+	}
+	if got := u.Utilization(2000, 1); got != 50 {
+		t.Fatalf("utilization = %v, want 50", got)
+	}
+	if got := u.Utilization(1000, 2); got != 50 {
+		t.Fatalf("2-unit utilization = %v, want 50", got)
+	}
+	if got := u.ClassUtilization("real", 1000, 1); got != 25 {
+		t.Fatalf("class utilization = %v, want 25", got)
+	}
+	u.AddBusy("sim", -5) // ignored
+	if u.Busy("sim") != 750 {
+		t.Fatal("negative busy must be ignored")
+	}
+}
+
+func TestByteMeter(t *testing.T) {
+	var b ByteMeter
+	b.Add(1024 * 10)
+	if got := b.KBPerSec(1e9); got != 10 {
+		t.Fatalf("KBPerSec = %v", got)
+	}
+	var m ByteMeter
+	m.Add(1e6 / 8) // 1 Mbit
+	if got := m.MBitPerSec(1e9); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("MBitPerSec = %v", got)
+	}
+	m.Add(-1)
+	if m.Bytes() != 1e6/8 {
+		t.Fatal("negative add must be ignored")
+	}
+}
+
+func TestRateAndFormat(t *testing.T) {
+	if Rate(1, 4) != 25 {
+		t.Fatalf("Rate = %v", Rate(1, 4))
+	}
+	if Rate(1, 0) != 0 {
+		t.Fatal("Rate with zero denominator must be 0")
+	}
+	if FormatPct(12.345) != "12.35" && FormatPct(12.345) != "12.34" {
+		t.Fatalf("FormatPct = %q", FormatPct(12.345))
+	}
+}

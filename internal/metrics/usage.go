@@ -1,0 +1,87 @@
+package metrics
+
+// UsageMeter integrates busy time of a resource (CPU, disk, link) over
+// simulated time so utilization can be reported exactly, not sampled.
+// The paper's Figure 6 reports average usage of CPUs and disk bandwidth; we
+// accumulate busy nanoseconds and divide by elapsed nanoseconds per class of
+// work ("simulated" transaction processing versus "real" protocol jobs).
+type UsageMeter struct {
+	busyByClass map[string]int64 // nanoseconds busy, per work class
+}
+
+// NewUsageMeter returns an empty meter.
+func NewUsageMeter() *UsageMeter {
+	return &UsageMeter{busyByClass: make(map[string]int64)}
+}
+
+// AddBusy accrues busy nanoseconds attributed to a class of work.
+func (u *UsageMeter) AddBusy(class string, ns int64) {
+	if ns < 0 {
+		return
+	}
+	u.busyByClass[class] += ns
+}
+
+// Busy reports accumulated busy nanoseconds for one class.
+func (u *UsageMeter) Busy(class string) int64 { return u.busyByClass[class] }
+
+// TotalBusy reports accumulated busy nanoseconds over all classes.
+func (u *UsageMeter) TotalBusy() int64 {
+	var t int64
+	for _, v := range u.busyByClass {
+		t += v
+	}
+	return t
+}
+
+// Utilization reports total busy time as a percentage of elapsed time
+// multiplied by capacity units (e.g. number of CPUs).
+func (u *UsageMeter) Utilization(elapsedNS int64, units int) float64 {
+	if elapsedNS <= 0 || units <= 0 {
+		return 0
+	}
+	return 100 * float64(u.TotalBusy()) / (float64(elapsedNS) * float64(units))
+}
+
+// ClassUtilization reports busy time of one class as a percentage of elapsed
+// time multiplied by capacity units.
+func (u *UsageMeter) ClassUtilization(class string, elapsedNS int64, units int) float64 {
+	if elapsedNS <= 0 || units <= 0 {
+		return 0
+	}
+	return 100 * float64(u.Busy(class)) / (float64(elapsedNS) * float64(units))
+}
+
+// ByteMeter counts bytes moved on a resource (network link, disk) so that
+// sustained bandwidth can be reported.
+type ByteMeter struct {
+	bytes int64
+}
+
+// Add accrues n bytes.
+func (b *ByteMeter) Add(n int) {
+	if n > 0 {
+		b.bytes += int64(n)
+	}
+}
+
+// Bytes reports the total.
+func (b *ByteMeter) Bytes() int64 { return b.bytes }
+
+// KBPerSec reports throughput in kilobytes per second over elapsed
+// nanoseconds, as plotted in the paper's Figure 6(c).
+func (b *ByteMeter) KBPerSec(elapsedNS int64) float64 {
+	if elapsedNS <= 0 {
+		return 0
+	}
+	return float64(b.bytes) / 1024 / (float64(elapsedNS) / 1e9)
+}
+
+// MBitPerSec reports throughput in megabits per second, as plotted in the
+// paper's Figure 3 validation graphs.
+func (b *ByteMeter) MBitPerSec(elapsedNS int64) float64 {
+	if elapsedNS <= 0 {
+		return 0
+	}
+	return float64(b.bytes) * 8 / 1e6 / (float64(elapsedNS) / 1e9)
+}

@@ -1,0 +1,188 @@
+// Package replica glues one site's database server to the replication
+// prototypes: it is the distributed termination path of Section 3.3. Update
+// transactions entering the committing stage are marshaled and atomically
+// multicast through the group communication stack; upon delivery each
+// replica runs the deterministic certification procedure and either installs
+// the write-set (remote transactions) or resolves the local transaction.
+package replica
+
+import (
+	"repro/internal/db"
+	"repro/internal/dbsm"
+	"repro/internal/gcs"
+	"repro/internal/runtimeapi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Options tune the replica glue.
+type Options struct {
+	// ReadSetThreshold upgrades large read-sets to table locks before
+	// multicasting (0 disables).
+	ReadSetThreshold int
+	// CertCostPerItem is the CPU cost per identifier comparison during
+	// certification (real-code cost model). Defaults to 40ns.
+	CertCostPerItem sim.Time
+	// MarshalCostPerByte is the CPU cost per marshaled byte. Defaults to
+	// 2ns.
+	MarshalCostPerByte float64
+	// MaxHistory bounds the certifier's retained write-sets. Pruning is
+	// deterministic across replicas (a pure function of the certified
+	// stream). Defaults to 50000.
+	MaxHistory int
+	// Replicates, when set, enables partial replication (the paper's
+	// Section 5.2 mitigation for the read-one/write-all disk bottleneck,
+	// evaluated as ongoing work in Section 7): only tuples for which it
+	// returns true are stored — and written back — at this site.
+	// Certification remains global, so the safety property is untouched;
+	// only the write-back fan-out shrinks.
+	Replicates func(dbsm.TupleID) bool
+}
+
+func (o *Options) fill() {
+	if o.CertCostPerItem == 0 {
+		o.CertCostPerItem = 40 * sim.Nanosecond
+	}
+	if o.MarshalCostPerByte == 0 {
+		o.MarshalCostPerByte = 2
+	}
+	if o.MaxHistory == 0 {
+		o.MaxHistory = 50000
+	}
+}
+
+// Replica wires a server into the group.
+type Replica struct {
+	rt     runtimeapi.Runtime
+	stack  *gcs.Stack
+	server *db.Server
+	cert   *dbsm.Certifier
+	site   dbsm.SiteID
+	opts   Options
+
+	commitLog trace.CommitLog
+	delivered int64
+	stopped   bool
+}
+
+// New builds the replica glue and installs its hooks on the stack and the
+// server. Call Start after the stack has started.
+func New(rt runtimeapi.Runtime, stack *gcs.Stack, server *db.Server, opts Options) *Replica {
+	opts.fill()
+	r := &Replica{
+		rt:     rt,
+		stack:  stack,
+		server: server,
+		cert:   dbsm.NewCertifier(),
+		site:   server.Site(),
+		opts:   opts,
+	}
+	r.cert.Charge = func(items int) {
+		rt.Charge(sim.Time(items) * opts.CertCostPerItem)
+	}
+	r.cert.MaxHistory = opts.MaxHistory
+	server.SetTerminator(r.terminate)
+	stack.OnDeliver(r.onDeliver)
+	if opts.Replicates != nil {
+		server.SectorFilter = func(ws dbsm.ItemSet) int {
+			n := r.replicatedCount(ws)
+			if n < 1 {
+				n = 1 // the commit record itself
+			}
+			return n
+		}
+	}
+	return r
+}
+
+// replicatedCount reports how many of the write-set's rows this site stores.
+func (r *Replica) replicatedCount(ws dbsm.ItemSet) int {
+	n := 0
+	for _, id := range ws {
+		if r.opts.Replicates(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// Start completes initialization (reserved for future periodic work).
+func (r *Replica) Start() {}
+
+// Stop ceases activity (site crash).
+func (r *Replica) Stop() { r.stopped = true }
+
+// CommitLog exposes the site's committed sequence for the off-line safety
+// check.
+func (r *Replica) CommitLog() *trace.CommitLog { return &r.commitLog }
+
+// Certifier exposes the certification state (tests, introspection).
+func (r *Replica) Certifier() *dbsm.Certifier { return r.cert }
+
+// Delivered reports totally-ordered deliveries processed.
+func (r *Replica) Delivered() int64 { return r.delivered }
+
+// terminate is the server's distributed termination hook: gather the
+// transaction's sets and values and atomically multicast them. The hook is
+// invoked from simulated-job context; the marshaling and multicast run as a
+// real job so their cost occupies the CPU.
+func (r *Replica) terminate(t *db.Txn) {
+	if r.stopped {
+		return
+	}
+	r.rt.Schedule(0, func() {
+		if r.stopped {
+			return
+		}
+		tc := t.CertInfo(r.site, r.opts.ReadSetThreshold)
+		wire := tc.Marshal()
+		r.rt.Charge(sim.Time(r.opts.MarshalCostPerByte * float64(len(wire))))
+		r.stack.Multicast(wire)
+	})
+}
+
+// onDeliver processes one totally-ordered certification message: certify,
+// then install or resolve. This runs identically — and decides identically —
+// at every replica.
+func (r *Replica) onDeliver(d gcs.Delivery) {
+	if r.stopped {
+		return
+	}
+	tc, err := dbsm.Unmarshal(d.Payload)
+	if err != nil {
+		return
+	}
+	r.delivered++
+	r.rt.Charge(sim.Time(r.opts.MarshalCostPerByte * float64(len(d.Payload))))
+	out := r.cert.Certify(tc)
+	if out.Commit {
+		r.commitLog.Append(out.Seq, tc.TID)
+	}
+	if tc.Site == r.site {
+		r.server.ResolveLocal(tc.TID, out.Commit, out.Seq)
+		return
+	}
+	if !out.Commit {
+		return
+	}
+	if r.opts.Replicates != nil {
+		// Partial replication: install only the locally-stored rows.
+		// Sites storing nothing from this transaction skip the apply
+		// entirely (no locks, no disk) — the mitigated write fan-out.
+		local := make(dbsm.ItemSet, 0, len(tc.WriteSet))
+		for _, id := range tc.WriteSet {
+			if r.opts.Replicates(id) {
+				local = append(local, id)
+			}
+		}
+		if len(local) == 0 {
+			r.server.NoteApplied(out.Seq)
+			return
+		}
+		filtered := *tc
+		filtered.WriteSet = local
+		r.server.ApplyRemote(&filtered, out.Seq)
+		return
+	}
+	r.server.ApplyRemote(tc, out.Seq)
+}

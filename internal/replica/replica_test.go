@@ -1,0 +1,183 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/csrt"
+	"repro/internal/db"
+	"repro/internal/dbsm"
+	"repro/internal/gcs"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// testSite bundles one replica's components.
+type testSite struct {
+	rt     *csrt.Runtime
+	server *db.Server
+	stack  *gcs.Stack
+	rep    *Replica
+}
+
+func buildCluster(t *testing.T, n int) (*sim.Kernel, []*testSite) {
+	t.Helper()
+	k := sim.NewKernel()
+	rng := sim.NewRNG(5)
+	net := simnet.NewNetwork(k, rng.Fork("net"))
+	lan := net.NewLAN(simnet.DefaultLANConfig("lan"))
+	members := make([]gcs.NodeID, n)
+	for i := range members {
+		members[i] = gcs.NodeID(i + 1)
+	}
+	net.SetGroup(1, members)
+	sites := make([]*testSite, 0, n)
+	for _, id := range members {
+		host, err := net.NewHost(id, lan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := csrt.NewRuntime(k, id, &csrt.ModelProfiler{}, net.Port(id, 1400),
+			csrt.DefaultCostParams(), rng.Fork(fmt.Sprintf("rt-%d", id)))
+		rt.Bind(csrt.NewCPUSet(1, k, nil))
+		host.SetDeliver(func(pkt *simnet.Packet) { rt.Deliver(pkt.Src, pkt.Data) })
+		storage := db.NewStorage(k, db.StorageConfig{}, rng.Fork(fmt.Sprintf("disk-%d", id)))
+		server := db.NewServer(k, dbsm.SiteID(id), rt.CPUs(), storage)
+		stack, err := gcs.New(rt, gcs.Config{Self: id, Members: members, Group: 1, UseMulticast: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := New(rt, stack, server, Options{})
+		stack.Start()
+		rep.Start()
+		sites = append(sites, &testSite{rt: rt, server: server, stack: stack, rep: rep})
+	}
+	return k, sites
+}
+
+func txnFor(tid uint64, item dbsm.TupleID) *db.Txn {
+	ws := dbsm.NewItemSet(item)
+	return &db.Txn{
+		TID:       tid,
+		Class:     "w",
+		Ops:       []db.Op{{Kind: db.OpProcess, CPU: 2 * sim.Millisecond}},
+		ReadSet:   ws.Clone(),
+		WriteSet:  ws,
+		CommitCPU: sim.Millisecond,
+	}
+}
+
+func TestLocalCommitPropagatesToAllReplicas(t *testing.T) {
+	k, sites := buildCluster(t, 3)
+	var outcome db.Outcome
+	txn := txnFor(dbsm.MakeTID(1, 1), dbsm.MakeTupleID(1, 5))
+	txn.Done = func(_ *db.Txn, o db.Outcome) { outcome = o }
+	txn.WriteBytes = 500
+	sites[0].server.Submit(txn)
+	if err := k.RunUntil(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if outcome != db.Committed {
+		t.Fatalf("outcome = %v", outcome)
+	}
+	for i, s := range sites {
+		if s.rep.Delivered() != 1 {
+			t.Fatalf("site %d delivered %d", i+1, s.rep.Delivered())
+		}
+		if s.rep.CommitLog().Len() != 1 {
+			t.Fatalf("site %d commit log %d", i+1, s.rep.CommitLog().Len())
+		}
+	}
+	// Remote replicas applied the write-set to their disks.
+	for _, s := range sites[1:] {
+		if s.server.RemoteApplied() != 1 {
+			t.Fatal("remote apply missing")
+		}
+		if s.server.Storage().Sectors() == 0 {
+			t.Fatal("remote apply wrote nothing")
+		}
+	}
+}
+
+func TestConcurrentConflictResolvedIdentically(t *testing.T) {
+	k, sites := buildCluster(t, 3)
+	hot := dbsm.MakeTupleID(1, 9)
+	outcomes := make([]db.Outcome, 2)
+	t1 := txnFor(dbsm.MakeTID(1, 1), hot)
+	t1.Done = func(_ *db.Txn, o db.Outcome) { outcomes[0] = o }
+	t2 := txnFor(dbsm.MakeTID(2, 1), hot)
+	t2.Done = func(_ *db.Txn, o db.Outcome) { outcomes[1] = o }
+	sites[0].server.Submit(t1)
+	sites[1].server.Submit(t2)
+	if err := k.RunUntil(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	committed := 0
+	for _, o := range outcomes {
+		if o == db.Committed {
+			committed++
+		}
+	}
+	if committed != 1 {
+		t.Fatalf("exactly one of two conflicting txns must commit; outcomes=%v", outcomes)
+	}
+	// All replicas agree on the single committed sequence.
+	logs := map[dbsm.SiteID]*trace.CommitLog{}
+	op := map[dbsm.SiteID]bool{}
+	for i, s := range sites {
+		logs[dbsm.SiteID(i+1)] = s.rep.CommitLog()
+		op[dbsm.SiteID(i+1)] = true
+	}
+	if err := trace.CheckConsistency(logs, op); err != nil {
+		t.Fatalf("logs diverged: %v", err)
+	}
+}
+
+func TestNonConflictingTxnsAllCommit(t *testing.T) {
+	k, sites := buildCluster(t, 3)
+	done := 0
+	for i := 0; i < 9; i++ {
+		txn := txnFor(dbsm.MakeTID(dbsm.SiteID(i%3+1), uint32(i)), dbsm.MakeTupleID(1, uint64(100+i)))
+		txn.Done = func(_ *db.Txn, o db.Outcome) {
+			if o == db.Committed {
+				done++
+			}
+		}
+		sites[i%3].server.Submit(txn)
+	}
+	if err := k.RunUntil(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if done != 9 {
+		t.Fatalf("committed %d of 9 disjoint txns", done)
+	}
+}
+
+func TestReplicaStopsOnCrash(t *testing.T) {
+	k, sites := buildCluster(t, 3)
+	sites[2].rep.Stop()
+	txn := txnFor(dbsm.MakeTID(1, 1), dbsm.MakeTupleID(1, 5))
+	var outcome db.Outcome
+	txn.Done = func(_ *db.Txn, o db.Outcome) { outcome = o }
+	sites[0].server.Submit(txn)
+	if err := k.RunUntil(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if outcome != db.Committed {
+		t.Fatalf("outcome = %v (stopped replica must not block others)", outcome)
+	}
+	if sites[2].rep.CommitLog().Len() != 0 {
+		t.Fatal("stopped replica still logging")
+	}
+}
+
+func TestCertifierHistoryBounded(t *testing.T) {
+	k, sites := buildCluster(t, 3)
+	// MaxHistory default is large; set small via options on a fresh
+	// replica is awkward mid-test, so check the wired default.
+	if sites[0].rep.Certifier().MaxHistory != 50000 {
+		t.Fatalf("default MaxHistory = %d", sites[0].rep.Certifier().MaxHistory)
+	}
+	_ = k
+}

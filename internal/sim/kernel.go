@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Priority orders events that share a timestamp. Lower values run first.
+// It exists so that infrastructure events (e.g. freeing a CPU) can be
+// ordered deterministically against user events at the same instant.
+type Priority int
+
+// Priority bands. The exact values are arbitrary; only relative order
+// matters. They are spaced so callers can slot custom bands in between.
+const (
+	PriorityHigh   Priority = 10
+	PriorityNormal Priority = 20
+	PriorityLow    Priority = 30
+)
+
+// EventID identifies a scheduled event so it can be cancelled.
+// The zero value is never a valid ID.
+type EventID int64
+
+// ErrHalted is returned by Run and RunUntil when the kernel was stopped
+// explicitly via Stop.
+var ErrHalted = errors.New("sim: kernel halted")
+
+type event struct {
+	at   Time
+	pri  Priority
+	seq  int64 // insertion order; tie-breaker for determinism
+	id   EventID
+	fn   func()
+	heap int // index in the heap, -1 once popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
+	return a.seq < b.seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heap = i
+	h[j].heap = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.heap = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.heap = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a single-threaded discrete-event scheduler.
+//
+// The zero value is not usable; construct with NewKernel. A Kernel must be
+// driven from a single goroutine; it performs no locking.
+type Kernel struct {
+	now      Time
+	events   eventHeap
+	nextSeq  int64
+	nextID   EventID
+	live     map[EventID]*event
+	halted   bool
+	running  bool
+	executed int64
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{live: make(map[EventID]*event)}
+}
+
+// Now reports the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed reports how many events have been dispatched so far.
+func (k *Kernel) Executed() int64 { return k.executed }
+
+// Pending reports how many events are currently scheduled.
+func (k *Kernel) Pending() int { return len(k.live) }
+
+// Schedule arranges for fn to run after delay (which may be zero) at normal
+// priority, returning an ID usable with Cancel. Negative delays are an
+// error: scheduling into the past would break causality, so Schedule panics,
+// as this always indicates a bug in the calling model.
+func (k *Kernel) Schedule(delay Time, fn func()) EventID {
+	return k.SchedulePri(delay, PriorityNormal, fn)
+}
+
+// ScheduleAt is Schedule with an absolute timestamp, which must not precede
+// the current time.
+func (k *Kernel) ScheduleAt(at Time, fn func()) EventID {
+	return k.SchedulePriAt(at, PriorityNormal, fn)
+}
+
+// SchedulePri is Schedule with an explicit priority band.
+func (k *Kernel) SchedulePri(delay Time, pri Priority, fn func()) EventID {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return k.SchedulePriAt(k.now+delay, pri, fn)
+}
+
+// SchedulePriAt is ScheduleAt with an explicit priority band.
+func (k *Kernel) SchedulePriAt(at Time, pri Priority, fn func()) EventID {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	k.nextSeq++
+	k.nextID++
+	ev := &event{at: at, pri: pri, seq: k.nextSeq, id: k.nextID, fn: fn}
+	heap.Push(&k.events, ev)
+	k.live[ev.id] = ev
+	return ev.id
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending (false if it already ran, was cancelled, or never existed).
+func (k *Kernel) Cancel(id EventID) bool {
+	ev, ok := k.live[id]
+	if !ok {
+		return false
+	}
+	delete(k.live, id)
+	if ev.heap >= 0 {
+		heap.Remove(&k.events, ev.heap)
+	}
+	ev.fn = nil
+	return true
+}
+
+// Step dispatches the next pending event, if any, and reports whether one
+// was dispatched.
+func (k *Kernel) Step() bool {
+	for len(k.events) > 0 {
+		ev := heap.Pop(&k.events).(*event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		delete(k.live, ev.id)
+		if ev.at < k.now {
+			panic(fmt.Sprintf("sim: time went backwards: event at %v, now %v", ev.at, k.now))
+		}
+		k.now = ev.at
+		k.executed++
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until none remain or Stop is called. It returns
+// ErrHalted if stopped, nil otherwise.
+func (k *Kernel) Run() error {
+	return k.RunUntil(Time(1<<63 - 1))
+}
+
+// RunUntil dispatches events with timestamps at or before limit. The clock
+// is left at the time of the last dispatched event (it does not jump to
+// limit). Returns ErrHalted if Stop was called.
+func (k *Kernel) RunUntil(limit Time) error {
+	if k.running {
+		return errors.New("sim: kernel already running")
+	}
+	k.running = true
+	k.halted = false
+	defer func() { k.running = false }()
+	for len(k.events) > 0 && !k.halted {
+		next := k.events[0]
+		if next.fn == nil {
+			heap.Pop(&k.events)
+			continue
+		}
+		if next.at > limit {
+			return nil
+		}
+		k.Step()
+	}
+	if k.halted {
+		return ErrHalted
+	}
+	return nil
+}
+
+// Stop halts Run/RunUntil after the current event completes. It is safe to
+// call from within an event handler.
+func (k *Kernel) Stop() { k.halted = true }

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic pseudo-random stream. Every stochastic decision in
+// the simulator draws from an RNG derived from the run seed, so a run is a
+// pure function of its configuration. Streams are forked by label so that
+// adding a consumer does not perturb the draws seen by existing consumers.
+type RNG struct {
+	r    *rand.Rand
+	seed int64
+}
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Fork derives an independent stream identified by label. Forking the same
+// (seed, label) pair always yields the same stream.
+func (g *RNG) Fork(label string) *RNG {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	derived := g.seed ^ int64(h.Sum64())
+	// Avoid the degenerate all-zero seed.
+	if derived == 0 {
+		derived = int64(h.Sum64()) | 1
+	}
+	return NewRNG(derived)
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform draw in [0, n). It panics if n <= 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63n returns a uniform draw in [0, n). It panics if n <= 0.
+func (g *RNG) Int63n(n int64) int64 { return g.r.Int63n(n) }
+
+// IntRange returns a uniform draw in [lo, hi] inclusive.
+func (g *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("sim: IntRange with hi < lo")
+	}
+	return lo + g.r.Intn(hi-lo+1)
+}
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Exp returns an exponential draw with the given mean.
+func (g *RNG) Exp(mean float64) float64 { return g.r.ExpFloat64() * mean }
+
+// Normal returns a normal draw with the given mean and standard deviation.
+func (g *RNG) Normal(mean, sd float64) float64 { return g.r.NormFloat64()*sd + mean }
+
+// LogNormal returns a draw from a log-normal distribution parameterized by
+// the mean and standard deviation of the underlying normal.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(g.r.NormFloat64()*sigma + mu)
+}
+
+// ExpDur returns an exponential duration with the given mean, never
+// negative.
+func (g *RNG) ExpDur(mean Time) Time {
+	if mean <= 0 {
+		return 0
+	}
+	return Time(g.r.ExpFloat64() * float64(mean))
+}
+
+// UniformDur returns a uniform duration in [lo, hi].
+func (g *RNG) UniformDur(lo, hi Time) Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Time(g.r.Int63n(int64(hi-lo)+1))
+}
+
+// NormalDur returns a normal duration clamped at zero.
+func (g *RNG) NormalDur(mean, sd Time) Time {
+	d := g.r.NormFloat64()*float64(sd) + float64(mean)
+	if d < 0 {
+		return 0
+	}
+	return Time(d)
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// NURand implements the TPC-C non-uniform random function NURand(A, x, y)
+// with a fixed C constant derived from the stream seed, as specified in
+// TPC-C clause 2.1.6.
+func (g *RNG) NURand(a, x, y int) int {
+	c := int(uint64(g.seed) % uint64(a+1))
+	return (((g.IntRange(0, a) | g.IntRange(x, y)) + c) % (y - x + 1)) + x
+}

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGForkIsStableAndIndependent(t *testing.T) {
+	base := NewRNG(7)
+	f1 := base.Fork("clients")
+	f2 := NewRNG(7).Fork("clients")
+	for i := 0; i < 100; i++ {
+		if f1.Float64() != f2.Float64() {
+			t.Fatal("fork with same label not reproducible")
+		}
+	}
+	// Different labels must give different streams (overwhelmingly likely).
+	g1 := base.Fork("a")
+	g2 := base.Fork("b")
+	same := true
+	for i := 0; i < 16; i++ {
+		if g1.Float64() != g2.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("forks with different labels produced identical streams")
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	g := NewRNG(1)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.Exp(5.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-5.0) > 0.1 {
+		t.Fatalf("Exp mean = %v, want ~5.0", mean)
+	}
+}
+
+func TestRNGIntRangeBounds(t *testing.T) {
+	g := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := g.IntRange(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("IntRange out of bounds: %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 5; v <= 9; v++ {
+		if !seen[v] {
+			t.Fatalf("IntRange never produced %d", v)
+		}
+	}
+}
+
+func TestRNGExpDurNonNegative(t *testing.T) {
+	g := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		if d := g.ExpDur(10 * Millisecond); d < 0 {
+			t.Fatal("negative duration")
+		}
+	}
+	if g.ExpDur(0) != 0 {
+		t.Fatal("ExpDur(0) should be 0")
+	}
+}
+
+func TestRNGNURandInBounds(t *testing.T) {
+	g := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		v := g.NURand(1023, 1, 3000)
+		if v < 1 || v > 3000 {
+			t.Fatalf("NURand out of range: %d", v)
+		}
+	}
+}
+
+func TestRNGUniformDurProperty(t *testing.T) {
+	f := func(seed int64, a, b uint32) bool {
+		g := NewRNG(seed)
+		lo, hi := Time(a), Time(b)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		d := g.UniformDur(lo, hi)
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmpiricalQuantiles(t *testing.T) {
+	e := NewEmpirical([]float64{10, 20, 30, 40, 50})
+	if e.Quantile(0) != 10 {
+		t.Fatalf("q0 = %v", e.Quantile(0))
+	}
+	if e.Quantile(1) != 50 {
+		t.Fatalf("q1 = %v", e.Quantile(1))
+	}
+	if e.Quantile(0.5) != 30 {
+		t.Fatalf("median = %v", e.Quantile(0.5))
+	}
+	if e.Quantile(0.25) != 20 {
+		t.Fatalf("q25 = %v", e.Quantile(0.25))
+	}
+	if e.Mean() != 30 {
+		t.Fatalf("mean = %v", e.Mean())
+	}
+	if e.Min() != 10 || e.Max() != 50 {
+		t.Fatal("min/max wrong")
+	}
+}
+
+func TestEmpiricalSampleWithinRange(t *testing.T) {
+	e := NewEmpirical([]float64{3, 1, 4, 1, 5, 9, 2, 6})
+	g := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		v := e.Sample(g)
+		if v < 1 || v > 9 {
+			t.Fatalf("sample out of range: %v", v)
+		}
+	}
+}
+
+func TestEmpiricalSingleSample(t *testing.T) {
+	e := NewEmpirical([]float64{7})
+	g := NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if e.Sample(g) != 7 {
+			t.Fatal("single-sample distribution must be constant")
+		}
+	}
+}
+
+func TestEmpiricalEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty samples")
+		}
+	}()
+	NewEmpirical(nil)
+}
+
+// Property: quantile is monotone in q.
+func TestEmpiricalMonotoneProperty(t *testing.T) {
+	e := NewEmpirical([]float64{5, 1, 8, 2, 2, 9, 4})
+	f := func(a, b float64) bool {
+		qa, qb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return e.Quantile(qa) <= e.Quantile(qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package simnet
+
+import "repro/internal/sim"
+
+// LossModel decides, per received message, whether to discard it. Models are
+// stateful and must not be shared between hosts. These implement the
+// fault types of Section 5.3.
+type LossModel interface {
+	// Drop reports whether the message arriving at now is discarded.
+	Drop(g *sim.RNG, now sim.Time) bool
+}
+
+// RandomLoss discards each message independently with probability P,
+// modeling transmission errors.
+type RandomLoss struct {
+	// P is the drop probability in [0, 1].
+	P float64
+}
+
+var _ LossModel = (*RandomLoss)(nil)
+
+// Drop implements LossModel.
+func (l *RandomLoss) Drop(g *sim.RNG, _ sim.Time) bool { return g.Bool(l.P) }
+
+// BurstyLoss alternates periods with randomly generated durations in which
+// messages are received or discarded, modeling network congestion
+// (Section 5.3). Periods are time intervals: every message arriving during a
+// discard period is lost, so consecutive losses are correlated. Durations
+// are uniformly distributed around their means, and good-period means are
+// sized so the long-run fraction of time (hence, for roughly uniform
+// arrivals, of messages) lost equals Rate.
+type BurstyLoss struct {
+	// Rate is the long-run fraction of messages lost (e.g. 0.05).
+	Rate float64
+	// MeanBurst is the mean discard-period duration. At the paper's
+	// per-host message rates the default (50ms) corresponds to bursts
+	// with an average length of about 5 messages.
+	MeanBurst sim.Time
+
+	inBurst bool
+	until   sim.Time
+	primed  bool
+}
+
+var _ LossModel = (*BurstyLoss)(nil)
+
+// Drop implements LossModel.
+func (l *BurstyLoss) Drop(g *sim.RNG, now sim.Time) bool {
+	if l.Rate <= 0 {
+		return false
+	}
+	if l.MeanBurst <= 0 {
+		l.MeanBurst = 50 * sim.Millisecond
+	}
+	if !l.primed {
+		l.primed = true
+		l.inBurst = false
+		l.until = now + l.drawPeriod(g, l.goodMean())
+	}
+	for now >= l.until {
+		l.inBurst = !l.inBurst
+		mean := l.goodMean()
+		if l.inBurst {
+			mean = l.MeanBurst
+		}
+		l.until += l.drawPeriod(g, mean)
+	}
+	return l.inBurst
+}
+
+func (l *BurstyLoss) goodMean() sim.Time {
+	return sim.Time(float64(l.MeanBurst) * (1 - l.Rate) / l.Rate)
+}
+
+// drawPeriod draws a duration uniformly in (0, 2*mean], preserving the mean.
+func (l *BurstyLoss) drawPeriod(g *sim.RNG, mean sim.Time) sim.Time {
+	d := g.UniformDur(1, 2*mean)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

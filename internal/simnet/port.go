@@ -1,0 +1,38 @@
+package simnet
+
+import "repro/internal/sim"
+
+// HostPort adapts one host as a datagram injection point. It structurally
+// satisfies csrt.Port, letting the centralized simulation runtime inject
+// packets without this package importing it.
+type HostPort struct {
+	net  *Network
+	self NodeID
+	mtu  int
+}
+
+// Port returns the injection adapter for host id. mtu bounds datagram
+// payloads (0 means the host LAN's MTU).
+func (n *Network) Port(id NodeID, mtu int) *HostPort {
+	if mtu == 0 {
+		if h := n.hosts[id]; h != nil {
+			mtu = h.lan.cfg.MTU
+		} else {
+			mtu = 1500
+		}
+	}
+	return &HostPort{net: n, self: id, mtu: mtu}
+}
+
+// Send injects a unicast datagram after delay.
+func (p *HostPort) Send(dst NodeID, data []byte, delay sim.Time) error {
+	return p.net.Send(p.self, dst, data, delay)
+}
+
+// Multicast injects a group datagram after delay.
+func (p *HostPort) Multicast(g Group, data []byte, delay sim.Time) error {
+	return p.net.Multicast(p.self, g, data, delay)
+}
+
+// MTU reports the maximum payload size.
+func (p *HostPort) MTU() int { return p.mtu }

@@ -1,0 +1,453 @@
+// Package simnet is the network simulator substrate, standing in for SSFNet
+// in the paper's architecture. It models hosts attached to shared-medium
+// LANs (bandwidth, propagation delay, MTU, frame overhead), point-to-point
+// WAN links between LANs, unreliable UDP-like datagram delivery, IP
+// multicast on LANs, receiver-side loss injection, and tcpdump-style packet
+// tracing.
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/runtimeapi"
+	"repro/internal/sim"
+)
+
+// NodeID and Group alias the runtime abstraction's identifiers so adapters
+// need no conversions.
+type (
+	// NodeID identifies a host.
+	NodeID = runtimeapi.NodeID
+	// Group identifies a multicast group.
+	Group = runtimeapi.Group
+)
+
+// Packet is one datagram in flight.
+type Packet struct {
+	Seq       int64 // global trace sequence number
+	Src       NodeID
+	Dst       NodeID // unicast destination; unset for multicast
+	Group     Group  // multicast group; meaningful when Multicast
+	Multicast bool
+	Data      []byte
+	Wire      int // bytes on the wire including frame overhead
+}
+
+// DeliverFunc receives packets that survived the trip.
+type DeliverFunc func(pkt *Packet)
+
+// LANConfig configures a shared-medium segment. Defaults model the paper's
+// test network: switched Ethernet 100 Mbit/s, 1500-byte MTU.
+type LANConfig struct {
+	// Name labels the LAN in traces.
+	Name string
+	// BandwidthBps is the medium capacity in bits per second (default 100e6).
+	BandwidthBps int64
+	// Propagation is the fixed propagation delay (default 30us, covering
+	// switch latency on a small LAN).
+	Propagation sim.Time
+	// MTU is the maximum frame payload (default 1500).
+	MTU int
+	// FrameOverhead is per-frame header bytes: Ethernet + IP + UDP
+	// (default 46).
+	FrameOverhead int
+	// FragmentOversize controls oversize datagrams. When true, payloads
+	// larger than MTU are fragmented into MTU-sized frames, as a real IP
+	// stack does. When false a single oversized frame is transmitted —
+	// reproducing SSFNet's behaviour of not enforcing the Ethernet MTU
+	// for UDP/IP traffic, which the paper calls out in Figure 3(c).
+	FragmentOversize bool
+}
+
+func (c *LANConfig) fill() {
+	if c.BandwidthBps == 0 {
+		c.BandwidthBps = 100e6
+	}
+	if c.MTU == 0 {
+		c.MTU = 1500
+	}
+}
+
+// DefaultLANConfig returns the paper's test network: switched Ethernet
+// 100 Mbit/s, 1500-byte MTU, 46 bytes of Ethernet+IP+UDP framing, and 30 µs
+// of propagation and switching latency.
+func DefaultLANConfig(name string) LANConfig {
+	return LANConfig{
+		Name:          name,
+		BandwidthBps:  100e6,
+		Propagation:   30 * sim.Microsecond,
+		MTU:           1500,
+		FrameOverhead: 46,
+	}
+}
+
+// LAN is one shared-medium segment.
+type LAN struct {
+	cfg       LANConfig
+	net       *Network
+	hosts     []*Host
+	busyUntil sim.Time
+	bytes     metrics.ByteMeter
+}
+
+// Bytes exposes the traffic meter counting all bytes transmitted on this
+// segment (Figure 6c reports this as KB/s).
+func (l *LAN) Bytes() *metrics.ByteMeter { return &l.bytes }
+
+// Name reports the LAN label.
+func (l *LAN) Name() string { return l.cfg.Name }
+
+// wireSize computes on-the-wire bytes for a payload, honouring the
+// fragmentation policy.
+func (l *LAN) wireSize(payload int) int {
+	if payload <= l.cfg.MTU || !l.cfg.FragmentOversize {
+		return payload + l.cfg.FrameOverhead
+	}
+	frames := (payload + l.cfg.MTU - 1) / l.cfg.MTU
+	return payload + frames*l.cfg.FrameOverhead
+}
+
+// txTime is the serialization time of wire bytes at the LAN's bandwidth.
+func (l *LAN) txTime(wire int) sim.Time {
+	return sim.Time(float64(wire) * 8 * 1e9 / float64(l.cfg.BandwidthBps))
+}
+
+// LinkConfig configures a point-to-point WAN link between two LANs.
+type LinkConfig struct {
+	BandwidthBps int64    // default 10e6
+	Delay        sim.Time // one-way propagation (default 20ms)
+}
+
+func (c *LinkConfig) fill() {
+	if c.BandwidthBps == 0 {
+		c.BandwidthBps = 10e6
+	}
+	if c.Delay == 0 {
+		c.Delay = 20 * sim.Millisecond
+	}
+}
+
+type link struct {
+	cfg       LinkConfig
+	busyUntil [2]sim.Time // per direction
+	bytes     metrics.ByteMeter
+}
+
+func (l *link) txTime(wire int) sim.Time {
+	return sim.Time(float64(wire) * 8 * 1e9 / float64(l.cfg.BandwidthBps))
+}
+
+// Host is one endpoint.
+type Host struct {
+	id      NodeID
+	lan     *LAN
+	deliver DeliverFunc
+	loss    LossModel
+	rng     *sim.RNG
+	down    bool
+
+	sent     metrics.ByteMeter
+	received metrics.ByteMeter
+	dropped  int64
+}
+
+// ID reports the host identifier.
+func (h *Host) ID() NodeID { return h.id }
+
+// SetDeliver installs the reception upcall.
+func (h *Host) SetDeliver(fn DeliverFunc) { h.deliver = fn }
+
+// SetLoss installs a receiver-side loss model ("each message is discarded
+// upon reception with the specified probability", Section 5.3).
+func (h *Host) SetLoss(m LossModel) { h.loss = m }
+
+// SetDown marks the host crashed (true) or operational (false). A down host
+// silently drops all traffic.
+func (h *Host) SetDown(down bool) { h.down = down }
+
+// Down reports crash status.
+func (h *Host) Down() bool { return h.down }
+
+// Sent and Received expose per-host traffic meters; Dropped counts packets
+// discarded by the loss model.
+func (h *Host) Sent() *metrics.ByteMeter { return &h.sent }
+
+// Received exposes the bytes successfully delivered to this host.
+func (h *Host) Received() *metrics.ByteMeter { return &h.received }
+
+// Dropped reports packets discarded by loss injection at this host.
+func (h *Host) Dropped() int64 { return h.dropped }
+
+// TraceEvent classifies trace records.
+type TraceEvent byte
+
+// Trace event kinds.
+const (
+	TraceSend TraceEvent = iota + 1
+	TraceRecv
+	TraceDrop
+)
+
+func (e TraceEvent) String() string {
+	switch e {
+	case TraceSend:
+		return "send"
+	case TraceRecv:
+		return "recv"
+	case TraceDrop:
+		return "drop"
+	default:
+		return "?"
+	}
+}
+
+// TraceRecord is one tcpdump-like log entry.
+type TraceRecord struct {
+	At    sim.Time
+	Event TraceEvent
+	Seq   int64
+	Src   NodeID
+	Dst   NodeID // receiver for recv/drop records
+	Multi bool
+	Size  int // payload bytes
+}
+
+// String formats the record in a tcpdump-ish single line.
+func (r TraceRecord) String() string {
+	kind := "udp"
+	if r.Multi {
+		kind = "mcast"
+	}
+	return fmt.Sprintf("%12.6f %s #%d %d > %d %s len %d",
+		r.At.Seconds(), r.Event, r.Seq, r.Src, r.Dst, kind, r.Size)
+}
+
+// Network is the topology container.
+type Network struct {
+	k      *sim.Kernel
+	rng    *sim.RNG
+	hosts  map[NodeID]*Host
+	lans   []*LAN
+	links  map[[2]int]*link // indexed by LAN indices (lo, hi)
+	groups map[Group][]NodeID
+	tracer func(TraceRecord)
+	seq    int64
+}
+
+// NewNetwork creates an empty topology on the kernel.
+func NewNetwork(k *sim.Kernel, rng *sim.RNG) *Network {
+	return &Network{
+		k:      k,
+		rng:    rng,
+		hosts:  make(map[NodeID]*Host),
+		links:  make(map[[2]int]*link),
+		groups: make(map[Group][]NodeID),
+	}
+}
+
+// SetTracer installs a packet trace sink (nil disables tracing).
+func (n *Network) SetTracer(fn func(TraceRecord)) { n.tracer = fn }
+
+// NewLAN adds a segment.
+func (n *Network) NewLAN(cfg LANConfig) *LAN {
+	cfg.fill()
+	l := &LAN{cfg: cfg, net: n}
+	n.lans = append(n.lans, l)
+	return l
+}
+
+// NewHost attaches a host to a LAN. Host IDs must be unique.
+func (n *Network) NewHost(id NodeID, lan *LAN) (*Host, error) {
+	if _, dup := n.hosts[id]; dup {
+		return nil, fmt.Errorf("simnet: duplicate host %d", id)
+	}
+	h := &Host{id: id, lan: lan, rng: n.rng.Fork(fmt.Sprintf("host-%d", id))}
+	n.hosts[id] = h
+	lan.hosts = append(lan.hosts, h)
+	return h, nil
+}
+
+// Host looks up a host by ID.
+func (n *Network) Host(id NodeID) *Host { return n.hosts[id] }
+
+// Connect adds a bidirectional WAN link between two LANs.
+func (n *Network) Connect(a, b *LAN, cfg LinkConfig) {
+	cfg.fill()
+	ia, ib := n.lanIndex(a), n.lanIndex(b)
+	if ia > ib {
+		ia, ib = ib, ia
+	}
+	n.links[[2]int{ia, ib}] = &link{cfg: cfg}
+}
+
+func (n *Network) lanIndex(l *LAN) int {
+	for i, x := range n.lans {
+		if x == l {
+			return i
+		}
+	}
+	return -1
+}
+
+// SetGroup registers multicast group membership.
+func (n *Network) SetGroup(g Group, members []NodeID) {
+	m := make([]NodeID, len(members))
+	copy(m, members)
+	n.groups[g] = m
+}
+
+// Group reports the members of g.
+func (n *Network) Group(g Group) []NodeID { return n.groups[g] }
+
+// TotalBytes sums wire bytes over all LANs and links (Figure 6c).
+func (n *Network) TotalBytes() int64 {
+	var t int64
+	for _, l := range n.lans {
+		t += l.bytes.Bytes()
+	}
+	for _, lk := range n.links {
+		t += lk.bytes.Bytes()
+	}
+	return t
+}
+
+func (n *Network) trace(r TraceRecord) {
+	if n.tracer != nil {
+		n.tracer(r)
+	}
+}
+
+// Send injects a unicast datagram from src after delay (the sender's CPU
+// elapsed time; see csrt.Port).
+func (n *Network) Send(src, dst NodeID, data []byte, delay sim.Time) error {
+	hs, ok := n.hosts[src]
+	if !ok {
+		return fmt.Errorf("simnet: unknown source %d", src)
+	}
+	hd, ok := n.hosts[dst]
+	if !ok {
+		return fmt.Errorf("simnet: unknown destination %d", dst)
+	}
+	n.seq++
+	pkt := &Packet{Seq: n.seq, Src: src, Dst: dst, Data: cloneBytes(data)}
+	n.k.Schedule(delay, func() { n.transmit(hs, hd, pkt) })
+	return nil
+}
+
+// Multicast injects a LAN multicast from src to every member of g on the
+// same segment, excluding the sender. Members on other segments are not
+// reached: wide-area dissemination falls back to unicast at the protocol
+// layer, as in the paper's prototype.
+func (n *Network) Multicast(src NodeID, g Group, data []byte, delay sim.Time) error {
+	hs, ok := n.hosts[src]
+	if !ok {
+		return fmt.Errorf("simnet: unknown source %d", src)
+	}
+	members, ok := n.groups[g]
+	if !ok {
+		return fmt.Errorf("simnet: unknown group %d", g)
+	}
+	n.seq++
+	pkt := &Packet{Seq: n.seq, Src: src, Group: g, Multicast: true, Data: cloneBytes(data)}
+	n.k.Schedule(delay, func() { n.transmitMulticast(hs, members, pkt) })
+	return nil
+}
+
+// transmit performs the wire transmission of a unicast packet.
+func (n *Network) transmit(src, dst *Host, pkt *Packet) {
+	if src.down {
+		return
+	}
+	n.trace(TraceRecord{At: n.k.Now(), Event: TraceSend, Seq: pkt.Seq, Src: pkt.Src, Dst: pkt.Dst, Size: len(pkt.Data)})
+	src.sent.Add(len(pkt.Data))
+	if src.lan == dst.lan {
+		wire := src.lan.wireSize(len(pkt.Data))
+		arrive := n.lanTransmit(src.lan, wire)
+		n.k.ScheduleAt(arrive, func() { n.arrive(dst, pkt) })
+		return
+	}
+	// Cross-LAN: source segment, WAN link, destination segment —
+	// store-and-forward. Each hop contends for the next medium only when
+	// the packet physically reaches it; reserving a future slot at
+	// injection time would stall unrelated local traffic behind phantom
+	// reservations.
+	ia, ib := n.lanIndex(src.lan), n.lanIndex(dst.lan)
+	key := [2]int{min(ia, ib), max(ia, ib)}
+	lk, ok := n.links[key]
+	if !ok {
+		return // no route: silently dropped, like a misconfigured WAN
+	}
+	dir := 0
+	if ia > ib {
+		dir = 1
+	}
+	wireSrc := src.lan.wireSize(len(pkt.Data))
+	t1 := n.lanTransmit(src.lan, wireSrc)
+	n.k.ScheduleAt(t1, func() {
+		// At the gateway: serialize on the link, per direction.
+		start := max(n.k.Now(), lk.busyUntil[dir])
+		t2 := start + lk.txTime(wireSrc) + lk.cfg.Delay
+		lk.busyUntil[dir] = start + lk.txTime(wireSrc)
+		lk.bytes.Add(wireSrc)
+		n.k.ScheduleAt(t2, func() {
+			// At the remote gateway: final-hop transmission.
+			wireDst := dst.lan.wireSize(len(pkt.Data))
+			arrive := n.lanTransmit(dst.lan, wireDst)
+			n.k.ScheduleAt(arrive, func() { n.arrive(dst, pkt) })
+		})
+	})
+}
+
+// transmitMulticast performs one wire transmission reaching all same-LAN
+// group members.
+func (n *Network) transmitMulticast(src *Host, members []NodeID, pkt *Packet) {
+	if src.down {
+		return
+	}
+	n.trace(TraceRecord{At: n.k.Now(), Event: TraceSend, Seq: pkt.Seq, Src: pkt.Src, Multi: true, Size: len(pkt.Data)})
+	src.sent.Add(len(pkt.Data))
+	wire := src.lan.wireSize(len(pkt.Data))
+	arrive := n.lanTransmit(src.lan, wire)
+	for _, id := range members {
+		dst := n.hosts[id]
+		if dst == nil || dst == src || dst.lan != src.lan {
+			continue
+		}
+		d := dst
+		n.k.ScheduleAt(arrive, func() { n.arrive(d, pkt) })
+	}
+}
+
+// lanTransmit serializes a frame burst on the shared medium and returns the
+// arrival instant at same-segment receivers.
+func (n *Network) lanTransmit(l *LAN, wire int) sim.Time {
+	start := max(n.k.Now(), l.busyUntil)
+	end := start + l.txTime(wire)
+	l.busyUntil = end
+	l.bytes.Add(wire)
+	return end + l.cfg.Propagation
+}
+
+// arrive applies receiver-side loss and crash state, then delivers.
+func (n *Network) arrive(dst *Host, pkt *Packet) {
+	if dst.down {
+		return
+	}
+	if dst.loss != nil && dst.loss.Drop(dst.rng, n.k.Now()) {
+		dst.dropped++
+		n.trace(TraceRecord{At: n.k.Now(), Event: TraceDrop, Seq: pkt.Seq, Src: pkt.Src, Dst: dst.id, Multi: pkt.Multicast, Size: len(pkt.Data)})
+		return
+	}
+	dst.received.Add(len(pkt.Data))
+	n.trace(TraceRecord{At: n.k.Now(), Event: TraceRecv, Seq: pkt.Seq, Src: pkt.Src, Dst: dst.id, Multi: pkt.Multicast, Size: len(pkt.Data)})
+	if dst.deliver != nil {
+		dst.deliver(pkt)
+	}
+}
+
+func cloneBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,63 @@
+package tpcc
+
+import (
+	"repro/internal/db"
+	"repro/internal/sim"
+)
+
+// Client is the single-threaded emulated user of Section 3.2: it issues a
+// transaction, blocks until the server replies, pauses for a think time, and
+// repeats. It logs submission time, termination time, outcome and identifier
+// for every transaction through the OnDone hook.
+type Client struct {
+	// ID is the global client number; the home warehouse is ID/10.
+	ID int
+	// Server is the database site this client attaches to.
+	Server *db.Server
+	// Gen produces this client's transactions.
+	Gen *Generator
+	// Think is the mean think time.
+	Think sim.Time
+	// Stop, if set, is consulted before issuing: returning true ends the
+	// client's stream (used to bound runs at N transactions).
+	Stop func() bool
+	// OnDone observes every completed transaction.
+	OnDone func(c *Client, t *db.Txn, o db.Outcome)
+
+	k       *sim.Kernel
+	rng     *sim.RNG
+	homeWH  int
+	issued  int64
+	stopped bool
+}
+
+// Start begins the client's request stream. The first transaction is
+// deferred by a uniform fraction of the think time, de-synchronizing
+// clients.
+func (c *Client) Start(k *sim.Kernel, rng *sim.RNG) {
+	c.k = k
+	c.rng = rng
+	c.homeWH = c.ID / ClientsPerWarehouse
+	k.Schedule(rng.UniformDur(0, c.Think), c.issue)
+}
+
+// Issued reports how many transactions this client has submitted.
+func (c *Client) Issued() int64 { return c.issued }
+
+func (c *Client) issue() {
+	if c.stopped || (c.Stop != nil && c.Stop()) {
+		c.stopped = true
+		return
+	}
+	t := c.Gen.Next(c.homeWH)
+	t.Done = func(t *db.Txn, o db.Outcome) {
+		if c.OnDone != nil {
+			c.OnDone(c, t, o)
+		}
+		// Think, then issue the next request. Aborted transactions
+		// are not resubmitted (Section 5.1).
+		c.k.Schedule(c.rng.ExpDur(c.Think), c.issue)
+	}
+	c.issued++
+	c.Server.Submit(t)
+}

@@ -1,0 +1,227 @@
+package tpcc
+
+import (
+	"repro/internal/db"
+	"repro/internal/dbsm"
+	"repro/internal/sim"
+)
+
+// Generator produces transaction instances for one site. Every site owns a
+// generator so transaction and inserted-row identifiers never collide across
+// replicas.
+type Generator struct {
+	cal        *Calibration
+	rng        *sim.RNG
+	site       dbsm.SiteID
+	warehouses int
+
+	tidCounter    uint32
+	insertCounter uint64
+}
+
+// NewGenerator builds a generator for a site over a database of the given
+// scale.
+func NewGenerator(site dbsm.SiteID, warehouses int, cal *Calibration, rng *sim.RNG) *Generator {
+	if warehouses < 1 {
+		warehouses = 1
+	}
+	return &Generator{cal: cal, rng: rng, site: site, warehouses: warehouses}
+}
+
+// Warehouses reports the configured database scale.
+func (g *Generator) Warehouses() int { return g.warehouses }
+
+// Next draws the next transaction for a client whose home warehouse is
+// homeWH (0-based).
+func (g *Generator) Next(homeWH int) *db.Txn {
+	if homeWH >= g.warehouses {
+		homeWH = homeWH % g.warehouses
+	}
+	r := g.rng.Float64()
+	switch c := g.cal; {
+	case r < c.MixNewOrder:
+		return g.newOrder(homeWH)
+	case r < c.MixNewOrder+c.MixPayment:
+		return g.payment(homeWH)
+	case r < c.MixNewOrder+c.MixPayment+c.MixOrderStatus:
+		return g.orderStatus(homeWH)
+	case r < c.MixNewOrder+c.MixPayment+c.MixOrderStatus+c.MixDelivery:
+		return g.delivery(homeWH)
+	default:
+		return g.stockLevel(homeWH)
+	}
+}
+
+func (g *Generator) nextTID() uint64 {
+	g.tidCounter++
+	return dbsm.MakeTID(g.site, g.tidCounter)
+}
+
+func (g *Generator) nextInsert(table uint16, wh int) dbsm.TupleID {
+	g.insertCounter++
+	return insertRow(table, g.site, wh, g.insertCounter)
+}
+
+// build assembles a db.Txn: fetch operations for every read item, processing
+// sliced into round-robin quanta, and the commit cost sample. fetchOnly
+// items are fetched during execution but excluded from the certification
+// read-set: they model reads of columns no transaction class ever writes
+// (e.g. new-order reading W_TAX and D_TAX while payment updates W_YTD and
+// D_YTD), where row-granularity certification would manufacture conflicts
+// that do not exist semantically.
+func (g *Generator) build(class string, readOnly bool, reads, writes, fetchOnly []dbsm.TupleID, writeBytes int, cpu sim.Time) *db.Txn {
+	ops := make([]db.Op, 0, len(reads)+len(fetchOnly)+int(cpu/g.cal.Quantum)+2)
+	for _, id := range fetchOnly {
+		ops = append(ops, db.Op{Kind: db.OpFetch, Item: id})
+	}
+	for _, id := range reads {
+		ops = append(ops, db.Op{Kind: db.OpFetch, Item: id})
+	}
+	for remaining := cpu; remaining > 0; remaining -= g.cal.Quantum {
+		q := g.cal.Quantum
+		if remaining < q {
+			q = remaining
+		}
+		ops = append(ops, db.Op{Kind: db.OpProcess, CPU: q})
+	}
+	// The read-set always covers the write-set: a transaction reads what
+	// it updates. Certification correctness of the preemption rule relies
+	// on this (Section 3.1).
+	rs := dbsm.NewItemSet(append(append([]dbsm.TupleID{}, reads...), writes...)...)
+	return &db.Txn{
+		TID:        g.nextTID(),
+		Class:      class,
+		ReadOnly:   readOnly,
+		Ops:        ops,
+		ReadSet:    rs,
+		WriteSet:   dbsm.NewItemSet(writes...),
+		WriteBytes: writeBytes,
+		CommitCPU:  g.cal.CommitCPU.SampleDur(g.rng),
+	}
+}
+
+// newOrder: reads warehouse, district, customer, items and stocks; updates
+// the stocks and inserts order, new-order and order lines. 1% of instances
+// are rolled back by the application (TPC-C 2.4.1.4); 1% of order lines
+// come from a remote warehouse.
+func (g *Generator) newOrder(wh int) *db.Txn {
+	c := g.cal
+	d := g.rng.Intn(DistrictsPerWarehouse)
+	cust := g.rng.NURand(1023, 0, CustomersPerDistrict-1)
+	olcnt := g.rng.IntRange(5, 15)
+
+	// W_TAX and D_TAX are read but never written by any class: they are
+	// fetched without entering the certification read-set.
+	fetchOnly := []dbsm.TupleID{WarehouseRow(wh), DistrictRow(wh, d)}
+	reads := []dbsm.TupleID{CustomerRow(wh, d, cust)}
+	writes := make([]dbsm.TupleID, 0, 2*olcnt+3)
+	bytes := c.RowOrder + c.RowNewOrder
+	for i := 0; i < olcnt; i++ {
+		item := g.rng.NURand(8191, 0, ItemCount-1)
+		supplyWH := wh
+		if g.warehouses > 1 && g.rng.Bool(0.01) {
+			supplyWH = g.rng.Intn(g.warehouses)
+		}
+		reads = append(reads, ItemRow(item), StockRow(supplyWH, item))
+		writes = append(writes, StockRow(supplyWH, item))
+		writes = append(writes, g.nextInsert(TableOrderLine, wh))
+		bytes += c.RowStock + c.RowOrderLine
+	}
+	writes = append(writes, g.nextInsert(TableOrder, wh), g.nextInsert(TableNewOrder, wh))
+
+	t := g.build(ClassNewOrder, false, reads, writes, fetchOnly, bytes, c.CPU[ClassNewOrder].SampleDur(g.rng))
+	t.UserAbort = g.rng.Bool(c.NewOrderUserAbortFraction)
+	return t
+}
+
+// payment: updates the warehouse (the hot, W-row table driving write-write
+// conflicts), district and customer rows and inserts a history record. 15%
+// of payments go to a remote warehouse; 60% select the customer by last
+// name (the long variant, more processing).
+func (g *Generator) payment(homeWH int) *db.Txn {
+	c := g.cal
+	wh := homeWH
+	if g.warehouses > 1 && g.rng.Bool(c.RemoteWarehouseFraction) {
+		wh = g.rng.Intn(g.warehouses)
+	}
+	d := g.rng.Intn(DistrictsPerWarehouse)
+	cust := g.rng.NURand(1023, 0, CustomersPerDistrict-1)
+	long := g.rng.Bool(c.PaymentLongFraction)
+	class := ClassPaymentShort
+	if long {
+		class = ClassPaymentLong
+	}
+	reads := []dbsm.TupleID{
+		WarehouseRow(wh),
+		DistrictRow(wh, d),
+		CustomerRow(wh, d, cust),
+	}
+	writes := []dbsm.TupleID{
+		WarehouseRow(wh),
+		DistrictRow(wh, d),
+		CustomerRow(wh, d, cust),
+		g.nextInsert(TableHistory, wh),
+	}
+	bytes := c.RowWarehouse + c.RowDistrict + c.RowCustomer + c.RowHistory
+	return g.build(class, false, reads, writes, nil, bytes, c.CPU[class].SampleDur(g.rng))
+}
+
+// orderStatus: read-only; reads a customer (by name 60% of the time — the
+// long variant) plus their most recent order and its lines.
+func (g *Generator) orderStatus(wh int) *db.Txn {
+	c := g.cal
+	d := g.rng.Intn(DistrictsPerWarehouse)
+	cust := g.rng.NURand(1023, 0, CustomersPerDistrict-1)
+	long := g.rng.Bool(c.OrderStatusLongFraction)
+	class := ClassOrderStatusShort
+	if long {
+		class = ClassOrderStatusLong
+	}
+	reads := []dbsm.TupleID{CustomerRow(wh, d, cust)}
+	// The last order and its lines: synthetic identifiers; reads never
+	// conflict under the multi-version policy.
+	order := g.rng.Int63n(1 << 32)
+	reads = append(reads, dbsm.MakeTupleID(TableOrder, uint64(order)))
+	for i := 0; i < 10; i++ {
+		reads = append(reads, dbsm.MakeTupleID(TableOrderLine, uint64(order)*16+uint64(i)))
+	}
+	return g.build(class, true, reads, nil, nil, 0, c.CPU[class].SampleDur(g.rng))
+}
+
+// delivery: CPU-bound; processes each district's oldest new-order, updating
+// the order and the customer's balance. The per-district new-order queue
+// head is the contention point between concurrent deliveries; the carrier
+// batch anchors on the district it starts from, so two deliveries conflict
+// only when they start from the same district of the same warehouse.
+func (g *Generator) delivery(wh int) *db.Txn {
+	c := g.cal
+	reads := make([]dbsm.TupleID, 0, 2*DistrictsPerWarehouse+1)
+	writes := make([]dbsm.TupleID, 0, 2*DistrictsPerWarehouse+1)
+	startDistrict := g.rng.Intn(DistrictsPerWarehouse)
+	queue := NewOrderQueueRow(wh, startDistrict)
+	reads = append(reads, queue)
+	writes = append(writes, queue)
+	bytes := c.RowNewOrder
+	for d := 0; d < DistrictsPerWarehouse; d++ {
+		order := existingOrderRow(wh, uint64(g.rng.Int63n(1<<24)))
+		cust := CustomerRow(wh, d, g.rng.NURand(1023, 0, CustomersPerDistrict-1))
+		reads = append(reads, order, cust)
+		writes = append(writes, order, cust)
+		bytes += c.RowOrder + 100 // balance delta, not the full row
+	}
+	return g.build(ClassDelivery, false, reads, writes, nil, bytes, c.CPU[ClassDelivery].SampleDur(g.rng))
+}
+
+// stockLevel: read-only; examines the district, recent order lines, and the
+// stock of their items.
+func (g *Generator) stockLevel(wh int) *db.Txn {
+	c := g.cal
+	d := g.rng.Intn(DistrictsPerWarehouse)
+	reads := []dbsm.TupleID{DistrictRow(wh, d)}
+	for i := 0; i < 20; i++ {
+		ol := g.rng.Int63n(1 << 32)
+		reads = append(reads, dbsm.MakeTupleID(TableOrderLine, uint64(ol)))
+		reads = append(reads, StockRow(wh, g.rng.Intn(ItemCount)))
+	}
+	return g.build(ClassStockLevel, true, reads, nil, nil, 0, c.CPU[ClassStockLevel].SampleDur(g.rng))
+}

@@ -1,0 +1,118 @@
+// Package tpcc implements the traffic generator and client model of
+// Section 3.2: a TPC-C derived OLTP workload (wholesale supplier with
+// districts and warehouses) driving the replicated database model. Only the
+// workload of the benchmark is used — throughput/screen/keying constraints
+// do not apply — and the bimodal classes (payment, orderstatus) are split
+// into explicit long/short sub-classes so each class is homogeneous, exactly
+// as the paper does for its Tables 1 and 2.
+package tpcc
+
+import "repro/internal/dbsm"
+
+// TPC-C table identifiers (the high bits of every tuple ID).
+const (
+	TableWarehouse uint16 = iota + 1
+	TableDistrict
+	TableCustomer
+	TableHistory
+	TableNewOrder
+	TableOrder
+	TableOrderLine
+	TableItem
+	TableStock
+)
+
+// Scale constants from the TPC-C specification.
+const (
+	// DistrictsPerWarehouse is fixed by the spec.
+	DistrictsPerWarehouse = 10
+	// CustomersPerDistrict is fixed by the spec.
+	CustomersPerDistrict = 3000
+	// ItemCount is the size of the shared item catalog.
+	ItemCount = 100000
+	// ClientsPerWarehouse scales the database with the client count: each
+	// warehouse supports 10 emulated clients (Section 3.2).
+	ClientsPerWarehouse = 10
+)
+
+// WarehouseRow returns the tuple ID of a warehouse row.
+func WarehouseRow(wh int) dbsm.TupleID {
+	return dbsm.MakeTupleID(TableWarehouse, uint64(wh))
+}
+
+// DistrictRow returns the tuple ID of a district row.
+func DistrictRow(wh, d int) dbsm.TupleID {
+	return dbsm.MakeTupleID(TableDistrict, uint64(wh*DistrictsPerWarehouse+d))
+}
+
+// CustomerRow returns the tuple ID of a customer row.
+func CustomerRow(wh, d, c int) dbsm.TupleID {
+	return dbsm.MakeTupleID(TableCustomer,
+		uint64((wh*DistrictsPerWarehouse+d)*CustomersPerDistrict+c))
+}
+
+// StockRow returns the tuple ID of a stock row.
+func StockRow(wh, item int) dbsm.TupleID {
+	return dbsm.MakeTupleID(TableStock, uint64(wh)*uint64(ItemCount)+uint64(item))
+}
+
+// ItemRow returns the tuple ID of a catalog item row.
+func ItemRow(item int) dbsm.TupleID {
+	return dbsm.MakeTupleID(TableItem, uint64(item))
+}
+
+// NewOrderQueueRow returns the tuple ID of the per-district new-order queue
+// head, the row delivery transactions contend on.
+func NewOrderQueueRow(wh, d int) dbsm.TupleID {
+	return dbsm.MakeTupleID(TableNewOrder, uint64(wh*DistrictsPerWarehouse+d))
+}
+
+// insertRow builds a globally-unique tuple ID for an inserted row. The
+// 48-bit row encodes: originating site (8 bits, so sites never fabricate
+// colliding identifiers), home warehouse (16 bits, so partial replication
+// can place the row), and a per-site counter (24 bits).
+func insertRow(table uint16, site dbsm.SiteID, wh int, counter uint64) dbsm.TupleID {
+	row := uint64(uint8(site))<<40 | uint64(uint16(wh))<<24 | counter&((1<<24)-1)
+	return dbsm.MakeTupleID(table, row)
+}
+
+// existingOrderRow builds the identifier of an already-stored order of a
+// warehouse (e.g. the one a delivery updates): warehouse in bits 24..39,
+// like inserted rows, so partial replication places it correctly.
+func existingOrderRow(wh int, n uint64) dbsm.TupleID {
+	return dbsm.MakeTupleID(TableOrder, uint64(uint16(wh))<<24|n&((1<<24)-1))
+}
+
+// WarehouseOf extracts the warehouse that owns a tuple, for
+// partial-replication placement. The second result is false for tuples not
+// tied to a warehouse (the shared item catalog).
+func WarehouseOf(id dbsm.TupleID) (int, bool) {
+	row := id.Row()
+	switch id.Table() {
+	case TableWarehouse:
+		return int(row), true
+	case TableNewOrder:
+		// Two row formats share the table: per-district queue heads
+		// (small ids, warehouse*10+district) and inserted entries
+		// (insertRow format, always >= 2^40 because the site bits are
+		// nonzero).
+		if row < 1<<24 {
+			return int(row / DistrictsPerWarehouse), true
+		}
+		return int((row >> 24) & 0xFFFF), true
+	case TableDistrict:
+		return int(row / DistrictsPerWarehouse), true
+	case TableCustomer:
+		return int(row / (DistrictsPerWarehouse * CustomersPerDistrict)), true
+	case TableStock:
+		return int(row / ItemCount), true
+	case TableHistory, TableOrder, TableOrderLine:
+		// Inserted rows carry their warehouse in bits 24..39. Plain
+		// (non-insert) order identifiers used by read-only queries
+		// have no placement; report the encoded value regardless —
+		// read placement does not affect correctness.
+		return int((row >> 24) & 0xFFFF), true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,252 @@
+package tpcc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/csrt"
+	"repro/internal/db"
+	"repro/internal/sim"
+)
+
+func testGen(seed int64, warehouses int) *Generator {
+	return NewGenerator(1, warehouses, DefaultCalibration(), sim.NewRNG(seed))
+}
+
+func TestMixProportions(t *testing.T) {
+	g := testGen(1, 10)
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		txn := g.Next(i % 10)
+		counts[txn.Class]++
+	}
+	frac := func(classes ...string) float64 {
+		tot := 0
+		for _, c := range classes {
+			tot += counts[c]
+		}
+		return float64(tot) / n
+	}
+	if f := frac(ClassNewOrder); math.Abs(f-0.44) > 0.02 {
+		t.Fatalf("neworder fraction = %v", f)
+	}
+	if f := frac(ClassPaymentLong, ClassPaymentShort); math.Abs(f-0.44) > 0.02 {
+		t.Fatalf("payment fraction = %v", f)
+	}
+	if f := frac(ClassOrderStatusLong, ClassOrderStatusShort); math.Abs(f-0.04) > 0.01 {
+		t.Fatalf("orderstatus fraction = %v", f)
+	}
+	if f := frac(ClassDelivery); math.Abs(f-0.04) > 0.01 {
+		t.Fatalf("delivery fraction = %v", f)
+	}
+	if f := frac(ClassStockLevel); math.Abs(f-0.04) > 0.01 {
+		t.Fatalf("stocklevel fraction = %v", f)
+	}
+	// Long/short split of payment ~60/40.
+	pl := float64(counts[ClassPaymentLong]) / float64(counts[ClassPaymentLong]+counts[ClassPaymentShort])
+	if math.Abs(pl-0.6) > 0.03 {
+		t.Fatalf("payment long fraction = %v", pl)
+	}
+}
+
+func TestWriteSetsSubsetOfReadSets(t *testing.T) {
+	g := testGen(2, 20)
+	for i := 0; i < 5000; i++ {
+		txn := g.Next(i % 200)
+		for _, w := range txn.WriteSet {
+			if !txn.ReadSet.Contains(w) {
+				t.Fatalf("%s: write %x not in read set", txn.Class, uint64(w))
+			}
+		}
+	}
+}
+
+func TestReadOnlyClassesHaveNoWrites(t *testing.T) {
+	g := testGen(3, 10)
+	seenRO := 0
+	for i := 0; i < 5000; i++ {
+		txn := g.Next(i % 100)
+		switch txn.Class {
+		case ClassOrderStatusLong, ClassOrderStatusShort, ClassStockLevel:
+			seenRO++
+			if !txn.ReadOnly || len(txn.WriteSet) != 0 || txn.WriteBytes != 0 {
+				t.Fatalf("%s must be read-only", txn.Class)
+			}
+		default:
+			if txn.ReadOnly {
+				t.Fatalf("%s must not be read-only", txn.Class)
+			}
+			if len(txn.WriteSet) == 0 || txn.WriteBytes <= 0 {
+				t.Fatalf("%s must write", txn.Class)
+			}
+		}
+	}
+	if seenRO == 0 {
+		t.Fatal("no read-only transactions generated")
+	}
+}
+
+func TestTIDsUniqueAcrossSitesAndInsertsDisjoint(t *testing.T) {
+	g1 := NewGenerator(1, 10, DefaultCalibration(), sim.NewRNG(7))
+	g2 := NewGenerator(2, 10, DefaultCalibration(), sim.NewRNG(7))
+	tids := map[uint64]bool{}
+	for i := 0; i < 2000; i++ {
+		a, b := g1.Next(i%100), g2.Next(i%100)
+		if tids[a.TID] || tids[b.TID] {
+			t.Fatal("duplicate TID")
+		}
+		tids[a.TID] = true
+		tids[b.TID] = true
+		// Inserted rows from different sites must never collide.
+		// (Order rows are excluded: delivery updates *existing* shared
+		// orders, which may legitimately coincide.)
+		for _, w := range a.WriteSet {
+			if w.Table() == TableOrderLine || w.Table() == TableHistory {
+				if b.WriteSet.Contains(w) {
+					t.Fatal("insert identifier collision across sites")
+				}
+			}
+		}
+	}
+}
+
+func TestPaymentTargetsWarehouseRow(t *testing.T) {
+	g := testGen(4, 10)
+	found := 0
+	for i := 0; i < 2000; i++ {
+		txn := g.Next(3) // home warehouse 0 for client 3
+		if txn.Class != ClassPaymentLong && txn.Class != ClassPaymentShort {
+			continue
+		}
+		found++
+		hasWH := false
+		for _, w := range txn.WriteSet {
+			if w.Table() == TableWarehouse {
+				hasWH = true
+			}
+		}
+		if !hasWH {
+			t.Fatal("payment does not update a warehouse row")
+		}
+	}
+	if found == 0 {
+		t.Fatal("no payments generated")
+	}
+}
+
+func TestNewOrderUserAbortFraction(t *testing.T) {
+	g := testGen(5, 10)
+	n, aborts := 0, 0
+	for i := 0; i < 50000; i++ {
+		txn := g.Next(i % 100)
+		if txn.Class != ClassNewOrder {
+			continue
+		}
+		n++
+		if txn.UserAbort {
+			aborts++
+		}
+	}
+	f := float64(aborts) / float64(n)
+	if math.Abs(f-0.01) > 0.005 {
+		t.Fatalf("user abort fraction = %v, want ~0.01", f)
+	}
+}
+
+func TestCPUDistributionsOrdering(t *testing.T) {
+	cal := DefaultCalibration()
+	mean := func(class string) float64 { return cal.CPU[class].Mean() }
+	if !(mean(ClassDelivery) > mean(ClassNewOrder)) {
+		t.Fatal("delivery must be the CPU-bound class")
+	}
+	if !(mean(ClassPaymentLong) > mean(ClassPaymentShort)) {
+		t.Fatal("payment long must cost more than short")
+	}
+	if !(mean(ClassOrderStatusLong) > mean(ClassOrderStatusShort)) {
+		t.Fatal("orderstatus long must cost more than short")
+	}
+	// Commit cost just under 2ms (Section 4.1).
+	c := cal.CommitCPU.Mean() / float64(sim.Millisecond)
+	if c < 1.2 || c > 2.2 {
+		t.Fatalf("commit CPU mean = %vms", c)
+	}
+}
+
+func TestOpsSlicedIntoQuanta(t *testing.T) {
+	g := testGen(6, 10)
+	for i := 0; i < 100; i++ {
+		txn := g.Next(0)
+		var cpu sim.Time
+		for _, op := range txn.Ops {
+			if op.Kind == db.OpProcess {
+				if op.CPU > DefaultCalibration().Quantum {
+					t.Fatalf("quantum exceeded: %v", op.CPU)
+				}
+				cpu += op.CPU
+			}
+		}
+		if cpu <= 0 {
+			t.Fatal("no processing time generated")
+		}
+	}
+}
+
+func TestWarehousesScale(t *testing.T) {
+	if Warehouses(5) != 1 || Warehouses(100) != 10 || Warehouses(2000) != 200 {
+		t.Fatal("warehouse scaling wrong")
+	}
+}
+
+func TestClientLifecycle(t *testing.T) {
+	k := sim.NewKernel()
+	cpus := csrt.NewCPUSet(1, k, nil)
+	storage := db.NewStorage(k, db.StorageConfig{}, sim.NewRNG(1))
+	server := db.NewServer(k, 1, cpus, storage)
+	gen := NewGenerator(1, 1, DefaultCalibration(), sim.NewRNG(2))
+	var done int
+	issuedLimit := 5
+	cl := &Client{
+		ID:     0,
+		Server: server,
+		Gen:    gen,
+		Think:  100 * sim.Millisecond,
+		OnDone: func(_ *Client, _ *db.Txn, _ db.Outcome) { done++ },
+	}
+	cl.Stop = func() bool { return cl.Issued() >= int64(issuedLimit) }
+	cl.Start(k, sim.NewRNG(3))
+	if err := k.RunUntil(60 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Issued() != int64(issuedLimit) {
+		t.Fatalf("issued = %d, want %d", cl.Issued(), issuedLimit)
+	}
+	if done != issuedLimit {
+		t.Fatalf("done = %d, want %d", done, issuedLimit)
+	}
+}
+
+func TestProbitSanity(t *testing.T) {
+	if math.Abs(probit(0.5)) > 1e-9 {
+		t.Fatalf("probit(0.5) = %v", probit(0.5))
+	}
+	if v := probit(0.975); math.Abs(v-1.96) > 0.01 {
+		t.Fatalf("probit(0.975) = %v", v)
+	}
+	if probit(0.001) >= 0 || probit(0.999) <= 0 {
+		t.Fatal("tails have wrong sign")
+	}
+	if probit(0) != -8 || probit(1) != 8 {
+		t.Fatal("bounds not clamped")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a, b := testGen(9, 10), testGen(9, 10)
+	for i := 0; i < 1000; i++ {
+		ta, tb := a.Next(i%100), b.Next(i%100)
+		if ta.TID != tb.TID || ta.Class != tb.Class || len(ta.ReadSet) != len(tb.ReadSet) {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
