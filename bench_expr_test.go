@@ -1,0 +1,63 @@
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+// The sweep benchmarks measure the parallel experiment engine itself: the
+// same reduced (configuration × clients × seed) grid runs once on a single
+// worker and once on GOMAXPROCS workers. The ratio of the two times is the
+// multicore speedup figure regeneration gets from internal/expr.
+
+// sweepTasks is a reduced Figure 5 grid: the five paper configurations over
+// a short client grid, replicated per point.
+func sweepTasks() []expr.Task {
+	var tasks []expr.Task
+	for _, cfg := range []struct {
+		sites, cpus int
+	}{{1, 1}, {1, 3}, {3, 1}} {
+		for _, clients := range []int{50, 150} {
+			tasks = append(tasks, expr.Task{
+				Label: fmt.Sprintf("%ds%dcpu/%dc", cfg.sites, cfg.cpus, clients),
+				Config: core.Config{
+					Sites:       cfg.sites,
+					CPUsPerSite: cfg.cpus,
+					Clients:     clients,
+					TotalTxns:   300,
+					Seed:        42,
+				},
+			})
+		}
+	}
+	return tasks
+}
+
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	rn := &expr.Runner{Workers: workers, Reps: 2}
+	for i := 0; i < b.N; i++ {
+		pts, err := rn.Run(sweepTasks())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var events int64
+			for _, p := range pts {
+				if p.Agg.SafetyErr != nil {
+					b.Fatalf("safety: %v", p.Agg.SafetyErr)
+				}
+				events += p.Agg.Events
+			}
+			b.ReportMetric(float64(len(pts)*rn.Reps), "runs")
+			b.ReportMetric(float64(events)/(b.Elapsed().Seconds()+1e-9), "events/s")
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, runtime.GOMAXPROCS(0)) }

@@ -1,11 +1,16 @@
 package main
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
 
 // fig5and6 prints the performance (Figure 5: throughput, latency, abort
 // rate) and resource usage (Figure 6: CPU, disk bandwidth, network) series
 // over the client grid, for the five configurations of the paper: 1/3/6-CPU
-// centralized servers and 3/6-site replicated databases.
+// centralized servers and 3/6-site replicated databases. Every cell is the
+// mean ± 95% CI over -reps replications.
 func (h *harness) fig5and6(wantFig5, wantFig6 bool) error {
 	if err := h.ensureSweep(); err != nil {
 		return err
@@ -21,21 +26,20 @@ func (h *harness) fig5and6(wantFig5, wantFig6 bool) error {
 		}
 		return nil
 	}
-	printSeries := func(title, unit string, get func(*sweepPoint) float64, skipCentral bool) {
-		fmt.Printf("\n%s (%s):\n%8s", title, unit, "clients")
+	printSeries := func(title, unit string, get func(*sweepPoint) core.Stat, skipCentral bool) {
+		fmt.Printf("\n%s (%s, mean±95%%CI over %d reps):\n%8s", title, unit, h.reps, "clients")
 		for _, c := range cfgs {
-			fmt.Printf(" %10s", c.name)
+			fmt.Printf(" %14s", c.name)
 		}
 		fmt.Println()
 		for _, n := range grid {
 			fmt.Printf("%8d", n)
 			for _, c := range cfgs {
 				if skipCentral && c.sites == 1 {
-					fmt.Printf(" %10s", "-")
+					fmt.Printf(" %14s", "-")
 					continue
 				}
-				p := cell(c, n)
-				fmt.Printf(" %10.1f", get(p))
+				fmt.Printf(" %14s", get(cell(c, n)).String())
 			}
 			fmt.Println()
 		}
@@ -44,11 +48,11 @@ func (h *harness) fig5and6(wantFig5, wantFig6 bool) error {
 	if wantFig5 {
 		header("Figure 5 — performance")
 		printSeries("(a) Throughput", "committed tpm",
-			func(p *sweepPoint) float64 { return p.res.TPM }, false)
+			func(p *sweepPoint) core.Stat { return p.agg.TPM }, false)
 		printSeries("(b) Latency", "ms, mean of committed",
-			func(p *sweepPoint) float64 { return p.res.MeanLatencyMS }, false)
+			func(p *sweepPoint) core.Stat { return p.agg.MeanLatencyMS }, false)
 		printSeries("(c) Abort rate", "%",
-			func(p *sweepPoint) float64 { return p.res.AbortRatePct }, false)
+			func(p *sweepPoint) core.Stat { return p.agg.AbortRatePct }, false)
 		fmt.Println("\nshape checks: 1 CPU saturates near 500 clients (~3000 tpm);")
 		fmt.Println("3 sites track the 3-CPU server and 6 sites the 6-CPU server;")
 		fmt.Println("abort rate explodes only for the saturated 1-CPU configuration.")
@@ -56,11 +60,11 @@ func (h *harness) fig5and6(wantFig5, wantFig6 bool) error {
 	if wantFig6 {
 		header("Figure 6 — resource usage")
 		printSeries("(a) CPU usage", "%",
-			func(p *sweepPoint) float64 { return p.res.CPUUtilPct }, false)
+			func(p *sweepPoint) core.Stat { return p.agg.CPUUtilPct }, false)
 		printSeries("(b) Disk bandwidth usage", "%",
-			func(p *sweepPoint) float64 { return p.res.DiskUtilPct }, false)
+			func(p *sweepPoint) core.Stat { return p.agg.DiskUtilPct }, false)
 		printSeries("(c) Network traffic", "KB/s",
-			func(p *sweepPoint) float64 { return p.res.NetKBps }, true)
+			func(p *sweepPoint) core.Stat { return p.agg.NetKBps }, true)
 		fmt.Println("\nshape checks: with 6 CPUs the disk, not the CPU, becomes the")
 		fmt.Println("bottleneck (read one/write all); network grows linearly with")
 		fmt.Println("clients and is slightly higher for 6 sites (group maintenance).")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/expr"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 )
@@ -11,7 +12,8 @@ import (
 // fig7 reproduces the fault-injection results (Figure 7): empirical CDFs of
 // transaction latency and certification latency for runs with 3 sites and
 // 750 clients under no faults, 5% random loss, and 5% bursty loss, plus the
-// CPU usage of the protocol's real jobs.
+// CPU usage of the protocol's real jobs. The ECDFs pool the latency samples
+// of all -reps replications; the three fault cases run concurrently.
 func (h *harness) fig7() error {
 	header("Figure 7 — performance with fault injection (3 sites, 750 clients)")
 	cases := []struct {
@@ -22,21 +24,22 @@ func (h *harness) fig7() error {
 		{"Random Loss", faults.Loss{Kind: faults.LossRandom, Rate: 0.05}},
 		{"Bursty Loss", faults.Loss{Kind: faults.LossBursty, Rate: 0.05, MeanBurst: 5}},
 	}
-	results := make([]*core.Results, 0, len(cases))
+	tasks := make([]expr.Task, 0, len(cases))
 	for _, c := range cases {
-		r, err := h.faultRun(750, c.loss, h.seed)
-		if err != nil {
-			return fmt.Errorf("fig7 %s: %w", c.label, err)
-		}
-		if r.SafetyErr != nil {
-			return fmt.Errorf("fig7 %s: safety: %v", c.label, r.SafetyErr)
-		}
-		results = append(results, r)
+		tasks = append(tasks, h.faultTask(c.label, 750, c.loss))
+	}
+	pts, err := h.runAll(tasks)
+	if err != nil {
+		return fmt.Errorf("fig7 %w", err)
+	}
+	aggs := make([]*core.Aggregate, len(cases))
+	for i, p := range pts {
+		aggs[i] = p.Agg
 	}
 
 	xs := []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000}
-	printECDF := func(title string, get func(*core.Results) *metrics.Sample) {
-		fmt.Printf("\n%s — ECDF, ratio of latencies <= x:\n", title)
+	printECDF := func(title string, get func(*core.Aggregate) *metrics.Sample) {
+		fmt.Printf("\n%s — ECDF over %d pooled reps, ratio of latencies <= x:\n", title, h.reps)
 		fmt.Printf("%10s", "x (ms)")
 		for _, c := range cases {
 			fmt.Printf(" %14s", c.label)
@@ -44,26 +47,31 @@ func (h *harness) fig7() error {
 		fmt.Println()
 		for _, x := range xs {
 			fmt.Printf("%10.0f", x)
-			for _, r := range results {
-				fmt.Printf(" %14.3f", get(r).ECDF(x))
+			for _, a := range aggs {
+				fmt.Printf(" %14.3f", get(a).ECDF(x))
 			}
 			fmt.Println()
 		}
 	}
-	printECDF("(a) transaction latency distribution", func(r *core.Results) *metrics.Sample { return r.LatCommitted })
-	printECDF("(b) certification latency distribution", func(r *core.Results) *metrics.Sample { return r.CertLat })
+	printECDF("(a) transaction latency distribution", func(a *core.Aggregate) *metrics.Sample { return a.LatCommitted })
+	printECDF("(b) certification latency distribution", func(a *core.Aggregate) *metrics.Sample { return a.CertLat })
 
-	fmt.Printf("\n(c) CPU usage by protocol (real) jobs:\n")
-	fmt.Printf("%-14s %10s\n", "Run", "Usage (%)")
+	fmt.Printf("\n(c) CPU usage by protocol (real) jobs (mean±95%%CI over %d reps):\n", h.reps)
+	fmt.Printf("%-14s %14s\n", "Run", "Usage (%)")
 	for i, c := range cases {
-		fmt.Printf("%-14s %10.2f\n", c.label, results[i].CPURealUtilPct)
+		st := aggs[i].CPURealUtil
+		fmt.Printf("%-14s %14s\n", c.label, fmt.Sprintf("%.2f±%.2f", st.Mean, st.CI95))
 	}
 
-	fmt.Printf("\ngroup communication detail (Section 5.3's blocking analysis):\n")
-	fmt.Printf("%-14s %10s %10s %12s %14s\n", "Run", "retrans", "nacks", "blocked", "blocked time")
+	fmt.Printf("\ngroup communication detail (Section 5.3's blocking analysis, per-run means):\n")
+	fmt.Printf("%-14s %14s %14s %14s %16s\n", "Run", "retrans", "nacks", "blocked", "blocked time")
 	for i, c := range cases {
-		g := results[i].GCS
-		fmt.Printf("%-14s %10d %10d %12d %14v\n", c.label, g.Retransmits, g.Nacks, g.Blocked, g.BlockedTime)
+		a := aggs[i]
+		fmt.Printf("%-14s %14s %14s %14s %16s\n", c.label,
+			fmt.Sprintf("%.0f±%.0f", a.GCSRetransmits.Mean, a.GCSRetransmits.CI95),
+			fmt.Sprintf("%.0f±%.0f", a.GCSNacks.Mean, a.GCSNacks.CI95),
+			fmt.Sprintf("%.0f±%.0f", a.GCSBlocked.Mean, a.GCSBlocked.CI95),
+			fmt.Sprintf("%.0f±%.0fms", a.GCSBlockedMS.Mean, a.GCSBlockedMS.CI95))
 	}
 	fmt.Println("\nshape checks: random loss produces a much longer latency tail than")
 	fmt.Println("the same loss in bursts; the tail is caused by certification delays")

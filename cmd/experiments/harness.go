@@ -2,18 +2,27 @@ package main
 
 import (
 	"fmt"
+	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/expr"
 	"repro/internal/faults"
 	"repro/internal/gcs"
 )
 
 // harness shares configuration and cached sweep results across subcommands.
+// All model executions go through the parallel experiment runner
+// (internal/expr): every grid point is replicated -reps times with derived
+// seeds and reported as mean ± 95% confidence interval.
 type harness struct {
-	fast bool
-	seed int64
-	txns int
+	fast     bool
+	seed     int64
+	txns     int
+	reps     int
+	parallel int
+	progress bool
 
 	sweep []sweepPoint // cached Figure 5/6 grid
 }
@@ -45,69 +54,120 @@ func (h *harness) clientGrid() []int {
 type sweepPoint struct {
 	cfg     config
 	clients int
-	res     *core.Results
+	agg     *core.Aggregate
 }
 
-// run executes one model configuration.
-func (h *harness) run(cfg core.Config) (*core.Results, error) {
+// workers reports the effective pool size.
+func (h *harness) workers() int {
+	if h.parallel > 0 {
+		return h.parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runner builds a worker pool from the -parallel/-reps/-progress flags.
+// Progress goes to stderr so stdout — the tables themselves — stays
+// byte-identical whatever the worker count.
+func (h *harness) runner() *expr.Runner {
+	rn := &expr.Runner{Workers: h.parallel, Reps: h.reps}
+	if h.progress {
+		start := time.Now()
+		rn.OnRun = func(done, total int, t expr.Task, rep int, r *core.Results, err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "\n[%d/%d] %s rep %d: error: %v\n", done, total, t.Label, rep, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "\r[%3d/%3d %6s] %-14s rep %d: %s        ",
+				done, total, time.Since(start).Round(time.Second), t.Label, rep, r.Summary())
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	return rn
+}
+
+// fill applies harness defaults to one task configuration.
+func (h *harness) fill(cfg core.Config) core.Config {
 	if cfg.TotalTxns == 0 {
 		cfg.TotalTxns = h.txns
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = h.seed
 	}
-	m, err := core.New(cfg)
+	return cfg
+}
+
+// runAll executes a batch of tasks on the pool and checks every point's
+// safety verdict.
+func (h *harness) runAll(tasks []expr.Task) ([]expr.Point, error) {
+	for i := range tasks {
+		tasks[i].Config = h.fill(tasks[i].Config)
+	}
+	pts, err := h.runner().Run(tasks)
 	if err != nil {
 		return nil, err
 	}
-	return m.Run()
+	for _, p := range pts {
+		if p.Agg.SafetyErr != nil {
+			return nil, fmt.Errorf("%s: safety: %v", p.Task.Label, p.Agg.SafetyErr)
+		}
+	}
+	return pts, nil
 }
 
-// ensureSweep runs (once) the full client grid over every configuration.
+// ensureSweep runs (once) the full client grid over every configuration,
+// fanned across the worker pool.
 func (h *harness) ensureSweep() error {
 	if h.sweep != nil {
 		return nil
 	}
-	total := len(h.configs()) * len(h.clientGrid())
-	done := 0
-	start := time.Now()
+	var tasks []expr.Task
 	for _, cfg := range h.configs() {
 		for _, clients := range h.clientGrid() {
-			r, err := h.run(core.Config{
-				Sites:       cfg.sites,
-				CPUsPerSite: cfg.cpus,
-				Clients:     clients,
-				Seed:        h.seed,
+			tasks = append(tasks, expr.Task{
+				Label: fmt.Sprintf("%s/%dc", cfg.name, clients),
+				Config: core.Config{
+					Sites:       cfg.sites,
+					CPUsPerSite: cfg.cpus,
+					Clients:     clients,
+				},
 			})
-			if err != nil {
-				return fmt.Errorf("sweep %s/%d clients: %w", cfg.name, clients, err)
-			}
-			if r.SafetyErr != nil {
-				return fmt.Errorf("sweep %s/%d clients: safety: %v", cfg.name, clients, r.SafetyErr)
-			}
-			h.sweep = append(h.sweep, sweepPoint{cfg: cfg, clients: clients, res: r})
-			done++
-			fmt.Printf("\r[sweep %d/%d] %-8s %4d clients: %s        ",
-				done, total, cfg.name, clients, r.Summary())
 		}
 	}
-	fmt.Printf("\rsweep: %d runs in %v%s\n", total, time.Since(start).Round(time.Second),
-		"                                                            ")
+	start := time.Now()
+	pts, err := h.runAll(tasks)
+	if err != nil {
+		return fmt.Errorf("sweep %w", err)
+	}
+	for i, p := range pts {
+		// The cached grid only ever reads the merged stats and pooled
+		// samples; drop the per-replication Results so the sweep cache
+		// doesn't pin every raw run for the process lifetime.
+		p.Agg.Runs = nil
+		h.sweep = append(h.sweep, sweepPoint{
+			cfg:     h.configs()[i/len(h.clientGrid())],
+			clients: h.clientGrid()[i%len(h.clientGrid())],
+			agg:     p.Agg,
+		})
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d runs (%d points x %d reps) in %v on %d workers\n",
+		len(tasks)*h.reps, len(tasks), h.reps,
+		time.Since(start).Round(time.Second), h.workers())
 	return nil
 }
 
-// faultRun executes the Figure 7 / Table 2 fault configurations: 3 sites
-// with the constrained buffer pool the paper's prototype ran with.
-func (h *harness) faultRun(clients int, loss faults.Loss, seed int64) (*core.Results, error) {
-	return h.run(core.Config{
+// faultTask builds a Figure 7 / Table 2 fault configuration: 3 sites with
+// the constrained buffer pool the paper's prototype ran with.
+func (h *harness) faultTask(label string, clients int, loss faults.Loss) expr.Task {
+	return expr.Task{Label: label, Config: core.Config{
 		Sites:         3,
 		CPUsPerSite:   1,
 		Clients:       clients,
-		Seed:          seed,
 		Faults:        faults.Config{Loss: loss},
 		CollectTxnLog: true,
 		GCSTweak:      func(c *gcs.Config) { c.BufferBytes = 96 * 1024 },
-	})
+	}}
 }
 
 // header prints a section banner.

@@ -12,6 +12,12 @@
 //	table2  abort rates under message loss (Table 2)
 //	all     everything above
 //
+// Every grid point runs -reps independent replications (derived seeds) and
+// is reported as mean ± 95% confidence interval. The (configuration ×
+// client count × seed) grid fans out across -parallel workers; runs are
+// deterministic and independent, so the aggregates printed on stdout are
+// byte-identical whatever the worker count (progress goes to stderr).
+//
 // Use -fast for a reduced-scale pass (minutes instead of tens of minutes).
 package main
 
@@ -24,8 +30,11 @@ import (
 func main() {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	fast := fs.Bool("fast", false, "reduced scale: fewer transactions and sweep points")
-	seed := fs.Int64("seed", 42, "base random seed")
+	seed := fs.Int64("seed", 42, "base random seed (replication seeds derive from it)")
 	txns := fs.Int("txns", 0, "transactions per run (0 = paper's 10000, or 2000 with -fast)")
+	reps := fs.Int("reps", 3, "replications per grid point (mean ± 95% CI)")
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+	progress := fs.Bool("progress", true, "report per-run progress on stderr")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig3|fig4|fig5|fig6|table1|fig7|table2|all")
 		fs.PrintDefaults()
@@ -37,7 +46,17 @@ func main() {
 		fs.Usage()
 		os.Exit(2)
 	}
-	h := &harness{fast: *fast, seed: *seed, txns: *txns}
+	h := &harness{
+		fast:     *fast,
+		seed:     *seed,
+		txns:     *txns,
+		reps:     *reps,
+		parallel: *parallel,
+		progress: *progress,
+	}
+	if h.reps < 1 {
+		h.reps = 1
+	}
 	if h.txns == 0 {
 		h.txns = 10000
 		if h.fast {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/expr"
 	"repro/internal/faults"
 )
 
@@ -18,39 +19,40 @@ var classOrder = []struct{ key, label string }{
 	{"stocklevel", "stocklevel"},
 }
 
-// abortRow extracts a class abort percentage from results.
-func abortRow(r *core.Results, class string) float64 {
-	for _, c := range r.Classes {
-		if c.Name == class {
-			return c.AbortRatePct
-		}
+// abortRow extracts a class abort-rate stat from an aggregate.
+func abortRow(a *core.Aggregate, class string) core.Stat {
+	if c := a.Class(class); c != nil {
+		return c.AbortRatePct
 	}
-	return 0
+	return core.Stat{}
 }
 
-func printAbortTable(columns []string, results []*core.Results) {
+func printAbortTable(columns []string, aggs []*core.Aggregate, reps int) {
+	fmt.Printf("abort rates in %%, mean±95%%CI over %d reps\n", reps)
 	fmt.Printf("%-20s", "Transaction")
 	for _, c := range columns {
-		fmt.Printf(" %14s", c)
+		fmt.Printf(" %16s", c)
 	}
 	fmt.Println()
+	pct := func(st core.Stat) string { return fmt.Sprintf("%.2f±%.2f", st.Mean, st.CI95) }
 	for _, row := range classOrder {
 		fmt.Printf("%-20s", row.label)
-		for _, r := range results {
-			fmt.Printf(" %14.2f", abortRow(r, row.key))
+		for _, a := range aggs {
+			fmt.Printf(" %16s", pct(abortRow(a, row.key)))
 		}
 		fmt.Println()
 	}
 	fmt.Printf("%-20s", "All")
-	for _, r := range results {
-		fmt.Printf(" %14.2f", r.AbortRatePct)
+	for _, a := range aggs {
+		fmt.Printf(" %16s", pct(a.AbortRatePct))
 	}
 	fmt.Println()
 }
 
 // table1 reproduces the abort-rate breakdown (Table 1): 500 clients on a
 // 1-CPU server; 1000 clients on a 3-CPU server versus 3 replicated sites;
-// 1500 clients on a 6-CPU server versus 6 replicated sites.
+// 1500 clients on a 6-CPU server versus 6 replicated sites. The five
+// columns run concurrently on the worker pool.
 func (h *harness) table1() error {
 	header("Table 1 — abort rates (%)")
 	type col struct {
@@ -66,25 +68,25 @@ func (h *harness) table1() error {
 		{"1500c 1sx6CPU", 1500, 1, 6},
 		{"1500c 6sx1CPU", 1500, 6, 1},
 	}
-	labels := make([]string, 0, len(cols))
-	results := make([]*core.Results, 0, len(cols))
+	tasks := make([]expr.Task, 0, len(cols))
 	for _, c := range cols {
-		r, err := h.run(core.Config{
+		tasks = append(tasks, expr.Task{Label: c.label, Config: core.Config{
 			Sites:       c.sites,
 			CPUsPerSite: c.cpus,
 			Clients:     c.clients,
-			Seed:        h.seed,
-		})
-		if err != nil {
-			return fmt.Errorf("table1 %s: %w", c.label, err)
-		}
-		if r.SafetyErr != nil {
-			return fmt.Errorf("table1 %s: safety: %v", c.label, r.SafetyErr)
-		}
-		labels = append(labels, c.label)
-		results = append(results, r)
+		}})
 	}
-	printAbortTable(labels, results)
+	pts, err := h.runAll(tasks)
+	if err != nil {
+		return fmt.Errorf("table1 %w", err)
+	}
+	labels := make([]string, len(cols))
+	aggs := make([]*core.Aggregate, len(cols))
+	for i, p := range pts {
+		labels[i] = cols[i].label
+		aggs[i] = p.Agg
+	}
+	printAbortTable(labels, aggs, h.reps)
 	fmt.Println("\nshape checks: payment dominates aborts (hot Warehouse rows) and")
 	fmt.Println("grows with replication; neworder stays near its 1% user-abort")
 	fmt.Println("floor; read-only classes (orderstatus-short, stocklevel) are 0.")
@@ -103,20 +105,21 @@ func (h *harness) table2() error {
 		{"Random - 5%", faults.Loss{Kind: faults.LossRandom, Rate: 0.05}},
 		{"Bursty - 5%", faults.Loss{Kind: faults.LossBursty, Rate: 0.05, MeanBurst: 5}},
 	}
-	labels := make([]string, 0, len(cols))
-	results := make([]*core.Results, 0, len(cols))
+	tasks := make([]expr.Task, 0, len(cols))
 	for _, c := range cols {
-		r, err := h.faultRun(1000, c.loss, h.seed)
-		if err != nil {
-			return fmt.Errorf("table2 %s: %w", c.label, err)
-		}
-		if r.SafetyErr != nil {
-			return fmt.Errorf("table2 %s: safety: %v", c.label, r.SafetyErr)
-		}
-		labels = append(labels, c.label)
-		results = append(results, r)
+		tasks = append(tasks, h.faultTask(c.label, 1000, c.loss))
 	}
-	printAbortTable(labels, results)
+	pts, err := h.runAll(tasks)
+	if err != nil {
+		return fmt.Errorf("table2 %w", err)
+	}
+	labels := make([]string, len(cols))
+	aggs := make([]*core.Aggregate, len(cols))
+	for i, p := range pts {
+		labels[i] = cols[i].label
+		aggs[i] = p.Agg
+	}
+	printAbortTable(labels, aggs, h.reps)
 	fmt.Println("\nshape checks: loss extends certification latency, widening the")
 	fmt.Println("conflict window: every update class aborts more, random loss")
 	fmt.Println("hurting more than the same rate in bursts.")

@@ -7,6 +7,7 @@
 // Database State Machine certification procedure and of a view-synchronous
 // atomic multicast stack against simulated network, database engine, and
 // TPC-C traffic generator components — and regenerates every table and
-// figure of the paper's evaluation. See README.md, DESIGN.md and
-// EXPERIMENTS.md, and the per-package documentation under internal/.
+// figure of the paper's evaluation, with multi-seed replication and 95%
+// confidence intervals via the parallel experiment engine (internal/expr).
+// See README.md and the per-package documentation under internal/.
 package repro

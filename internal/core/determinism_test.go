@@ -1,0 +1,95 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSameSeedSameResults is the regression guard for the invariant the
+// parallel experiment runner relies on: a Model run is a pure function of
+// its Config (including Seed), so two runs with the same seed must produce
+// identical Results — counts, latency sample moments, and per-class rows.
+func TestSameSeedSameResults(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"centralized", Config{Sites: 1, Clients: 30, TotalTxns: 200, Seed: 99}},
+		{"replicated", Config{Sites: 3, Clients: 30, TotalTxns: 200, Seed: 99}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() *Results {
+				m, err := New(tc.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := m.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			}
+			a, b := run(), run()
+
+			if a.Issued != b.Issued || a.Submitted != b.Submitted ||
+				a.Committed != b.Committed || a.Aborted != b.Aborted {
+				t.Fatalf("counts diverge: %d/%d/%d/%d vs %d/%d/%d/%d",
+					a.Issued, a.Submitted, a.Committed, a.Aborted,
+					b.Issued, b.Submitted, b.Committed, b.Aborted)
+			}
+			if a.Duration != b.Duration || a.Events != b.Events {
+				t.Fatalf("run shape diverges: duration %v/%v events %d/%d",
+					a.Duration, b.Duration, a.Events, b.Events)
+			}
+			if a.TPM != b.TPM || a.AbortRatePct != b.AbortRatePct || a.NetKBps != b.NetKBps {
+				t.Fatalf("headline metrics diverge: tpm %v/%v abort %v/%v net %v/%v",
+					a.TPM, b.TPM, a.AbortRatePct, b.AbortRatePct, a.NetKBps, b.NetKBps)
+			}
+			// Latency sample moments, not just means: same n, sum, spread.
+			for _, s := range []struct {
+				name string
+				x, y interface {
+					N() int
+					Mean() float64
+					StdDev() float64
+				}
+			}{
+				{"committed", a.LatCommitted, b.LatCommitted},
+				{"readonly", a.LatReadOnly, b.LatReadOnly},
+				{"update", a.LatUpdate, b.LatUpdate},
+				{"cert", a.CertLat, b.CertLat},
+			} {
+				if s.x.N() != s.y.N() || s.x.Mean() != s.y.Mean() || s.x.StdDev() != s.y.StdDev() {
+					t.Fatalf("%s latency sample diverges: n=%d/%d mean=%v/%v sd=%v/%v",
+						s.name, s.x.N(), s.y.N(), s.x.Mean(), s.y.Mean(), s.x.StdDev(), s.y.StdDev())
+				}
+			}
+			if !reflect.DeepEqual(a.Classes, b.Classes) {
+				t.Fatalf("class breakdown diverges:\n%+v\nvs\n%+v", a.Classes, b.Classes)
+			}
+			if !reflect.DeepEqual(a.GCS, b.GCS) {
+				t.Fatalf("GCS stats diverge: %+v vs %+v", a.GCS, b.GCS)
+			}
+		})
+	}
+}
+
+// TestDifferentSeedDifferentResults is the counterpart sanity check: seeds
+// actually steer the run (otherwise replication CIs would be meaningless).
+func TestDifferentSeedDifferentResults(t *testing.T) {
+	run := func(seed int64) *Results {
+		m, err := New(Config{Sites: 1, Clients: 30, TotalTxns: 200, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(1), run(2)
+	if a.TPM == b.TPM && a.MeanLatencyMS == b.MeanLatencyMS && a.Events == b.Events {
+		t.Fatal("two different seeds produced an identical run")
+	}
+}

@@ -242,3 +242,185 @@ func (r *Results) Summary() string {
 	}
 	return b.String()
 }
+
+// Stat is the mean ± 95% confidence interval of one scalar metric over R
+// replicated runs.
+type Stat struct {
+	Mean float64
+	CI95 float64 // half-width of the 95% Student-t confidence interval
+	Min  float64
+	Max  float64
+	N    int
+}
+
+// String renders "mean±ci" with one decimal.
+func (st Stat) String() string { return fmt.Sprintf("%.1f±%.1f", st.Mean, st.CI95) }
+
+func statOf(vals []float64) Stat {
+	var s metrics.Sample
+	for _, v := range vals {
+		s.Add(v)
+	}
+	return Stat{Mean: s.Mean(), CI95: s.CI95(), Min: s.Min(), Max: s.Max(), N: s.N()}
+}
+
+// ClassAggregate is one row of an abort-rate table aggregated over
+// replications.
+type ClassAggregate struct {
+	Name          string
+	AbortRatePct  Stat
+	MeanLatencyMS Stat
+}
+
+// Aggregate merges R replicated Results of the same configuration (run with
+// different seeds) into mean ± 95% CI summaries per reported metric, plus
+// pooled latency samples for distribution plots. Aggregation order is the
+// replication order, so the same runs always produce the identical
+// aggregate regardless of how the runs themselves were scheduled.
+type Aggregate struct {
+	Reps int
+	// Headline metrics — Figures 5 and 6.
+	TPM           Stat
+	MeanLatencyMS Stat
+	P95LatencyMS  Stat
+	AbortRatePct  Stat
+	CPUUtilPct    Stat
+	CPURealUtil   Stat
+	DiskUtilPct   Stat
+	NetKBps       Stat
+	Committed     Stat
+	Aborted       Stat
+	// Group-communication detail — Figure 7 and Section 5.3.
+	GCSRetransmits Stat
+	GCSNacks       Stat
+	GCSBlocked     Stat
+	GCSBlockedMS   Stat
+	// Classes aggregates abort-rate rows — Tables 1 and 2.
+	Classes []ClassAggregate
+	// Pooled latency samples over all replications — Figures 4 and 7.
+	LatCommitted *metrics.Sample
+	LatReadOnly  *metrics.Sample
+	LatUpdate    *metrics.Sample
+	CertLat      *metrics.Sample
+	// SafetyErr is the first replication's safety violation, if any.
+	SafetyErr error
+	// Inconsistencies sums local-abort-vs-global-commit divergences.
+	Inconsistencies int64
+	// Events sums simulation events over all replications.
+	Events int64
+	// Runs holds the underlying per-replication results, in order.
+	Runs []*Results
+}
+
+// AggregateRuns merges replicated results. It panics on an empty slice —
+// every grid point runs at least one replication.
+func AggregateRuns(runs []*Results) *Aggregate {
+	if len(runs) == 0 {
+		panic("core: AggregateRuns on empty run set")
+	}
+	a := &Aggregate{
+		Reps:         len(runs),
+		LatCommitted: &metrics.Sample{},
+		LatReadOnly:  &metrics.Sample{},
+		LatUpdate:    &metrics.Sample{},
+		CertLat:      &metrics.Sample{},
+		Runs:         runs,
+	}
+	col := func(get func(*Results) float64) Stat {
+		vals := make([]float64, len(runs))
+		for i, r := range runs {
+			vals[i] = get(r)
+		}
+		return statOf(vals)
+	}
+	a.TPM = col(func(r *Results) float64 { return r.TPM })
+	a.MeanLatencyMS = col(func(r *Results) float64 { return r.MeanLatencyMS })
+	a.P95LatencyMS = col(func(r *Results) float64 { return r.P95LatencyMS })
+	a.AbortRatePct = col(func(r *Results) float64 { return r.AbortRatePct })
+	a.CPUUtilPct = col(func(r *Results) float64 { return r.CPUUtilPct })
+	a.CPURealUtil = col(func(r *Results) float64 { return r.CPURealUtilPct })
+	a.DiskUtilPct = col(func(r *Results) float64 { return r.DiskUtilPct })
+	a.NetKBps = col(func(r *Results) float64 { return r.NetKBps })
+	a.Committed = col(func(r *Results) float64 { return float64(r.Committed) })
+	a.Aborted = col(func(r *Results) float64 { return float64(r.Aborted) })
+	a.GCSRetransmits = col(func(r *Results) float64 { return float64(r.GCS.Retransmits) })
+	a.GCSNacks = col(func(r *Results) float64 { return float64(r.GCS.Nacks) })
+	a.GCSBlocked = col(func(r *Results) float64 { return float64(r.GCS.Blocked) })
+	a.GCSBlockedMS = col(func(r *Results) float64 { return r.GCS.BlockedTime.Seconds() * 1e3 })
+
+	for _, r := range runs {
+		for _, v := range r.LatCommitted.Values() {
+			a.LatCommitted.Add(v)
+		}
+		for _, v := range r.LatReadOnly.Values() {
+			a.LatReadOnly.Add(v)
+		}
+		for _, v := range r.LatUpdate.Values() {
+			a.LatUpdate.Add(v)
+		}
+		for _, v := range r.CertLat.Values() {
+			a.CertLat.Add(v)
+		}
+		if a.SafetyErr == nil {
+			a.SafetyErr = r.SafetyErr
+		}
+		a.Inconsistencies += r.Inconsistencies
+		a.Events += r.Events
+	}
+
+	// Class rows: union of class names in sorted order; a replication that
+	// never saw a class contributes a zero observation, keeping every
+	// column the same width.
+	nameSet := map[string]bool{}
+	for _, r := range runs {
+		for _, c := range r.Classes {
+			nameSet[c.Name] = true
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		abort := make([]float64, len(runs))
+		lat := make([]float64, len(runs))
+		for i, r := range runs {
+			for _, c := range r.Classes {
+				if c.Name == name {
+					abort[i] = c.AbortRatePct
+					lat[i] = c.MeanLatencyMS
+					break
+				}
+			}
+		}
+		a.Classes = append(a.Classes, ClassAggregate{
+			Name:          name,
+			AbortRatePct:  statOf(abort),
+			MeanLatencyMS: statOf(lat),
+		})
+	}
+	return a
+}
+
+// Class returns the aggregated row for a class name, or nil.
+func (a *Aggregate) Class(name string) *ClassAggregate {
+	for i := range a.Classes {
+		if a.Classes[i].Name == name {
+			return &a.Classes[i]
+		}
+	}
+	return nil
+}
+
+// Summary renders a one-line digest with confidence intervals.
+func (a *Aggregate) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tpm=%.0f±%.0f latency=%.1f±%.1fms abort=%.2f±%.2f%% cpu=%.1f%% disk=%.1f%%",
+		a.TPM.Mean, a.TPM.CI95, a.MeanLatencyMS.Mean, a.MeanLatencyMS.CI95,
+		a.AbortRatePct.Mean, a.AbortRatePct.CI95, a.CPUUtilPct.Mean, a.DiskUtilPct.Mean)
+	if a.SafetyErr != nil {
+		fmt.Fprintf(&b, " SAFETY-VIOLATION(%v)", a.SafetyErr)
+	}
+	return b.String()
+}

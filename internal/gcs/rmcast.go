@@ -83,8 +83,16 @@ func (rm *relMcast) peer(id NodeID) *peerState {
 // received).
 func (rm *relMcast) contiguous(p NodeID) uint64 { return rm.peer(p).recvNext - 1 }
 
-// share is this member's slice of the buffer pool.
-func (rm *relMcast) share() int { return rm.s.cfg.BufferBytes / len(rm.s.view.Members) }
+// share is this member's slice of the buffer pool. A view can transiently
+// hold no members (every peer removed during a fault scenario), in which
+// case the whole pool is ours.
+func (rm *relMcast) share() int {
+	n := len(rm.s.view.Members)
+	if n == 0 {
+		return rm.s.cfg.BufferBytes
+	}
+	return rm.s.cfg.BufferBytes / n
+}
 
 // cast fragments a payload into stream chunks and queues them for
 // flow-controlled transmission. All chunks of one message are enqueued

@@ -1,0 +1,21 @@
+package gcs
+
+import "testing"
+
+// TestShareEmptyView guards the buffer-share computation against a view
+// with no members (every peer removed during a fault scenario): it must
+// fall back to the whole pool instead of dividing by zero.
+func TestShareEmptyView(t *testing.T) {
+	c := newCluster(t, 2, 1, nil)
+	st := c.stacks[1]
+	full := st.cfg.BufferBytes
+	if got := st.rm.share(); got != full/2 {
+		t.Fatalf("share with 2 members = %d, want %d", got, full/2)
+	}
+	st.view = View{ID: st.view.ID + 1, Members: nil}
+	if got := st.rm.share(); got != full {
+		t.Fatalf("share with empty view = %d, want the whole pool %d", got, full)
+	}
+	// drain consults share(); it must not panic on the empty view.
+	st.rm.drain()
+}

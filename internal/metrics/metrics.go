@@ -52,6 +52,36 @@ func (s *Sample) StdDev() float64 {
 	return math.Sqrt(v)
 }
 
+// tCrit95 holds two-sided 95% Student-t critical values indexed by degrees
+// of freedom minus one (tCrit95[0] is df=1).
+var tCrit95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCrit95 returns the two-sided 95% Student-t critical value for df degrees
+// of freedom, falling back to the normal approximation beyond the table.
+func TCrit95(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(tCrit95) {
+		return tCrit95[df-1]
+	}
+	return 1.960
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean
+// (Student-t), or 0 when fewer than two observations exist.
+func (s *Sample) CI95() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	return TCrit95(n-1) * s.StdDev() / math.Sqrt(float64(n))
+}
+
 func (s *Sample) ensureSorted() {
 	if !s.sorted {
 		sort.Float64s(s.values)
