@@ -1,9 +1,17 @@
-// Command faultsim runs the Section 5.3 dependability matrix: for each fault
-// type — clock drift, scheduling latency, random loss, bursty loss, crash —
-// it executes replicated runs over several seeds and verifies the safety
-// condition: all operational sites commit exactly the same sequence of
-// transactions (compared off-line after each run), with a crashed site's log
-// a prefix of the survivors'.
+// Command faultsim checks the Section 5.3 safety condition — all operational
+// sites commit identical transaction sequences, and a crashed or
+// partitioned-minority site's log is a prefix of the survivors' (verified by
+// internal/check) — under two kinds of fault load:
+//
+//   - the fixed dependability matrix: the paper's fault rows (clock drift,
+//     scheduling latency, random loss, bursty loss, crashes) plus network
+//     partition-and-heal rows, each replicated over several seeds;
+//   - randomized campaigns (-campaign N): seeded adversarial schedules from
+//     internal/campaign composing every fault type, fanned out across cores
+//     by the internal/expr runner, with verdicts aggregated per fault type.
+//
+// Every campaign schedule is reproducible from its printed seed via -replay.
+// The process exits non-zero when any run violates safety.
 package main
 
 import (
@@ -12,22 +20,74 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/expr"
 	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
 func main() {
 	fs := flag.NewFlagSet("faultsim", flag.ExitOnError)
-	seeds := fs.Int("seeds", 3, "seeds per fault type")
+	seeds := fs.Int("seeds", 3, "seeds per fixed-matrix fault type")
 	txns := fs.Int("txns", 2000, "transactions per run")
 	clients := fs.Int("clients", 300, "clients per run")
 	sites := fs.Int("sites", 3, "replica count")
+	parallel := fs.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+	nCampaign := fs.Int("campaign", 0, "run N randomized fault schedules instead of the fixed matrix")
+	baseSeed := fs.Int64("seed", 1, "campaign base seed (schedule i uses a seed derived from it)")
+	replay := fs.Int64("replay", 0, "re-run the single campaign schedule with this seed")
+	short := fs.Bool("short", false, "smoke mode for CI: small transaction counts, clients, and seeds")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
+	if *short {
+		*txns, *clients, *seeds = 300, 60, 2
+	}
 
-	matrix := []struct {
+	base := core.Config{
+		Sites:      *sites,
+		Clients:    *clients,
+		TotalTxns:  *txns,
+		MaxSimTime: 20 * sim.Minute,
+	}
+	params := campaign.Params{Sites: *sites}
+	if *short {
+		// Shorter runs need faults that land while traffic still flows.
+		params.Horizon = 15 * sim.Second
+	}
+
+	// The reproduce hint must carry every flag that shapes the schedule
+	// and the workload — in particular -short, which changes the campaign
+	// horizon and therefore the schedule a seed generates.
+	repro := fmt.Sprintf("faultsim -sites %d -clients %d -txns %d", *sites, *clients, *txns)
+	if *short {
+		repro = "faultsim -short -sites " + fmt.Sprint(*sites)
+	}
+
+	var failures int
+	switch {
+	case *replay != 0:
+		failures = runCampaign(base, []campaign.Schedule{campaign.New(*replay, params)}, *parallel, repro, true)
+	case *nCampaign > 0:
+		failures = runCampaign(base, campaign.Plan(*baseSeed, *nCampaign, params), *parallel, repro, false)
+	default:
+		failures = runMatrix(base, *seeds, *parallel)
+	}
+	if failures > 0 {
+		fmt.Printf("\n%d run(s) violated safety or errored\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nall runs safe: every operational site committed the same sequence")
+}
+
+// matrix is the fixed dependability matrix: the paper's Section 5.3 fault
+// rows plus partition-and-heal rows for the network-split extension.
+func matrix() []struct {
+	name string
+	f    faults.Config
+} {
+	return []struct {
 		name string
 		f    faults.Config
 	}{
@@ -43,50 +103,98 @@ func main() {
 			Loss:    faults.Loss{Kind: faults.LossRandom, Rate: 0.05},
 			Crashes: []faults.Crash{{Site: 2, At: 20 * sim.Second}},
 		}},
+		{"partition site 3 @20s heal @40s", faults.Config{
+			Partitions: []faults.Partition{{Sites: []int32{3}, At: 20 * sim.Second, Heal: 40 * sim.Second}},
+		}},
+		{"partition site 3 @20s (no heal)", faults.Config{
+			Partitions: []faults.Partition{{Sites: []int32{3}, At: 20 * sim.Second}},
+		}},
 	}
-
-	failures := 0
-	for _, row := range matrix {
-		for s := 0; s < *seeds; s++ {
-			seed := int64(1000*s + 17)
-			start := time.Now()
-			verdict, detail := runOne(*sites, *clients, *txns, seed, row.f)
-			if verdict != "SAFE" {
-				failures++
-			}
-			fmt.Printf("%-30s seed=%-5d %-6s (%v) %s\n",
-				row.name, seed, verdict, time.Since(start).Round(time.Millisecond), detail)
-		}
-	}
-	if failures > 0 {
-		fmt.Printf("\n%d run(s) violated safety\n", failures)
-		os.Exit(1)
-	}
-	fmt.Println("\nall runs safe: every operational site committed the same sequence")
 }
 
-func runOne(sites, clients, txns int, seed int64, f faults.Config) (string, string) {
-	m, err := core.New(core.Config{
-		Sites:      sites,
-		Clients:    clients,
-		TotalTxns:  txns,
-		Seed:       seed,
-		Faults:     f,
-		MaxSimTime: 20 * sim.Minute,
-	})
-	if err != nil {
-		return "ERROR", err.Error()
+// runMatrix fans the (row × seed) grid across the pool and prints one
+// verdict per run, in deterministic row order.
+func runMatrix(base core.Config, seeds, parallel int) int {
+	rows := matrix()
+	var tasks []expr.Task
+	for _, row := range rows {
+		for s := 0; s < seeds; s++ {
+			cfg := base
+			cfg.Seed = int64(1000*s + 17)
+			cfg.Faults = row.f
+			tasks = append(tasks, expr.Task{Label: row.name, Config: cfg, Reps: 1})
+		}
 	}
-	r, err := m.Run()
-	if err != nil {
-		return "ERROR", err.Error()
+	start := time.Now()
+	points, _ := (&expr.Runner{Workers: parallel}).Run(tasks)
+	failures := 0
+	for _, pt := range points {
+		verdict, detail := verdictOf(pt)
+		if verdict != "SAFE" {
+			failures++
+		}
+		fmt.Printf("%-33s seed=%-5d %-6s %s\n", pt.Task.Label, pt.Task.Config.Seed, verdict, detail)
 	}
+	fmt.Printf("\n%d runs in %v\n", len(points), time.Since(start).Round(time.Millisecond))
+	return failures
+}
+
+// runCampaign executes randomized schedules through the pool, prints one
+// verdict line per schedule, and aggregates verdicts per fault type.
+func runCampaign(base core.Config, plan []campaign.Schedule, parallel int, repro string, verbose bool) int {
+	start := time.Now()
+	points, _ := (&expr.Runner{Workers: parallel}).Run(campaign.Tasks(plan, base))
+
+	type tally struct{ runs, unsafe int }
+	perKind := map[string]*tally{}
+	for _, k := range campaign.Kinds() {
+		perKind[k] = &tally{}
+	}
+	failures := 0
+	for i, pt := range points {
+		sched := plan[i]
+		verdict, detail := verdictOf(pt)
+		safe := verdict == "SAFE"
+		if !safe {
+			failures++
+		}
+		for _, k := range sched.Kinds {
+			perKind[k].runs++
+			if !safe {
+				perKind[k].unsafe++
+			}
+		}
+		fmt.Printf("campaign[%3d] seed=%-20d %-40s %-6s %s\n", i, sched.Seed, sched.Label(), verdict, detail)
+		if verbose {
+			fmt.Printf("  faults: %+v\n", sched.Faults)
+		}
+		if !safe {
+			fmt.Printf("  reproduce: %s -replay %d\n", repro, sched.Seed)
+		}
+	}
+
+	fmt.Printf("\nper-fault-type verdicts (%d schedules, %v):\n", len(points), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  %-15s %5s %7s\n", "fault type", "runs", "unsafe")
+	for _, k := range campaign.Kinds() {
+		t := perKind[k]
+		fmt.Printf("  %-15s %5d %7d\n", k, t.runs, t.unsafe)
+	}
+	return failures
+}
+
+// verdictOf classifies one completed grid point.
+func verdictOf(pt expr.Point) (string, string) {
+	if pt.Err != nil {
+		return "ERROR", pt.Err.Error()
+	}
+	r := pt.Agg.Runs[0]
 	switch {
 	case r.SafetyErr != nil:
 		return "UNSAFE", r.SafetyErr.Error()
 	case r.Inconsistencies != 0:
 		return "UNSAFE", fmt.Sprintf("%d local/global inconsistencies", r.Inconsistencies)
 	default:
-		return "SAFE", fmt.Sprintf("committed=%d tpm=%.0f viewchanges=%d", r.Committed, r.TPM, r.GCS.ViewChanges)
+		return "SAFE", fmt.Sprintf("committed=%d tpm=%.0f viewchanges=%d quorumlosses=%d",
+			r.Committed, r.TPM, r.GCS.ViewChanges, r.GCS.QuorumLosses)
 	}
 }

@@ -1,0 +1,232 @@
+// Package campaign generates randomized fault schedules for dependability
+// campaigns. Where cmd/faultsim's fixed matrix replays the paper's nine
+// Section 5.3 fault loads, a campaign draws hundreds of adversarial
+// schedules — composing clock drift, scheduling latency, random and bursty
+// message loss, site crashes, and network partitions with scheduled heal
+// times — and checks every run against the internal/check safety condition.
+//
+// Every schedule is a pure function of its seed: the same seed regenerates
+// the same faults.Config and drives the same simulation, so any campaign
+// failure is reproducible from the one-line verdict it printed and becomes
+// a regression test by pinning that seed.
+//
+// Schedules are generated quorum-safe by construction: crashed plus
+// partitioned sites never reach half of the group, so a primary component
+// always survives to make progress, and partition minorities are drawn from
+// the highest-numbered sites so the sequencer (the lowest live member, and
+// the only node guaranteed to hold every ordered message) stays on the
+// majority side.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// Fault-kind labels used in schedules and verdict aggregation.
+const (
+	KindDrift      = "clock-drift"
+	KindLatency    = "sched-latency"
+	KindLossRandom = "loss-random"
+	KindLossBursty = "loss-bursty"
+	KindCrash      = "crash"
+	KindPartition  = "partition"
+)
+
+// Kinds lists every fault kind a campaign can inject, in report order.
+func Kinds() []string {
+	return []string{KindDrift, KindLatency, KindLossRandom, KindLossBursty, KindCrash, KindPartition}
+}
+
+// Params bounds the schedule space.
+type Params struct {
+	// Sites is the replica count the schedules target (default 3). It
+	// bounds the crash/partition budget: injected site failures always
+	// leave a strict majority operational.
+	Sites int
+	// Horizon is the window over which fault onsets are scheduled
+	// (default 40s) — late enough that every schedule exercises some
+	// fault-free traffic first, early enough that the survivors then run
+	// degraded for most of the experiment.
+	Horizon sim.Time
+}
+
+func (p *Params) fill() {
+	if p.Sites == 0 {
+		p.Sites = 3
+	}
+	if p.Horizon == 0 {
+		p.Horizon = 40 * sim.Second
+	}
+}
+
+// Schedule is one generated fault load.
+type Schedule struct {
+	// Seed regenerates the schedule (New(Seed, params) == this) and seeds
+	// the run itself.
+	Seed int64
+	// Kinds lists the injected fault kinds, in report order.
+	Kinds []string
+	// Faults is the composed fault load.
+	Faults faults.Config
+}
+
+// Has reports whether the schedule injects the given fault kind.
+func (s Schedule) Has(kind string) bool {
+	for _, k := range s.Kinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Label renders a compact schedule description for verdict lines.
+func (s Schedule) Label() string {
+	if len(s.Kinds) == 0 {
+		return "fault-free"
+	}
+	return strings.Join(s.Kinds, "+")
+}
+
+// New deterministically generates the schedule for a seed. All randomness
+// flows from the seed through a dedicated RNG stream, so equal seeds yield
+// equal schedules on every machine.
+func New(seed int64, p Params) Schedule {
+	p.fill()
+	g := sim.NewRNG(seed).Fork("campaign")
+	s := Schedule{Seed: seed}
+	f := &s.Faults
+
+	// Budget: crashed + partitioned sites must leave a strict majority of
+	// the current view at every step. Because views only shrink, keeping
+	// a strict majority of the *initial* membership alive is sufficient
+	// for every intermediate view.
+	budget := (p.Sites - 1) / 2
+
+	// Timing faults compose freely with everything else.
+	if g.Bool(0.35) {
+		f.ClockDriftRate = 0.01 + 0.09*g.Float64()
+		if g.Bool(0.5) {
+			f.ClockDriftSites = []int32{int32(1 + g.Intn(p.Sites))}
+		}
+		s.Kinds = append(s.Kinds, KindDrift)
+	}
+	if g.Bool(0.35) {
+		f.SchedLatencyMean = g.UniformDur(1*sim.Millisecond, 8*sim.Millisecond)
+		s.Kinds = append(s.Kinds, KindLatency)
+	}
+
+	// At most one loss model (faults.Config carries a single Loss).
+	switch g.Intn(10) {
+	case 0, 1, 2:
+		f.Loss = faults.Loss{Kind: faults.LossRandom, Rate: 0.01 + 0.09*g.Float64()}
+		s.Kinds = append(s.Kinds, KindLossRandom)
+	case 3, 4, 5:
+		f.Loss = faults.Loss{
+			Kind:      faults.LossBursty,
+			Rate:      0.01 + 0.07*g.Float64(),
+			MeanBurst: 3 + 5*g.Float64(),
+		}
+		s.Kinds = append(s.Kinds, KindLossBursty)
+	}
+
+	// Structural faults share the quorum budget. Partition minorities are
+	// the highest-numbered sites; crashes draw from the remainder — so
+	// the (replacement) sequencer always sits in the majority.
+	remaining := budget
+	if remaining > 0 && g.Bool(0.4) {
+		m := 1 + g.Intn(remaining)
+		minority := make([]int32, 0, m)
+		for i := 0; i < m; i++ {
+			minority = append(minority, int32(p.Sites-i))
+		}
+		sort.Slice(minority, func(i, j int) bool { return minority[i] < minority[j] })
+		at := g.UniformDur(5*sim.Second, p.Horizon)
+		pt := faults.Partition{Sites: minority, At: at}
+		if g.Bool(0.75) {
+			pt.Heal = at + g.UniformDur(5*sim.Second, 20*sim.Second)
+		}
+		f.Partitions = []faults.Partition{pt}
+		remaining -= m
+		s.Kinds = append(s.Kinds, KindPartition)
+	}
+	if remaining > 0 && g.Bool(0.4) {
+		c := 1 + g.Intn(remaining)
+		// Candidate crash targets: every site not in a partition
+		// minority. Shuffle and take the first c.
+		limit := p.Sites
+		if len(f.Partitions) > 0 {
+			limit = p.Sites - len(f.Partitions[0].Sites)
+		}
+		candidates := make([]int32, limit)
+		for i := range candidates {
+			candidates[i] = int32(i + 1)
+		}
+		g.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+		for i := 0; i < c; i++ {
+			f.Crashes = append(f.Crashes, faults.Crash{
+				Site: candidates[i],
+				At:   g.UniformDur(5*sim.Second, p.Horizon),
+			})
+		}
+		sort.Slice(f.Crashes, func(i, j int) bool { return f.Crashes[i].At < f.Crashes[j].At })
+		s.Kinds = append(s.Kinds, KindCrash)
+	}
+
+	// Never emit a fault-free schedule: a campaign run must stress
+	// something. Default to random loss at a mid rate.
+	if !f.Any() {
+		f.Loss = faults.Loss{Kind: faults.LossRandom, Rate: 0.01 + 0.09*g.Float64()}
+		s.Kinds = append(s.Kinds, KindLossRandom)
+	}
+	sortKinds(s.Kinds)
+	return s
+}
+
+// sortKinds orders kind labels by the canonical Kinds() report order.
+func sortKinds(kinds []string) {
+	rank := make(map[string]int, 6)
+	for i, k := range Kinds() {
+		rank[k] = i
+	}
+	sort.Slice(kinds, func(i, j int) bool { return rank[kinds[i]] < rank[kinds[j]] })
+}
+
+// Plan generates n schedules with seeds derived from a base seed via the
+// same decorrelation expr uses for replications: schedule i is fully
+// reproducible as New(DeriveSeed(base, i), p).
+func Plan(base int64, n int, p Params) []Schedule {
+	out := make([]Schedule, n)
+	for i := range out {
+		out[i] = New(expr.DeriveSeed(base, i), p)
+	}
+	return out
+}
+
+// Tasks adapts a campaign plan to the expr parallel runner: one task per
+// schedule, single replication, the schedule's seed driving the run. The
+// base config supplies workload shape (clients, transactions, sites); its
+// Sites must match the Params the plan was generated with.
+func Tasks(plan []Schedule, base core.Config) []expr.Task {
+	tasks := make([]expr.Task, len(plan))
+	for i, s := range plan {
+		cfg := base
+		cfg.Seed = s.Seed
+		cfg.Faults = s.Faults
+		tasks[i] = expr.Task{
+			Label:  fmt.Sprintf("campaign[%d] seed=%d %s", i, s.Seed, s.Label()),
+			Config: cfg,
+			Reps:   1,
+		}
+	}
+	return tasks
+}

@@ -1,0 +1,165 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/sim"
+)
+
+func TestScheduleIsPureFunctionOfSeed(t *testing.T) {
+	p := Params{Sites: 3}
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := New(seed, p), New(seed, p)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: schedules differ:\n%+v\n%+v", seed, a, b)
+		}
+	}
+}
+
+func TestPlanSeedsAreDistinctAndReproducible(t *testing.T) {
+	p := Params{Sites: 3}
+	plan := Plan(42, 100, p)
+	seen := map[int64]bool{}
+	for i, s := range plan {
+		if seen[s.Seed] {
+			t.Fatalf("duplicate seed %d at schedule %d", s.Seed, i)
+		}
+		seen[s.Seed] = true
+		if !reflect.DeepEqual(s, New(s.Seed, p)) {
+			t.Fatalf("schedule %d not reproducible from its seed alone", i)
+		}
+	}
+}
+
+// TestEveryKindAppearsAndSchedulesAreWellFormed sweeps many seeds and checks
+// coverage plus the structural invariants every schedule must satisfy.
+func TestEveryKindAppearsAndSchedulesAreWellFormed(t *testing.T) {
+	for _, sites := range []int{3, 5} {
+		p := Params{Sites: sites}
+		seenKind := map[string]int{}
+		healed := 0
+		for _, s := range Plan(7, 400, p) {
+			if len(s.Kinds) == 0 || !s.Faults.Any() {
+				t.Fatalf("sites=%d seed=%d: fault-free schedule", sites, s.Seed)
+			}
+			for _, k := range s.Kinds {
+				seenKind[k]++
+			}
+			budget := (sites - 1) / 2
+			structural := len(s.Faults.Crashes)
+			for _, pt := range s.Faults.Partitions {
+				structural += len(pt.Sites)
+				if 2*len(pt.Sites) >= sites {
+					t.Fatalf("sites=%d seed=%d: partition isolates %d sites, not a minority", sites, s.Seed, len(pt.Sites))
+				}
+				for _, id := range pt.Sites {
+					if id == 1 {
+						t.Fatalf("sites=%d seed=%d: partition isolates the sequencer", sites, s.Seed)
+					}
+					if int(id) < 1 || int(id) > sites {
+						t.Fatalf("sites=%d seed=%d: partition targets unknown site %d", sites, s.Seed, id)
+					}
+					for _, cr := range s.Faults.Crashes {
+						if cr.Site == id {
+							t.Fatalf("sites=%d seed=%d: site %d both crashed and partitioned", sites, s.Seed, id)
+						}
+					}
+				}
+				if pt.Heal != 0 {
+					healed++
+					if pt.Heal <= pt.At {
+						t.Fatalf("sites=%d seed=%d: heal %v not after cut %v", sites, s.Seed, pt.Heal, pt.At)
+					}
+				}
+			}
+			for _, cr := range s.Faults.Crashes {
+				if int(cr.Site) < 1 || int(cr.Site) > sites {
+					t.Fatalf("sites=%d seed=%d: crash targets unknown site %d", sites, s.Seed, cr.Site)
+				}
+			}
+			if structural > budget {
+				t.Fatalf("sites=%d seed=%d: %d structural site faults exceed quorum budget %d", sites, s.Seed, structural, budget)
+			}
+			if s.Has(KindLossRandom) && s.Has(KindLossBursty) {
+				t.Fatalf("sites=%d seed=%d: two loss models in one schedule", sites, s.Seed)
+			}
+		}
+		for _, k := range Kinds() {
+			if seenKind[k] == 0 {
+				t.Fatalf("sites=%d: kind %s never generated over 400 schedules", sites, k)
+			}
+		}
+		if healed == 0 {
+			t.Fatalf("sites=%d: no partition-and-heal schedule over 400 schedules", sites)
+		}
+	}
+}
+
+func TestCrashAndPartitionComposeAtFiveSites(t *testing.T) {
+	both := 0
+	for _, s := range Plan(9, 400, Params{Sites: 5}) {
+		if s.Has(KindCrash) && s.Has(KindPartition) {
+			both++
+		}
+	}
+	if both == 0 {
+		t.Fatal("crash+partition never composed at 5 sites over 400 schedules")
+	}
+}
+
+func TestTasksAdaptPlanToRunner(t *testing.T) {
+	plan := Plan(3, 4, Params{Sites: 3})
+	base := core.Config{Sites: 3, Clients: 30, TotalTxns: 100}
+	tasks := Tasks(plan, base)
+	if len(tasks) != len(plan) {
+		t.Fatalf("tasks = %d, want %d", len(tasks), len(plan))
+	}
+	for i, task := range tasks {
+		if task.Config.Seed != plan[i].Seed {
+			t.Fatalf("task %d seed %d != schedule seed %d", i, task.Config.Seed, plan[i].Seed)
+		}
+		if !reflect.DeepEqual(task.Config.Faults, plan[i].Faults) {
+			t.Fatalf("task %d faults differ from schedule", i)
+		}
+		if task.Reps != 1 {
+			t.Fatalf("task %d reps = %d, want 1", i, task.Reps)
+		}
+		if task.Config.Clients != 30 || task.Config.TotalTxns != 100 {
+			t.Fatalf("task %d lost base workload shape", i)
+		}
+	}
+}
+
+// TestCampaignRunsSafelyThroughRunner is the end-to-end slice: a small
+// campaign fanned out through the expr pool must complete with every run
+// SAFE, and re-running one schedule from its printed seed must reproduce
+// the identical commit outcome.
+func TestCampaignRunsSafelyThroughRunner(t *testing.T) {
+	p := Params{Sites: 3, Horizon: 15 * sim.Second}
+	plan := Plan(11, 6, p)
+	base := core.Config{Sites: 3, Clients: 30, TotalTxns: 150}
+	points, err := (&expr.Runner{Workers: 4}).Run(Tasks(plan, base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range points {
+		r := pt.Agg.Runs[0]
+		if r.SafetyErr != nil {
+			t.Fatalf("schedule %d (%s, seed %d) unsafe: %v", i, plan[i].Label(), plan[i].Seed, r.SafetyErr)
+		}
+		if r.Inconsistencies != 0 {
+			t.Fatalf("schedule %d: %d inconsistencies", i, r.Inconsistencies)
+		}
+	}
+	// Reproduce schedule 0 from its seed: same verdict, same commits.
+	again, err := (&expr.Runner{Workers: 1}).Run(Tasks(plan[:1], base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := again[0].Agg.Runs[0].Committed, points[0].Agg.Runs[0].Committed; got != want {
+		t.Fatalf("replayed schedule committed %d, original %d", got, want)
+	}
+}

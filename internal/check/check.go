@@ -1,0 +1,193 @@
+// Package check is the reusable one-copy-serializability checker behind the
+// paper's off-line safety condition (Section 5.3): after a run, every
+// operational site must have committed exactly the same sequence of
+// transactions, and a site that stopped participating — because it crashed
+// or ended up in a partitioned minority — must have committed a prefix of
+// the survivors' sequence.
+//
+// Unlike an ad-hoc log comparison, the checker classifies what went wrong:
+// a Violation names the offending site, the first bad position, and a Kind
+// distinguishing divergent histories from reordered ones and from
+// non-prefix logs, so randomized fault campaigns can aggregate verdicts per
+// failure mode and a single failing schedule reads as a precise bug report.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dbsm"
+	"repro/internal/trace"
+)
+
+// Kind classifies a safety violation.
+type Kind int
+
+// Violation kinds.
+const (
+	// KindDivergence: two operational sites committed different
+	// transactions at the same position (and the histories are not a mere
+	// permutation of each other).
+	KindDivergence Kind = iota + 1
+	// KindReorder: two operational sites committed the same set of
+	// transactions in different orders — the total-order property broke
+	// while atomicity held.
+	KindReorder
+	// KindLengthMismatch: two operational sites agree on their common
+	// prefix but committed different numbers of transactions.
+	KindLengthMismatch
+	// KindNonPrefix: a crashed or partitioned-minority site's log is not a
+	// prefix of the survivors' — it either committed a transaction the
+	// survivors ordered differently, or committed beyond them.
+	KindNonPrefix
+)
+
+// String names the violation kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDivergence:
+		return "divergence"
+	case KindReorder:
+		return "reorder"
+	case KindLengthMismatch:
+		return "length-mismatch"
+	case KindNonPrefix:
+		return "non-prefix"
+	default:
+		return "unknown"
+	}
+}
+
+// SiteLog is one site's committed sequence plus its liveness at the end of
+// the run. Operational is false for sites that stopped participating
+// (crashed, or isolated in a partitioned minority); their logs are held to
+// the weaker prefix condition.
+type SiteLog struct {
+	Site        dbsm.SiteID
+	Operational bool
+	Entries     []trace.CommitEntry
+}
+
+// Violation is one detected safety violation. It implements error so
+// callers can carry it in error-typed fields.
+type Violation struct {
+	Kind Kind
+	// Site is the offending site, Ref the reference (first operational)
+	// site it was compared against.
+	Site, Ref dbsm.SiteID
+	// Pos is the first differing position, or -1 when only the lengths
+	// differ.
+	Pos int
+	// Detail is a human-readable elaboration.
+	Detail string
+}
+
+// Error renders the violation.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("check: %s: site %d vs site %d at position %d: %s",
+		v.Kind, v.Site, v.Ref, v.Pos, v.Detail)
+}
+
+// Logs verifies the safety condition over per-site commit logs and returns
+// the first violation in site order, or nil when the run was safe. The
+// reference is the lowest-numbered operational site; with no operational
+// site the condition holds vacuously.
+func Logs(sites []SiteLog) *Violation {
+	ordered := make([]SiteLog, len(sites))
+	copy(ordered, sites)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Site < ordered[j].Site })
+
+	var ref *SiteLog
+	for i := range ordered {
+		if ordered[i].Operational {
+			ref = &ordered[i]
+			break
+		}
+	}
+	if ref == nil {
+		return nil
+	}
+	for i := range ordered {
+		s := &ordered[i]
+		if s.Site == ref.Site {
+			continue
+		}
+		if v := compare(s, ref); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// compare checks one site against the reference log.
+func compare(s, ref *SiteLog) *Violation {
+	n := len(s.Entries)
+	if len(ref.Entries) < n {
+		n = len(ref.Entries)
+	}
+	for i := 0; i < n; i++ {
+		if s.Entries[i] != ref.Entries[i] {
+			if !s.Operational {
+				return &Violation{
+					Kind: KindNonPrefix, Site: s.Site, Ref: ref.Site, Pos: i,
+					Detail: fmt.Sprintf("stopped site committed (seq=%d tid=%x), survivors committed (seq=%d tid=%x)",
+						s.Entries[i].Seq, s.Entries[i].TID, ref.Entries[i].Seq, ref.Entries[i].TID),
+				}
+			}
+			kind := KindDivergence
+			if sameTxnSet(s.Entries, ref.Entries) {
+				kind = KindReorder
+			}
+			return &Violation{
+				Kind: kind, Site: s.Site, Ref: ref.Site, Pos: i,
+				Detail: fmt.Sprintf("committed (seq=%d tid=%x), reference committed (seq=%d tid=%x)",
+					s.Entries[i].Seq, s.Entries[i].TID, ref.Entries[i].Seq, ref.Entries[i].TID),
+			}
+		}
+	}
+	switch {
+	case s.Operational && len(s.Entries) != len(ref.Entries):
+		return &Violation{
+			Kind: KindLengthMismatch, Site: s.Site, Ref: ref.Site, Pos: -1,
+			Detail: fmt.Sprintf("committed %d transactions, reference committed %d",
+				len(s.Entries), len(ref.Entries)),
+		}
+	case !s.Operational && len(s.Entries) > len(ref.Entries):
+		return &Violation{
+			Kind: KindNonPrefix, Site: s.Site, Ref: ref.Site, Pos: len(ref.Entries),
+			Detail: fmt.Sprintf("stopped site committed %d transactions, beyond the survivors' %d",
+				len(s.Entries), len(ref.Entries)),
+		}
+	}
+	return nil
+}
+
+// sameTxnSet reports whether two histories commit the same multiset of
+// transaction identifiers (in which case a mismatch is a reordering rather
+// than outright divergence).
+func sameTxnSet(a, b []trace.CommitEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[uint64]int, len(a))
+	for _, e := range a {
+		counts[e.TID]++
+	}
+	for _, e := range b {
+		counts[e.TID]--
+		if counts[e.TID] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FromCommitLogs adapts per-site trace.CommitLogs plus an operational map
+// (the shape core assembles after a run) into checker input.
+func FromCommitLogs(logs map[dbsm.SiteID]*trace.CommitLog, operational map[dbsm.SiteID]bool) []SiteLog {
+	out := make([]SiteLog, 0, len(logs))
+	for id, l := range logs {
+		out = append(out, SiteLog{Site: id, Operational: operational[id], Entries: l.Entries()})
+	}
+	return out
+}

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/csrt"
 	"repro/internal/db"
@@ -125,7 +126,21 @@ type Site struct {
 	Gen     *tpcc.Generator
 
 	crashed     bool
+	partitioned bool // isolated in a partition minority at some point
 	outstanding int64
+}
+
+// operational reports whether the site still participates in the protocol:
+// not crashed, never isolated in a partition minority, and its stack not
+// wedged (a stack halts on exclusion from the view or on quorum loss under
+// the primary-component rule — e.g. a loss-induced false suspicion).
+// Non-operational sites are held to the prefix safety condition and
+// excluded from quiescence accounting.
+func (s *Site) operational() bool {
+	if s.crashed || s.partitioned {
+		return false
+	}
+	return s.Stack == nil || !s.Stack.Stopped()
 }
 
 // Model is a configured instance of the testing tool.
@@ -198,6 +213,9 @@ func New(cfg Config) (*Model, error) {
 				Members:      members,
 				Group:        1,
 				UseMulticast: true,
+				// Partitions need the primary-component rule: the
+				// minority side must wedge rather than split-brain.
+				PrimaryComponent: len(cfg.Faults.Partitions) > 0,
 			}
 			if cfg.GCSTweak != nil {
 				cfg.GCSTweak(&gcfg)
@@ -255,6 +273,66 @@ func New(cfg Config) (*Model, error) {
 		}
 		site := m.sites[idx]
 		m.k.ScheduleAt(cr.At, func() { m.crash(site) })
+	}
+
+	// The network supports one active cut at a time, so partitions must
+	// not overlap in time; and the combined structural faults (crashes
+	// plus partitioned minorities) must leave a strict majority of the
+	// group, or the primary-component rule would wedge every survivor.
+	if len(cfg.Faults.Partitions) > 0 {
+		parts := append([]faults.Partition(nil), cfg.Faults.Partitions...)
+		sort.Slice(parts, func(i, j int) bool { return parts[i].At < parts[j].At })
+		for i := 1; i < len(parts); i++ {
+			prev := parts[i-1]
+			if prev.Heal == 0 || prev.Heal > parts[i].At {
+				return nil, fmt.Errorf("core: partitions overlap: cut at %v starts before the cut at %v heals",
+					parts[i].At, prev.At)
+			}
+		}
+		disabled := map[int32]bool{}
+		for _, cr := range cfg.Faults.Crashes {
+			disabled[cr.Site] = true
+		}
+		for _, pt := range parts {
+			for _, sid := range pt.Sites {
+				disabled[sid] = true
+			}
+		}
+		if 2*len(disabled) >= cfg.Sites {
+			return nil, fmt.Errorf("core: crashes and partitions disable %d of %d sites; a strict majority must survive",
+				len(disabled), cfg.Sites)
+		}
+	}
+	for _, pt := range cfg.Faults.Partitions {
+		if len(pt.Sites) == 0 {
+			return nil, fmt.Errorf("core: partition isolates no sites")
+		}
+		if 2*len(pt.Sites) >= cfg.Sites {
+			return nil, fmt.Errorf("core: partition isolates %d of %d sites; the isolated side must be a strict minority",
+				len(pt.Sites), cfg.Sites)
+		}
+		if pt.Heal != 0 && pt.Heal <= pt.At {
+			return nil, fmt.Errorf("core: partition heals at %v, not after its start %v", pt.Heal, pt.At)
+		}
+		minority := make([]*Site, 0, len(pt.Sites))
+		ids := make([]runtimeapi.NodeID, 0, len(pt.Sites))
+		for _, sid := range pt.Sites {
+			idx := int(sid) - 1
+			if idx < 0 || idx >= len(m.sites) {
+				return nil, fmt.Errorf("core: partition targets unknown site %d", sid)
+			}
+			minority = append(minority, m.sites[idx])
+			ids = append(ids, runtimeapi.NodeID(sid))
+		}
+		m.k.ScheduleAt(pt.At, func() {
+			for _, s := range minority {
+				s.partitioned = true
+			}
+			m.net.Partition(ids)
+		})
+		if pt.Heal != 0 {
+			m.k.ScheduleAt(pt.Heal, func() { m.net.Heal() })
+		}
 	}
 
 	// Clients are assigned round-robin: the ten clients of one warehouse
@@ -379,14 +457,16 @@ func (m *Model) Run() (*Results, error) {
 }
 
 // quiesced reports whether issuance stopped and no live site has work in
-// flight.
+// flight. Sites isolated in a partition minority are excluded: their
+// in-flight transactions can never resolve once the majority excludes them
+// from the view.
 func (m *Model) quiesced() bool {
 	if m.issued < m.cfg.TotalTxns {
 		return false
 	}
 	live := int64(0)
 	for _, s := range m.sites {
-		if !s.crashed {
+		if s.operational() {
 			sub, com, ab := s.Server.Totals()
 			live += sub - com - ab
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/check"
 	"repro/internal/db"
 	"repro/internal/dbsm"
 	"repro/internal/gcs"
@@ -29,8 +30,11 @@ type ClassResult struct {
 
 // SiteResult summarizes one replica.
 type SiteResult struct {
-	Site          dbsm.SiteID
-	Crashed       bool
+	Site    dbsm.SiteID
+	Crashed bool
+	// Partitioned reports the site spent part of the run isolated in a
+	// partition minority; its log is held to the prefix condition.
+	Partitioned   bool
 	Submitted     int64
 	Committed     int64
 	Aborted       int64
@@ -80,8 +84,10 @@ type Results struct {
 	// GCS aggregates protocol counters over all stacks.
 	GCS gcs.Stats
 	// SafetyErr is the off-line commit-sequence comparison verdict
-	// (Section 5.3); nil means all operational sites committed identical
-	// sequences.
+	// (Section 5.3), produced by the internal/check consistency checker;
+	// nil means all operational sites committed identical sequences and
+	// every crashed or partitioned-minority site's log is a prefix of the
+	// survivors'. When non-nil it is a *check.Violation.
 	SafetyErr error
 	// Inconsistencies must be zero (local abort vs global commit).
 	Inconsistencies int64
@@ -116,6 +122,7 @@ func (m *Model) results() *Results {
 		sr := SiteResult{
 			Site:          s.ID,
 			Crashed:       s.crashed,
+			Partitioned:   s.partitioned,
 			Submitted:     sub,
 			Committed:     com,
 			Aborted:       ab,
@@ -131,7 +138,7 @@ func (m *Model) results() *Results {
 		r.Submitted += sub
 		r.Committed += com
 		r.Aborted += ab
-		if !s.crashed {
+		if s.operational() {
 			liveSites++
 			r.CPUUtilPct += sr.CPUUtilPct
 			r.CPURealUtilPct += sr.CPURealUtil
@@ -161,6 +168,7 @@ func (m *Model) results() *Results {
 			r.GCS.Blocked += st.Blocked
 			r.GCS.BlockedTime += st.BlockedTime
 			r.GCS.ViewChanges += st.ViewChanges
+			r.GCS.QuorumLosses += st.QuorumLosses
 		}
 	}
 	if liveSites > 0 {
@@ -200,15 +208,21 @@ func (m *Model) results() *Results {
 		r.Classes = append(r.Classes, *classAgg[n])
 	}
 
-	// Off-line safety check over commit logs (replicated runs only).
+	// Off-line safety check over commit logs (replicated runs only):
+	// crashed sites and partitioned-minority sites are held to the prefix
+	// condition, everyone else must agree exactly.
 	if len(m.sites) > 1 {
-		logs := make(map[dbsm.SiteID]*trace.CommitLog, len(m.sites))
-		operational := make(map[dbsm.SiteID]bool, len(m.sites))
+		siteLogs := make([]check.SiteLog, 0, len(m.sites))
 		for _, s := range m.sites {
-			logs[s.ID] = s.Replica.CommitLog()
-			operational[s.ID] = !s.crashed
+			siteLogs = append(siteLogs, check.SiteLog{
+				Site:        s.ID,
+				Operational: s.operational(),
+				Entries:     s.Replica.CommitLog().Entries(),
+			})
 		}
-		r.SafetyErr = trace.CheckConsistency(logs, operational)
+		if v := check.Logs(siteLogs); v != nil {
+			r.SafetyErr = v
+		}
 	}
 	return r
 }

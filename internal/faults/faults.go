@@ -58,6 +58,23 @@ type Crash struct {
 	At   sim.Time
 }
 
+// Partition isolates a set of sites from the rest of the group between two
+// instants, modeling a network split (a failed switch uplink). The listed
+// sites must form a strict minority so the remainder keeps a primary
+// component: the majority side detects the silence, installs a new view,
+// and continues, while the minority wedges on quorum loss. The safety
+// condition extends the crash rule: a partitioned-minority site's commit
+// log must be a prefix of the survivors'.
+type Partition struct {
+	// Sites is the isolated (minority) side, by site number.
+	Sites []int32
+	// At is the instant the cut appears.
+	At sim.Time
+	// Heal is the instant connectivity returns; zero means the partition
+	// never heals.
+	Heal sim.Time
+}
+
 // Config is a complete fault load for one run.
 type Config struct {
 	// ClockDriftRate postpones scheduled events by the factor (1+rate)
@@ -75,12 +92,14 @@ type Config struct {
 	Loss Loss
 	// Crashes stop sites at fixed times.
 	Crashes []Crash
+	// Partitions cut the network between scheduled instants.
+	Partitions []Partition
 }
 
 // Any reports whether the configuration injects any fault.
 func (c Config) Any() bool {
 	return c.ClockDriftRate != 0 || c.SchedLatencyMean != 0 ||
-		c.Loss.Kind != LossNone || len(c.Crashes) > 0
+		c.Loss.Kind != LossNone || len(c.Crashes) > 0 || len(c.Partitions) > 0
 }
 
 // DriftsSite reports whether a site's clock drifts under this config.

@@ -60,6 +60,7 @@ func TestAny(t *testing.T) {
 		{SchedLatencyMean: sim.Millisecond},
 		{Loss: Loss{Kind: LossRandom, Rate: 0.01}},
 		{Crashes: []Crash{{Site: 1, At: sim.Second}}},
+		{Partitions: []Partition{{Sites: []int32{3}, At: sim.Second, Heal: 2 * sim.Second}}},
 	}
 	for i, c := range cases {
 		if !c.Any() {

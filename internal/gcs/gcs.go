@@ -67,6 +67,14 @@ type Config struct {
 	// FailTimeout is the failure detector's silence threshold. Defaults
 	// to 1s.
 	FailTimeout sim.Time
+	// PrimaryComponent enforces the primary-partition membership rule: a
+	// member that can no longer reach a strict majority of its current
+	// view wedges (halts the stack) instead of installing a minority view,
+	// so a network partition cannot produce split-brain progress. The
+	// majority side keeps quorum, excludes the silent members, and
+	// continues. Off by default: crash-only runs never lose quorum and
+	// keep the paper's original behaviour.
+	PrimaryComponent bool
 	// Costs is the deterministic CPU cost model for this real code.
 	Costs CostModel
 }
@@ -172,6 +180,10 @@ type Stats struct {
 	Blocked      int64 // times a cast had to queue on flow control
 	BlockedTime  sim.Time
 	ViewChanges  int64
+	// QuorumLosses counts wedges under the primary-component rule: the
+	// member found itself unable to reach a majority of its view and
+	// halted rather than risk minority progress.
+	QuorumLosses int64
 }
 
 // Stack is one member's group communication endpoint.
@@ -263,6 +275,10 @@ func (s *Stack) Start() {
 
 // Stop silences the stack (used when the local node halts).
 func (s *Stack) Stop() { s.stopped = true }
+
+// Stopped reports whether the stack has halted — by Stop, by exclusion from
+// the view, or by wedging on quorum loss under the primary-component rule.
+func (s *Stack) Stopped() bool { return s.stopped }
 
 // Multicast submits an application payload for atomic (totally ordered)
 // multicast to the group, including self-delivery. It never blocks the

@@ -123,9 +123,28 @@ func (mb *membership) fdTick() {
 			changed = true
 		}
 	}
-	if changed {
-		mb.maybeInitiate()
+	if !changed {
+		return
 	}
+	if mb.quorumLost() {
+		// Primary-component rule: this member is on the minority side of
+		// a partition. Wedge instead of installing a minority view —
+		// committing anything here could diverge from the primary
+		// component that keeps running on the other side.
+		mb.s.stats.QuorumLosses++
+		mb.s.stopped = true
+		return
+	}
+	mb.maybeInitiate()
+}
+
+// quorumLost reports whether, under the primary-component rule, the
+// unsuspected members no longer form a strict majority of the current view.
+func (mb *membership) quorumLost() bool {
+	if !mb.s.cfg.PrimaryComponent {
+		return false
+	}
+	return 2*len(mb.alive()) <= len(mb.s.view.Members)
 }
 
 // alive lists current members not suspected, sorted.

@@ -1,0 +1,83 @@
+package gcs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// TestPrimaryComponentMajorityContinuesMinorityWedges is the split-brain
+// regression: under a network partition the majority side must install a new
+// view and keep delivering, while the minority member wedges on quorum loss
+// and its delivery sequence stays a prefix of the majority's.
+func TestPrimaryComponentMajorityContinuesMinorityWedges(t *testing.T) {
+	c := newCluster(t, 3, 11, func(cfg *Config) { cfg.PrimaryComponent = true })
+
+	// Pre-partition traffic, delivered everywhere.
+	c.castAt(100*sim.Millisecond, 2, []byte("pre-1"))
+	c.castAt(200*sim.Millisecond, 3, []byte("pre-2"))
+
+	c.k.ScheduleAt(2*sim.Second, func() { c.net.Partition([]simnet.NodeID{3}) })
+
+	// Post-partition traffic from the majority side; node 3 must never
+	// deliver it.
+	for i := 0; i < 5; i++ {
+		c.castAt(4*sim.Second+sim.Time(i)*100*sim.Millisecond, 1, []byte(fmt.Sprintf("post-%d", i)))
+	}
+	// Heal after the failure detector has fired on both sides; the wedged
+	// minority must stay silent rather than rejoin with a stale view.
+	c.k.ScheduleAt(8*sim.Second, func() { c.net.Heal() })
+	c.run(12 * sim.Second)
+
+	for _, id := range []NodeID{1, 2} {
+		if got := c.stacks[id].View().Members; len(got) != 2 {
+			t.Fatalf("majority member %d view = %v, want {1 2}", id, got)
+		}
+		if c.stacks[id].Stopped() {
+			t.Fatalf("majority member %d wedged", id)
+		}
+	}
+	if !c.stacks[3].Stopped() {
+		t.Fatal("minority member did not wedge on quorum loss")
+	}
+	if c.stacks[3].Stats().QuorumLosses != 1 {
+		t.Fatalf("minority quorum losses = %d, want 1", c.stacks[3].Stats().QuorumLosses)
+	}
+
+	maj, min := c.delivered[1], c.delivered[3]
+	if len(c.delivered[2]) != len(maj) {
+		t.Fatalf("majority members delivered %d vs %d messages", len(maj), len(c.delivered[2]))
+	}
+	if len(maj) != 7 {
+		t.Fatalf("majority delivered %d messages, want 7", len(maj))
+	}
+	if len(min) >= len(maj) {
+		t.Fatalf("minority delivered %d messages, not a strict prefix of the majority's %d", len(min), len(maj))
+	}
+	for i := range min {
+		if string(min[i].Payload) != string(maj[i].Payload) || min[i].Global != maj[i].Global {
+			t.Fatalf("minority delivery %d = (%d, %q), majority = (%d, %q)",
+				i, min[i].Global, min[i].Payload, maj[i].Global, maj[i].Payload)
+		}
+	}
+}
+
+// TestPrimaryComponentOffKeepsCrashBehaviour: without the rule, a lone
+// survivor of successive suspicions still installs a singleton view (the
+// paper's original crash-only behaviour).
+func TestPrimaryComponentOffKeepsCrashBehaviour(t *testing.T) {
+	c := newCluster(t, 2, 12, nil)
+	c.k.ScheduleAt(sim.Second, func() {
+		c.stacks[2].Stop()
+		c.net.Host(2).SetDown(true)
+	})
+	c.run(5 * sim.Second)
+	if c.stacks[1].Stopped() {
+		t.Fatal("survivor wedged without PrimaryComponent")
+	}
+	if got := c.stacks[1].View().Members; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("survivor view = %v, want {1}", got)
+	}
+}

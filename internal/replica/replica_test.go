@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/check"
 	"repro/internal/csrt"
 	"repro/internal/db"
 	"repro/internal/dbsm"
@@ -129,8 +130,8 @@ func TestConcurrentConflictResolvedIdentically(t *testing.T) {
 		logs[dbsm.SiteID(i+1)] = s.rep.CommitLog()
 		op[dbsm.SiteID(i+1)] = true
 	}
-	if err := trace.CheckConsistency(logs, op); err != nil {
-		t.Fatalf("logs diverged: %v", err)
+	if v := check.Logs(check.FromCommitLogs(logs, op)); v != nil {
+		t.Fatalf("logs diverged: %v", v)
 	}
 }
 

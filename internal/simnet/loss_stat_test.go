@@ -1,0 +1,90 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Statistical validation of the Section 5.3 loss models: the long-run loss
+// fraction must converge to the configured rate, and bursty losses must come
+// in bursts of the configured mean length. The RNG is seeded, so these are
+// exact regressions, with tolerances wide enough to survive resampling.
+
+// driveLoss feeds n arrivals at a fixed interval through a loss model and
+// returns the drop fraction and the mean length of consecutive-drop runs.
+func driveLoss(m LossModel, rng *sim.RNG, n int, interval sim.Time) (frac float64, meanBurst float64) {
+	drops, bursts, cur := 0, 0, 0
+	now := sim.Time(0)
+	for i := 0; i < n; i++ {
+		now += interval
+		if m.Drop(rng, now) {
+			drops++
+			cur++
+		} else if cur > 0 {
+			bursts++
+			cur = 0
+		}
+	}
+	if cur > 0 {
+		bursts++
+	}
+	frac = float64(drops) / float64(n)
+	if bursts > 0 {
+		meanBurst = float64(drops) / float64(bursts)
+	}
+	return frac, meanBurst
+}
+
+func TestRandomLossLongRunFractionConvergesToRate(t *testing.T) {
+	const n = 100000
+	for _, rate := range []float64{0.05, 0.10} {
+		rng := sim.NewRNG(1).Fork("random-loss")
+		frac, _ := driveLoss(&RandomLoss{P: rate}, rng, n, 10*sim.Millisecond)
+		if math.Abs(frac-rate) > 0.01 {
+			t.Fatalf("random loss rate %.2f: observed fraction %.4f over %d deliveries", rate, frac, n)
+		}
+	}
+}
+
+func TestBurstyLossLongRunFractionConvergesToRate(t *testing.T) {
+	const n = 100000
+	for _, rate := range []float64{0.05, 0.10} {
+		rng := sim.NewRNG(2).Fork("bursty-loss")
+		m := &BurstyLoss{Rate: rate, MeanBurst: 50 * sim.Millisecond}
+		frac, _ := driveLoss(m, rng, n, 10*sim.Millisecond)
+		if math.Abs(frac-rate) > 0.01 {
+			t.Fatalf("bursty loss rate %.2f: observed fraction %.4f over %d deliveries", rate, frac, n)
+		}
+	}
+}
+
+func TestBurstyLossMeanBurstLengthMatchesConfiguration(t *testing.T) {
+	// A 50ms mean discard period sampled every 10ms corresponds to bursts
+	// averaging about 5 messages. Observed runs are conditioned on being
+	// non-empty (a discard period shorter than one arrival gap drops
+	// nothing), which biases the observed mean slightly above 5, so accept
+	// a ±30% band around the nominal length.
+	const n, interval = 100000, 10 * sim.Millisecond
+	rng := sim.NewRNG(3).Fork("bursty-burst")
+	m := &BurstyLoss{Rate: 0.05, MeanBurst: 50 * sim.Millisecond}
+	_, meanBurst := driveLoss(m, rng, n, interval)
+	want := float64(m.MeanBurst) / float64(interval)
+	if meanBurst < want*0.7 || meanBurst > want*1.3 {
+		t.Fatalf("mean burst length %.2f messages, want within 30%% of %.0f", meanBurst, want)
+	}
+}
+
+func TestBurstyLossesAreCorrelated(t *testing.T) {
+	// Bursty loss at the same long-run rate must produce far fewer, longer
+	// runs than independent random loss.
+	const n, interval = 100000, 10 * sim.Millisecond
+	rngA := sim.NewRNG(4).Fork("corr-random")
+	_, randomRun := driveLoss(&RandomLoss{P: 0.05}, rngA, n, interval)
+	rngB := sim.NewRNG(4).Fork("corr-bursty")
+	_, burstyRun := driveLoss(&BurstyLoss{Rate: 0.05, MeanBurst: 50 * sim.Millisecond}, rngB, n, interval)
+	if burstyRun < 2*randomRun {
+		t.Fatalf("bursty mean run %.2f not clearly longer than random mean run %.2f", burstyRun, randomRun)
+	}
+}

@@ -1,0 +1,124 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// partitionNet builds three hosts on one LAN with per-host delivery counters.
+func partitionNet(t *testing.T) (*sim.Kernel, *Network, map[NodeID]*int) {
+	t.Helper()
+	k := sim.NewKernel()
+	n := NewNetwork(k, sim.NewRNG(1))
+	lan := n.NewLAN(DefaultLANConfig("lan0"))
+	got := map[NodeID]*int{}
+	for id := NodeID(1); id <= 3; id++ {
+		h, err := n.NewHost(id, lan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := new(int)
+		got[id] = c
+		h.SetDeliver(func(pkt *Packet) { *c++ })
+	}
+	n.SetGroup(7, []NodeID{1, 2, 3})
+	return k, n, got
+}
+
+func TestPartitionCutsCrossTrafficBothWays(t *testing.T) {
+	k, n, got := partitionNet(t)
+	n.Partition([]NodeID{3})
+	if !n.PartitionActive() {
+		t.Fatal("partition not active")
+	}
+	send := func(src, dst NodeID) {
+		if err := n.Send(src, dst, []byte("x"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(1, 3) // majority -> minority: cut
+	send(3, 1) // minority -> majority: cut
+	send(1, 2) // within majority: delivered
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if *got[3] != 0 || *got[1] != 0 {
+		t.Fatalf("cross-cut traffic delivered: to3=%d to1=%d", *got[3], *got[1])
+	}
+	if *got[2] != 1 {
+		t.Fatalf("same-side traffic lost: to2=%d", *got[2])
+	}
+	if n.PartitionDrops() != 2 {
+		t.Fatalf("partition drops = %d, want 2", n.PartitionDrops())
+	}
+}
+
+func TestPartitionCutsMulticastOnlyAcrossTheCut(t *testing.T) {
+	k, n, got := partitionNet(t)
+	n.Partition([]NodeID{3})
+	if err := n.Multicast(1, 7, []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if *got[2] != 1 {
+		t.Fatalf("same-side member missed multicast: got %d", *got[2])
+	}
+	if *got[3] != 0 {
+		t.Fatalf("cut-off member received multicast: got %d", *got[3])
+	}
+}
+
+func TestPartitionInFlightPacketsAreLostAndHealRestores(t *testing.T) {
+	k, n, got := partitionNet(t)
+	// Send before the cut; the packet is still in flight when the
+	// partition starts, so it dies at the cut.
+	if err := n.Send(1, 3, []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition([]NodeID{3})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if *got[3] != 0 {
+		t.Fatal("in-flight packet survived the cut")
+	}
+	n.Heal()
+	if n.PartitionActive() {
+		t.Fatal("partition still active after heal")
+	}
+	if err := n.Send(1, 3, []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if *got[3] != 1 {
+		t.Fatalf("post-heal delivery count = %d, want 1", *got[3])
+	}
+}
+
+func TestPartitionTraceRecordsCutEvents(t *testing.T) {
+	k, n, _ := partitionNet(t)
+	var cuts int
+	n.SetTracer(func(r TraceRecord) {
+		if r.Event == TraceCut {
+			cuts++
+		}
+	})
+	n.Partition([]NodeID{2})
+	if err := n.Send(1, 2, []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cuts != 1 {
+		t.Fatalf("cut trace events = %d, want 1", cuts)
+	}
+	if TraceCut.String() != "cut" {
+		t.Fatalf("TraceCut renders as %q", TraceCut.String())
+	}
+}

@@ -187,6 +187,8 @@ const (
 	TraceSend TraceEvent = iota + 1
 	TraceRecv
 	TraceDrop
+	// TraceCut records a packet discarded at a network partition.
+	TraceCut
 )
 
 func (e TraceEvent) String() string {
@@ -197,6 +199,8 @@ func (e TraceEvent) String() string {
 		return "recv"
 	case TraceDrop:
 		return "drop"
+	case TraceCut:
+		return "cut"
 	default:
 		return "?"
 	}
@@ -233,6 +237,12 @@ type Network struct {
 	groups map[Group][]NodeID
 	tracer func(TraceRecord)
 	seq    int64
+
+	// isolated holds the hosts on the cut-off side of the active network
+	// partition (nil when fully connected); partitionDrops counts packets
+	// discarded at the cut.
+	isolated       map[NodeID]bool
+	partitionDrops int64
 }
 
 // NewNetwork creates an empty topology on the kernel.
@@ -429,9 +439,15 @@ func (n *Network) lanTransmit(l *LAN, wire int) sim.Time {
 	return end + l.cfg.Propagation
 }
 
-// arrive applies receiver-side loss and crash state, then delivers.
+// arrive applies the partition cut, receiver-side loss, and crash state,
+// then delivers.
 func (n *Network) arrive(dst *Host, pkt *Packet) {
 	if dst.down {
+		return
+	}
+	if !n.reachable(pkt.Src, dst.id) {
+		n.partitionDrops++
+		n.trace(TraceRecord{At: n.k.Now(), Event: TraceCut, Seq: pkt.Seq, Src: pkt.Src, Dst: dst.id, Multi: pkt.Multicast, Size: len(pkt.Data)})
 		return
 	}
 	if dst.loss != nil && dst.loss.Drop(dst.rng, n.k.Now()) {

@@ -1,12 +1,9 @@
-// Package trace records per-transaction logs and implements the paper's
-// off-line safety check (Section 5.3): after a run, all operational sites
-// must have committed exactly the same sequence of transactions.
+// Package trace records per-transaction logs and per-site commit logs. The
+// off-line safety check over commit logs (Section 5.3) lives in
+// internal/check, which consumes the CommitLog sequences recorded here.
 package trace
 
 import (
-	"fmt"
-	"sort"
-
 	"repro/internal/db"
 	"repro/internal/dbsm"
 	"repro/internal/sim"
@@ -64,46 +61,3 @@ func (l *CommitLog) Entries() []CommitEntry { return l.entries }
 
 // Len reports the number of commits.
 func (l *CommitLog) Len() int { return len(l.entries) }
-
-// CheckConsistency verifies the safety property over per-site commit logs:
-// every operational site's log must be identical, and a crashed site's log
-// must be a prefix of the common one. It returns nil when safe.
-func CheckConsistency(logs map[dbsm.SiteID]*CommitLog, operational map[dbsm.SiteID]bool) error {
-	sites := make([]dbsm.SiteID, 0, len(logs))
-	for s := range logs {
-		sites = append(sites, s)
-	}
-	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
-
-	var ref *CommitLog
-	var refSite dbsm.SiteID
-	for _, s := range sites {
-		if operational[s] {
-			ref = logs[s]
-			refSite = s
-			break
-		}
-	}
-	if ref == nil {
-		return nil // no operational site to compare against
-	}
-	for _, s := range sites {
-		l := logs[s]
-		if operational[s] {
-			if len(l.entries) != len(ref.entries) {
-				return fmt.Errorf("trace: site %d committed %d transactions, site %d committed %d",
-					s, len(l.entries), refSite, len(ref.entries))
-			}
-		} else if len(l.entries) > len(ref.entries) {
-			return fmt.Errorf("trace: crashed site %d committed %d transactions, beyond operational site %d's %d",
-				s, len(l.entries), refSite, len(ref.entries))
-		}
-		for i := range l.entries {
-			if l.entries[i] != ref.entries[i] {
-				return fmt.Errorf("trace: divergence at position %d: site %d committed (seq=%d tid=%x), site %d committed (seq=%d tid=%x)",
-					i, s, l.entries[i].Seq, l.entries[i].TID, refSite, ref.entries[i].Seq, ref.entries[i].TID)
-			}
-		}
-	}
-	return nil
-}

@@ -1,88 +1,11 @@
 package trace
 
 import (
-	"strings"
 	"testing"
 
 	"repro/internal/db"
-	"repro/internal/dbsm"
 	"repro/internal/sim"
 )
-
-func log(entries ...[2]uint64) *CommitLog {
-	l := &CommitLog{}
-	for _, e := range entries {
-		l.Append(e[0], e[1])
-	}
-	return l
-}
-
-func TestCheckConsistencyIdenticalLogs(t *testing.T) {
-	logs := map[dbsm.SiteID]*CommitLog{
-		1: log([2]uint64{1, 10}, [2]uint64{2, 20}),
-		2: log([2]uint64{1, 10}, [2]uint64{2, 20}),
-		3: log([2]uint64{1, 10}, [2]uint64{2, 20}),
-	}
-	op := map[dbsm.SiteID]bool{1: true, 2: true, 3: true}
-	if err := CheckConsistency(logs, op); err != nil {
-		t.Fatalf("identical logs flagged: %v", err)
-	}
-}
-
-func TestCheckConsistencyDetectsDivergence(t *testing.T) {
-	logs := map[dbsm.SiteID]*CommitLog{
-		1: log([2]uint64{1, 10}, [2]uint64{2, 20}),
-		2: log([2]uint64{1, 10}, [2]uint64{2, 99}),
-	}
-	op := map[dbsm.SiteID]bool{1: true, 2: true}
-	err := CheckConsistency(logs, op)
-	if err == nil {
-		t.Fatal("divergent logs not flagged")
-	}
-	if !strings.Contains(err.Error(), "divergence") {
-		t.Fatalf("unexpected error: %v", err)
-	}
-}
-
-func TestCheckConsistencyDetectsLengthMismatch(t *testing.T) {
-	logs := map[dbsm.SiteID]*CommitLog{
-		1: log([2]uint64{1, 10}, [2]uint64{2, 20}),
-		2: log([2]uint64{1, 10}),
-	}
-	op := map[dbsm.SiteID]bool{1: true, 2: true}
-	if CheckConsistency(logs, op) == nil {
-		t.Fatal("length mismatch between operational sites not flagged")
-	}
-}
-
-func TestCheckConsistencyCrashedPrefixAllowed(t *testing.T) {
-	logs := map[dbsm.SiteID]*CommitLog{
-		1: log([2]uint64{1, 10}, [2]uint64{2, 20}, [2]uint64{3, 30}),
-		2: log([2]uint64{1, 10}, [2]uint64{2, 20}, [2]uint64{3, 30}),
-		3: log([2]uint64{1, 10}), // crashed early
-	}
-	op := map[dbsm.SiteID]bool{1: true, 2: true, 3: false}
-	if err := CheckConsistency(logs, op); err != nil {
-		t.Fatalf("crashed prefix flagged: %v", err)
-	}
-	// But a crashed site with a *different* prefix is a violation.
-	logs[3] = log([2]uint64{1, 99})
-	if CheckConsistency(logs, op) == nil {
-		t.Fatal("crashed site with divergent prefix not flagged")
-	}
-	// And a crashed site that committed beyond the survivors is too.
-	logs[3] = log([2]uint64{1, 10}, [2]uint64{2, 20}, [2]uint64{3, 30}, [2]uint64{4, 40})
-	if CheckConsistency(logs, op) == nil {
-		t.Fatal("crashed site beyond survivors not flagged")
-	}
-}
-
-func TestCheckConsistencyNoOperationalSites(t *testing.T) {
-	logs := map[dbsm.SiteID]*CommitLog{1: log([2]uint64{1, 1})}
-	if err := CheckConsistency(logs, map[dbsm.SiteID]bool{1: false}); err != nil {
-		t.Fatalf("no-operational case should pass vacuously: %v", err)
-	}
-}
 
 func TestTxnLogRecords(t *testing.T) {
 	var l TxnLog
