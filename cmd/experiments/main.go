@@ -10,6 +10,8 @@
 //	table1  abort rate breakdown per class (Table 1)
 //	fig7    fault injection: latency distributions and CPU usage (Figure 7)
 //	table2  abort rates under message loss (Table 2)
+//	protocols  conservative vs optimistic delivery: certification-latency
+//	           split, misprediction rate, rollbacks (extension)
 //	all     everything above
 //
 // Every grid point runs -reps independent replications (derived seeds) and
@@ -36,7 +38,7 @@ func main() {
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
 	progress := fs.Bool("progress", true, "report per-run progress on stderr")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig3|fig4|fig5|fig6|table1|fig7|table2|all")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig3|fig4|fig5|fig6|table1|fig7|table2|protocols|all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -79,11 +81,13 @@ func main() {
 		err = h.fig7()
 	case "table2":
 		err = h.table2()
+	case "protocols":
+		err = h.protocols()
 	case "all":
 		steps := []func() error{
 			h.fig3, h.fig4,
 			func() error { return h.fig5and6(true, true) },
-			h.table1, h.fig7, h.table2,
+			h.table1, h.fig7, h.table2, h.protocols,
 		}
 		for _, step := range steps {
 			if err = step(); err != nil {

@@ -38,11 +38,22 @@ func main() {
 	baseSeed := fs.Int64("seed", 1, "campaign base seed (schedule i uses a seed derived from it)")
 	replay := fs.Int64("replay", 0, "re-run the single campaign schedule with this seed")
 	short := fs.Bool("short", false, "smoke mode for CI: small transaction counts, clients, and seeds")
+	protoFlag := fs.String("protocol", "both", "termination variant under test: conservative, optimistic, or both")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
 	if *short {
 		*txns, *clients, *seeds = 300, 60, 2
+	}
+	var protocols []core.Protocol
+	switch *protoFlag {
+	case "both":
+		protocols = core.Protocols()
+	case string(core.ProtocolConservative), string(core.ProtocolOptimistic):
+		protocols = []core.Protocol{core.Protocol(*protoFlag)}
+	default:
+		fmt.Fprintf(os.Stderr, "faultsim: unknown -protocol %q\n", *protoFlag)
+		os.Exit(2)
 	}
 
 	base := core.Config{
@@ -57,28 +68,36 @@ func main() {
 		params.Horizon = 15 * sim.Second
 	}
 
-	// The reproduce hint must carry every flag that shapes the schedule
-	// and the workload — in particular -short, which changes the campaign
-	// horizon and therefore the schedule a seed generates.
-	repro := fmt.Sprintf("faultsim -sites %d -clients %d -txns %d", *sites, *clients, *txns)
-	if *short {
-		repro = "faultsim -short -sites " + fmt.Sprint(*sites)
-	}
+	failures := 0
+	for _, p := range protocols {
+		cfg := base
+		cfg.Protocol = p
 
-	var failures int
-	switch {
-	case *replay != 0:
-		failures = runCampaign(base, []campaign.Schedule{campaign.New(*replay, params)}, *parallel, repro, true)
-	case *nCampaign > 0:
-		failures = runCampaign(base, campaign.Plan(*baseSeed, *nCampaign, params), *parallel, repro, false)
-	default:
-		failures = runMatrix(base, *seeds, *parallel)
+		// The reproduce hint must carry every flag that shapes the
+		// schedule and the workload — in particular -short, which changes
+		// the campaign horizon and therefore the schedule a seed
+		// generates, and -protocol, which selects the pipeline under
+		// test.
+		repro := fmt.Sprintf("faultsim -sites %d -clients %d -txns %d", *sites, *clients, *txns)
+		if *short {
+			repro = "faultsim -short -sites " + fmt.Sprint(*sites)
+		}
+		repro += " -protocol " + string(p)
+
+		switch {
+		case *replay != 0:
+			failures += runCampaign(cfg, []campaign.Schedule{campaign.New(*replay, params)}, *parallel, repro, true)
+		case *nCampaign > 0:
+			failures += runCampaign(cfg, campaign.Plan(*baseSeed, *nCampaign, params), *parallel, repro, false)
+		default:
+			failures += runMatrix(cfg, *seeds, *parallel)
+		}
 	}
 	if failures > 0 {
 		fmt.Printf("\n%d run(s) violated safety or errored\n", failures)
 		os.Exit(1)
 	}
-	fmt.Println("\nall runs safe: every operational site committed the same sequence")
+	fmt.Printf("\nall runs safe (%v): every operational site committed the same sequence\n", protocols)
 }
 
 // matrix is the fixed dependability matrix: the paper's Section 5.3 fault
@@ -115,6 +134,7 @@ func matrix() []struct {
 // runMatrix fans the (row × seed) grid across the pool and prints one
 // verdict per run, in deterministic row order.
 func runMatrix(base core.Config, seeds, parallel int) int {
+	fmt.Printf("\n=== fixed matrix, protocol %s ===\n", base.Protocol)
 	rows := matrix()
 	var tasks []expr.Task
 	for _, row := range rows {
@@ -142,6 +162,7 @@ func runMatrix(base core.Config, seeds, parallel int) int {
 // runCampaign executes randomized schedules through the pool, prints one
 // verdict line per schedule, and aggregates verdicts per fault type.
 func runCampaign(base core.Config, plan []campaign.Schedule, parallel int, repro string, verbose bool) int {
+	fmt.Printf("\n=== campaign, protocol %s ===\n", base.Protocol)
 	start := time.Now()
 	points, _ := (&expr.Runner{Workers: parallel}).Run(campaign.Tasks(plan, base))
 
@@ -193,8 +214,16 @@ func verdictOf(pt expr.Point) (string, string) {
 		return "UNSAFE", r.SafetyErr.Error()
 	case r.Inconsistencies != 0:
 		return "UNSAFE", fmt.Sprintf("%d local/global inconsistencies", r.Inconsistencies)
+	case r.CertDrops != 0:
+		// Not a serializability violation, but a payload vanished: a
+		// marshaling bug the campaign must fail on, not swallow.
+		return "UNSAFE", fmt.Sprintf("%d certification payloads dropped on unmarshal", r.CertDrops)
 	default:
-		return "SAFE", fmt.Sprintf("committed=%d tpm=%.0f viewchanges=%d quorumlosses=%d",
+		detail := fmt.Sprintf("committed=%d tpm=%.0f viewchanges=%d quorumlosses=%d",
 			r.Committed, r.TPM, r.GCS.ViewChanges, r.GCS.QuorumLosses)
+		if r.Protocol == core.ProtocolOptimistic {
+			detail += fmt.Sprintf(" rollbacks=%d mispred=%.1f%%", r.Rollbacks, r.OptMispredictPct)
+		}
+		return "SAFE", detail
 	}
 }

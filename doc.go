@@ -9,5 +9,18 @@
 // TPC-C traffic generator components — and regenerates every table and
 // figure of the paper's evaluation, with multi-seed replication and 95%
 // confidence intervals via the parallel experiment engine (internal/expr).
+//
+// Two termination protocol variants are implemented, selected by
+// core.Config.Protocol: the paper's conservative protocol (certify on final
+// total-order delivery) and an optimistic-delivery variant (the Section 7
+// ongoing-work direction) that certifies on tentative, spontaneous-order
+// delivery one ordering round early — dbsm.SpecCertifier holds the
+// speculative state with undo, internal/replica runs the two-stage
+// pipeline, and tentative/final order mismatches roll back and re-certify
+// deterministically. cmd/experiments's "protocols" subcommand reports the
+// resulting certification-latency split; cmd/faultsim campaigns verify
+// one-copy serializability for both variants under randomized fault
+// schedules.
+//
 // See README.md and the per-package documentation under internal/.
 package repro

@@ -28,11 +28,33 @@ import (
 	"repro/internal/trace"
 )
 
+// Protocol selects the replication termination variant.
+type Protocol string
+
+// The two DBSM protocol variants the tool evaluates.
+const (
+	// ProtocolConservative certifies on final (total-order) delivery
+	// only — the paper's baseline protocol.
+	ProtocolConservative Protocol = "conservative"
+	// ProtocolOptimistic certifies on tentative (spontaneous-order)
+	// delivery, one ordering round early, and pre-applies remote
+	// write-sets; final delivery confirms the speculation or rolls it
+	// back — the optimistic atomic broadcast variant the paper lists as
+	// ongoing work (Section 7, [25]).
+	ProtocolOptimistic Protocol = "optimistic"
+)
+
+// Protocols lists the selectable variants in report order.
+func Protocols() []Protocol { return []Protocol{ProtocolConservative, ProtocolOptimistic} }
+
 // Config describes one experiment run.
 type Config struct {
 	// Sites is the number of replicas; 1 runs the centralized baseline
 	// without any replication protocol.
 	Sites int
+	// Protocol selects the termination variant (default conservative).
+	// Ignored when Sites == 1 (no replication protocol runs at all).
+	Protocol Protocol
 	// CPUsPerSite configures each site's processor count.
 	CPUsPerSite int
 	// Clients is the total emulated user count, split equally between
@@ -87,6 +109,9 @@ type Config struct {
 func (c *Config) fill() {
 	if c.Sites == 0 {
 		c.Sites = 1
+	}
+	if c.Protocol == "" {
+		c.Protocol = ProtocolConservative
 	}
 	if c.CPUsPerSite == 0 {
 		c.CPUsPerSite = 1
@@ -167,6 +192,9 @@ func New(cfg Config) (*Model, error) {
 	if cfg.Sites < 1 || cfg.Sites > 32 {
 		return nil, fmt.Errorf("core: unsupported site count %d", cfg.Sites)
 	}
+	if cfg.Protocol != ProtocolConservative && cfg.Protocol != ProtocolOptimistic {
+		return nil, fmt.Errorf("core: unknown protocol %q", cfg.Protocol)
+	}
 	m := &Model{cfg: cfg, k: sim.NewKernel(), rng: sim.NewRNG(cfg.Seed)}
 	m.net = simnet.NewNetwork(m.k, m.rng.Fork("net"))
 	m.lan = m.net.NewLAN(cfg.LAN)
@@ -236,6 +264,7 @@ func New(cfg Config) (*Model, error) {
 				m.rng.Fork(fmt.Sprintf("gen-%d", id)))
 			if site.Stack != nil {
 				site.Replica = replica.New(rt, site.Stack, server, replica.Options{
+					Optimistic:       cfg.Protocol == ProtocolOptimistic,
 					ReadSetThreshold: cfg.ReadSetThreshold,
 					Replicates:       replicatesFunc(int(id)-1, cfg.Sites, cfg.ReplicationDegree),
 				})

@@ -47,6 +47,8 @@ type SiteResult struct {
 
 // Results carries everything the paper's evaluation reports for one run.
 type Results struct {
+	// Protocol echoes the run's termination variant.
+	Protocol Protocol
 	// Duration is the measurement window (start to last completion).
 	Duration sim.Time
 	// Issued counts client submissions (including ones swallowed by
@@ -81,6 +83,27 @@ type Results struct {
 	LatReadOnly  *metrics.Sample
 	LatUpdate    *metrics.Sample
 	CertLat      *metrics.Sample
+	// CertDecideLat samples the certification-decision latency: commit
+	// request to first verdict. Equals CertLat under the conservative
+	// protocol; one ordering round shorter under optimistic delivery —
+	// the latency split the protocol comparison reports.
+	CertDecideLat    *metrics.Sample
+	MeanCertDecideMS float64
+	// CertDrops counts delivered certification payloads discarded on
+	// unmarshal failure, summed over replicas. Nonzero means a marshaling
+	// or wire-format bug — never silent.
+	CertDrops int64
+	// Optimistic-pipeline counters, summed over replicas (zero under the
+	// conservative protocol).
+	Tentative      int64 // tentative certifications (incl. re-certifications)
+	Rollbacks      int64 // tentative/final order divergences unwound
+	Recertified    int64 // transactions re-certified after rollbacks
+	PreApplied     int64 // remote write-sets speculatively pre-written
+	PreApplyWasted int64 // pre-writes whose transaction finally aborted
+	// OptMispredictPct is the stack-level tentative-order misprediction
+	// rate: final deliveries whose spontaneous position disagreed with the
+	// total order, in percent of tentative deliveries.
+	OptMispredictPct float64
 	// GCS aggregates protocol counters over all stacks.
 	GCS gcs.Stats
 	// SafetyErr is the off-line commit-sequence comparison verdict
@@ -100,13 +123,15 @@ type Results struct {
 // results assembles the report after the run.
 func (m *Model) results() *Results {
 	r := &Results{
-		Issued:       m.issued,
-		LatCommitted: &metrics.Sample{},
-		LatReadOnly:  &metrics.Sample{},
-		LatUpdate:    &metrics.Sample{},
-		CertLat:      &metrics.Sample{},
-		TxnLog:       &m.txnLog,
-		Events:       m.k.Executed(),
+		Protocol:      m.cfg.Protocol,
+		Issued:        m.issued,
+		LatCommitted:  &metrics.Sample{},
+		LatReadOnly:   &metrics.Sample{},
+		LatUpdate:     &metrics.Sample{},
+		CertLat:       &metrics.Sample{},
+		CertDecideLat: &metrics.Sample{},
+		TxnLog:        &m.txnLog,
+		Events:        m.k.Executed(),
 	}
 	duration := m.lastDone
 	if duration <= 0 {
@@ -157,7 +182,19 @@ func (m *Model) results() *Results {
 		for _, v := range s.Server.CertLat.Values() {
 			r.CertLat.Add(v)
 		}
+		for _, v := range s.Server.CertDecideLat.Values() {
+			r.CertDecideLat.Add(v)
+		}
 		r.Inconsistencies += s.Server.Inconsistencies()
+		if s.Replica != nil {
+			rs := s.Replica.Stats()
+			r.CertDrops += rs.Drops
+			r.Tentative += rs.Tentative
+			r.Rollbacks += rs.Rollbacks
+			r.Recertified += rs.Recertified
+			r.PreApplied += rs.PreApplied
+			r.PreApplyWasted += rs.PreApplyWasted
+		}
 		if s.Stack != nil {
 			st := s.Stack.Stats()
 			r.GCS.Sent += st.Sent
@@ -165,6 +202,9 @@ func (m *Model) results() *Results {
 			r.GCS.Nacks += st.Nacks
 			r.GCS.Gossips += st.Gossips
 			r.GCS.Delivered += st.Delivered
+			r.GCS.Optimistic += st.Optimistic
+			r.GCS.Mispredicted += st.Mispredicted
+			r.GCS.ParseErrors += st.ParseErrors
 			r.GCS.Blocked += st.Blocked
 			r.GCS.BlockedTime += st.BlockedTime
 			r.GCS.ViewChanges += st.ViewChanges
@@ -191,6 +231,8 @@ func (m *Model) results() *Results {
 	}
 	r.MeanLatencyMS = r.LatCommitted.Mean()
 	r.P95LatencyMS = r.LatCommitted.Quantile(0.95)
+	r.MeanCertDecideMS = r.CertDecideLat.Mean()
+	r.OptMispredictPct = metrics.Rate(r.GCS.Mispredicted, r.GCS.Optimistic)
 	done := r.Committed + r.Aborted
 	r.AbortRatePct = metrics.Rate(r.Aborted, done)
 
@@ -251,6 +293,12 @@ func (r *Results) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "tpm=%.0f latency=%.1fms abort=%.2f%% cpu=%.1f%% disk=%.1f%% net=%.1fKB/s",
 		r.TPM, r.MeanLatencyMS, r.AbortRatePct, r.CPUUtilPct, r.DiskUtilPct, r.NetKBps)
+	if r.Protocol == ProtocolOptimistic {
+		fmt.Fprintf(&b, " certdecide=%.1fms rollbacks=%d", r.MeanCertDecideMS, r.Rollbacks)
+	}
+	if r.CertDrops > 0 || r.GCS.ParseErrors > 0 {
+		fmt.Fprintf(&b, " DROPS(cert=%d parse=%d)", r.CertDrops, r.GCS.ParseErrors)
+	}
 	if r.SafetyErr != nil {
 		fmt.Fprintf(&b, " SAFETY-VIOLATION(%v)", r.SafetyErr)
 	}
@@ -309,13 +357,23 @@ type Aggregate struct {
 	GCSNacks       Stat
 	GCSBlocked     Stat
 	GCSBlockedMS   Stat
+	// Protocol-comparison detail: certification-decision latency, the
+	// optimistic pipeline's mismatch accounting, and the drop counters
+	// that must stay zero.
+	MeanCertDecideMS Stat
+	Rollbacks        Stat
+	Recertified      Stat
+	OptMispredictPct Stat
+	CertDrops        int64
+	GCSParseErrors   int64
 	// Classes aggregates abort-rate rows — Tables 1 and 2.
 	Classes []ClassAggregate
 	// Pooled latency samples over all replications — Figures 4 and 7.
-	LatCommitted *metrics.Sample
-	LatReadOnly  *metrics.Sample
-	LatUpdate    *metrics.Sample
-	CertLat      *metrics.Sample
+	LatCommitted  *metrics.Sample
+	LatReadOnly   *metrics.Sample
+	LatUpdate     *metrics.Sample
+	CertLat       *metrics.Sample
+	CertDecideLat *metrics.Sample
 	// SafetyErr is the first replication's safety violation, if any.
 	SafetyErr error
 	// Inconsistencies sums local-abort-vs-global-commit divergences.
@@ -333,12 +391,13 @@ func AggregateRuns(runs []*Results) *Aggregate {
 		panic("core: AggregateRuns on empty run set")
 	}
 	a := &Aggregate{
-		Reps:         len(runs),
-		LatCommitted: &metrics.Sample{},
-		LatReadOnly:  &metrics.Sample{},
-		LatUpdate:    &metrics.Sample{},
-		CertLat:      &metrics.Sample{},
-		Runs:         runs,
+		Reps:          len(runs),
+		LatCommitted:  &metrics.Sample{},
+		LatReadOnly:   &metrics.Sample{},
+		LatUpdate:     &metrics.Sample{},
+		CertLat:       &metrics.Sample{},
+		CertDecideLat: &metrics.Sample{},
+		Runs:          runs,
 	}
 	col := func(get func(*Results) float64) Stat {
 		vals := make([]float64, len(runs))
@@ -361,6 +420,10 @@ func AggregateRuns(runs []*Results) *Aggregate {
 	a.GCSNacks = col(func(r *Results) float64 { return float64(r.GCS.Nacks) })
 	a.GCSBlocked = col(func(r *Results) float64 { return float64(r.GCS.Blocked) })
 	a.GCSBlockedMS = col(func(r *Results) float64 { return r.GCS.BlockedTime.Seconds() * 1e3 })
+	a.MeanCertDecideMS = col(func(r *Results) float64 { return r.MeanCertDecideMS })
+	a.Rollbacks = col(func(r *Results) float64 { return float64(r.Rollbacks) })
+	a.Recertified = col(func(r *Results) float64 { return float64(r.Recertified) })
+	a.OptMispredictPct = col(func(r *Results) float64 { return r.OptMispredictPct })
 
 	for _, r := range runs {
 		for _, v := range r.LatCommitted.Values() {
@@ -375,9 +438,14 @@ func AggregateRuns(runs []*Results) *Aggregate {
 		for _, v := range r.CertLat.Values() {
 			a.CertLat.Add(v)
 		}
+		for _, v := range r.CertDecideLat.Values() {
+			a.CertDecideLat.Add(v)
+		}
 		if a.SafetyErr == nil {
 			a.SafetyErr = r.SafetyErr
 		}
+		a.CertDrops += r.CertDrops
+		a.GCSParseErrors += r.GCS.ParseErrors
 		a.Inconsistencies += r.Inconsistencies
 		a.Events += r.Events
 	}

@@ -59,6 +59,13 @@ type Server struct {
 	// CertLat samples the distributed termination latency in ms (commit
 	// request to certification outcome) for Figure 7(b).
 	CertLat metrics.Sample
+	// CertDecideLat samples the certification-decision latency in ms:
+	// commit request to the first certification verdict. Under the
+	// conservative protocol the verdict arrives with the final delivery,
+	// so this equals CertLat; under optimistic delivery the tentative
+	// verdict lands one ordering round earlier — the latency the
+	// optimistic variant trades risk of rollback for.
+	CertDecideLat metrics.Sample
 	// LatCommitted samples all committed-transaction latencies in ms.
 	LatCommitted metrics.Sample
 	// LatReadOnly and LatUpdate split latencies for the Figure 4
@@ -245,6 +252,19 @@ func (s *Server) commitPhase(t *Txn) {
 	})
 }
 
+// NoteCertDecision records the first certification verdict for a pending
+// local transaction — the optimistic tentative decision, sampled one
+// ordering round before the final outcome. Resolution still waits for
+// ResolveLocal; only the decision-latency split is measured here.
+func (s *Server) NoteCertDecision(tid uint64) {
+	t, ok := s.pendingCert[tid]
+	if !ok || s.down || t.decided {
+		return
+	}
+	t.decided = true
+	s.CertDecideLat.Add((s.k.Now() - t.CommitReqAt).Millis())
+}
+
 // ResolveLocal delivers the certification outcome for a local transaction,
 // in total delivery order. On commit, the write-back happens while the locks
 // are still held; on abort, locks release immediately.
@@ -254,7 +274,13 @@ func (s *Server) ResolveLocal(tid uint64, commit bool, seq uint64) {
 		return
 	}
 	delete(s.pendingCert, tid)
-	s.CertLat.Add((s.k.Now() - t.CommitReqAt).Millis())
+	lat := (s.k.Now() - t.CommitReqAt).Millis()
+	s.CertLat.Add(lat)
+	if !t.decided {
+		// Conservative protocol: decision and outcome coincide.
+		t.decided = true
+		s.CertDecideLat.Add(lat)
+	}
 	if t.finished {
 		// Preempted by a certified transaction while awaiting its own
 		// outcome. Certification must have aborted it everywhere;
@@ -294,6 +320,20 @@ func (s *Server) NoteApplied(seq uint64) {
 // ApplyRemote installs a remotely-certified transaction: acquire its locks
 // (preempting conflicting local transactions), write back, release.
 func (s *Server) ApplyRemote(c *dbsm.TxnCert, seq uint64) {
+	s.applyRemote(c, seq, s.writeSectors(c.WriteSet))
+}
+
+// ApplyRemotePrepared installs a remotely-certified transaction whose
+// write-set was already written back speculatively at tentative delivery
+// (PreApplyRemote): the install under locks flips the prepared version
+// visible with a single commit-record sector instead of re-writing every
+// row. The disk queue serializes it behind the speculative write, so a
+// still-in-flight pre-apply is waited out naturally.
+func (s *Server) ApplyRemotePrepared(c *dbsm.TxnCert, seq uint64) {
+	s.applyRemote(c, seq, 1)
+}
+
+func (s *Server) applyRemote(c *dbsm.TxnCert, seq uint64, sectors int) {
 	if s.down {
 		return
 	}
@@ -308,7 +348,7 @@ func (s *Server) ApplyRemote(c *dbsm.TxnCert, seq uint64) {
 		certified:  true,
 	}
 	s.lm.AcquireAll(rt, func() {
-		s.storage.WriteSectors(s.writeSectors(c.WriteSet), func() {
+		s.storage.WriteSectors(sectors, func() {
 			if s.down {
 				return
 			}
@@ -316,6 +356,18 @@ func (s *Server) ApplyRemote(c *dbsm.TxnCert, seq uint64) {
 			s.remoteApplied++
 		})
 	})
+}
+
+// PreApplyRemote speculatively writes a tentatively-certified remote
+// write-set to a scratch area, overlapping the disk I/O with the ordering
+// round. No locks are taken — a wrong speculation must not abort local
+// transactions — so the data only becomes visible when ApplyRemotePrepared
+// installs it after the final delivery confirms the order.
+func (s *Server) PreApplyRemote(ws dbsm.ItemSet) {
+	if s.down {
+		return
+	}
+	s.storage.WriteSectors(s.writeSectors(ws), func() {})
 }
 
 // writeSectors sizes a commit's local write-back.

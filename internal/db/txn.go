@@ -102,6 +102,7 @@ type Txn struct {
 	opIdx     int
 	aborted   bool
 	certified bool
+	decided   bool // first certification verdict already sampled
 	finished  bool
 	holding   bool // currently holds its write locks
 	epoch     int  // invalidates in-flight op callbacks after preemption

@@ -100,6 +100,17 @@ func Unmarshal(b []byte) (*TxnCert, error) {
 	return t, nil
 }
 
+// PeekTID extracts the transaction identifier from a marshaled certification
+// message without decoding the item sets — the optimistic final-delivery fast
+// path, which already holds the fully decoded message from the tentative
+// stage and only needs the key to look it up.
+func PeekTID(b []byte) (uint64, error) {
+	if len(b) < certHeader {
+		return 0, errBadCert
+	}
+	return binary.BigEndian.Uint64(b[0:8]), nil
+}
+
 // Outcome is the certification verdict, identical at every replica.
 type Outcome struct {
 	// Commit reports whether the transaction passed certification.

@@ -51,6 +51,40 @@ func TestStackSurvivesGarbageTraffic(t *testing.T) {
 	}
 	c.run(5 * sim.Second)
 	c.checkAgreement(nodes(3), 50)
+	// The drops must be observable, not silent: the flooded member counted
+	// its malformed datagrams.
+	if c.stacks[2].Stats().ParseErrors == 0 {
+		t.Fatal("garbage traffic dropped without incrementing Stats.ParseErrors")
+	}
+}
+
+// Every malformed-message path of the receive switch must count the drop in
+// Stats.ParseErrors — a wire-format regression has to be observable.
+func TestParseErrorsCountedPerKind(t *testing.T) {
+	c := newCluster(t, 3, 47, nil)
+	malformed := [][]byte{
+		{kindData, 1, 2},   // truncated data header
+		{kindRetrans, 9},   // truncated retransmission
+		{kindNack},         // truncated NACK
+		{kindGossip, 0},    // truncated gossip
+		{kindPropose, 3},   // truncated view proposal
+		{kindFlushAck},     // truncated flush snapshot
+		{kindDecide, 1},    // truncated decision
+		{kindInstalled},    // truncated install ack
+		{0xee, 1, 2, 3, 4}, // unknown message kind
+	}
+	for i, wire := range malformed {
+		w := wire
+		c.k.ScheduleAt(sim.Time(i+1)*sim.Millisecond, func() { c.rts[1].Deliver(2, w) })
+	}
+	c.run(100 * sim.Millisecond)
+	if got := c.stacks[1].Stats().ParseErrors; got != int64(len(malformed)) {
+		t.Fatalf("ParseErrors = %d, want %d", got, len(malformed))
+	}
+	// A well-formed heartbeat is not a parse error.
+	if c.stacks[2].Stats().ParseErrors != 0 {
+		t.Fatalf("idle member counted %d parse errors", c.stacks[2].Stats().ParseErrors)
+	}
 }
 
 // The dissemination mode must not change outcomes, only traffic shape:

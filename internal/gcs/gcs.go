@@ -177,9 +177,13 @@ type Stats struct {
 	// Mispredicted counts final deliveries whose optimistic (arrival)
 	// position disagreed with the total order.
 	Mispredicted int64
-	Blocked      int64 // times a cast had to queue on flow control
-	BlockedTime  sim.Time
-	ViewChanges  int64
+	// ParseErrors counts malformed wire messages dropped by the receive
+	// path. A nonzero value under a loss-free run is a wire-format
+	// regression; silent drops would make one invisible.
+	ParseErrors int64
+	Blocked     int64 // times a cast had to queue on flow control
+	BlockedTime sim.Time
+	ViewChanges int64
 	// QuorumLosses counts wedges under the primary-component rule: the
 	// member found itself unable to reach a majority of its view and
 	// halted rather than risk minority progress.
@@ -191,11 +195,12 @@ type Stack struct {
 	rt  runtimeapi.Runtime
 	cfg Config
 
-	view      View
-	rank      int // my index in view.Members
-	onDeliver func(Delivery)
-	onOpt     func(OptDelivery)
-	onView    func(View)
+	view         View
+	rank         int // my index in view.Members
+	onDeliver    func(Delivery)
+	onOpt        func(OptDelivery)
+	onOptDiscard func(OptDelivery)
+	onView       func(View)
 
 	rm    *relMcast
 	stab  *stability
@@ -248,6 +253,13 @@ func (s *Stack) OnDeliver(fn func(Delivery)) { s.onDeliver = fn }
 // OnOptimistic installs the tentative-delivery upcall, enabling optimistic
 // total order. Must be set before Start.
 func (s *Stack) OnOptimistic(fn func(OptDelivery)) { s.onOpt = fn }
+
+// OnOptimisticDiscard installs the upcall for tentatively-delivered messages
+// the group discards during a view change (an excluded member's message
+// beyond the flush target): they will never reach final delivery, so a
+// consumer holding speculative state for them must cancel it. Must be set
+// before Start.
+func (s *Stack) OnOptimisticDiscard(fn func(OptDelivery)) { s.onOptDiscard = fn }
 
 // OnViewChange installs the view installation upcall.
 func (s *Stack) OnViewChange(fn func(View)) { s.onView = fn }
@@ -303,18 +315,21 @@ func (s *Stack) receive(src NodeID, data []byte) {
 	case kindData, kindRetrans:
 		m, err := parseData(data)
 		if err != nil {
+			s.stats.ParseErrors++
 			return
 		}
 		s.rm.onData(m)
 	case kindNack:
 		m, err := parseNack(data)
 		if err != nil {
+			s.stats.ParseErrors++
 			return
 		}
 		s.rm.onNack(src, m)
 	case kindGossip:
 		m, err := parseGossip(data)
 		if err != nil {
+			s.stats.ParseErrors++
 			return
 		}
 		s.stats.GossipsRecv++
@@ -324,27 +339,34 @@ func (s *Stack) receive(src NodeID, data []byte) {
 	case kindPropose:
 		m, err := parsePropose(data)
 		if err != nil {
+			s.stats.ParseErrors++
 			return
 		}
 		s.memb.onPropose(m)
 	case kindFlushAck:
 		m, err := parseFlushAck(data)
 		if err != nil {
+			s.stats.ParseErrors++
 			return
 		}
 		s.memb.onFlushAck(src, m)
 	case kindDecide:
 		m, err := parseDecide(data)
 		if err != nil {
+			s.stats.ParseErrors++
 			return
 		}
 		s.memb.onDecide(m)
 	case kindInstalled:
 		m, err := parseInstalled(data)
 		if err != nil {
+			s.stats.ParseErrors++
 			return
 		}
 		s.memb.onInstalled(src, m)
+	default:
+		// Unknown message kind: equally a wire-format regression.
+		s.stats.ParseErrors++
 	}
 }
 

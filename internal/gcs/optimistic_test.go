@@ -1,6 +1,7 @@
 package gcs
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -46,6 +47,34 @@ func TestOptimisticDeliveryPrecedesFinal(t *testing.T) {
 			if !seen[fmt.Sprintf("%d-%x", d.Sender, d.Payload)] {
 				t.Fatalf("node %d: final delivery without optimistic: %+v", id, d)
 			}
+		}
+	}
+}
+
+// Regression for the optimistic upcall wiring: in a fault-free run the
+// upcall fires exactly once per final delivery, and the tentative sequence
+// is identical — element by element — to the final total order.
+func TestOptimisticOrderEqualsFinalOrderFaultFree(t *testing.T) {
+	c, opts := newOptCluster(t, 3, 64)
+	for i := 0; i < 25; i++ {
+		c.castAt(sim.Time(i+1)*15*sim.Millisecond, NodeID(i%3+1), []byte{byte(i), byte(i >> 4)})
+	}
+	c.run(3 * sim.Second)
+	c.checkAgreement(nodes(3), 25)
+	for _, id := range nodes(3) {
+		finals := c.delivered[id]
+		tents := opts[id]
+		if len(tents) != len(finals) {
+			t.Fatalf("node %d: %d tentative vs %d final deliveries", id, len(tents), len(finals))
+		}
+		for i := range finals {
+			if tents[i].Sender != finals[i].Sender || !bytes.Equal(tents[i].Payload, finals[i].Payload) {
+				t.Fatalf("node %d position %d: tentative (%d,%x) != final (%d,%x)",
+					id, i, tents[i].Sender, tents[i].Payload, finals[i].Sender, finals[i].Payload)
+			}
+		}
+		if m := c.stacks[id].Stats().Mispredicted; m != 0 {
+			t.Fatalf("node %d: %d mispredictions in a fault-free run", id, m)
 		}
 	}
 }

@@ -408,6 +408,7 @@ func (rm *relMcast) complete(sender NodeID, msgID, lastSeq uint64, payloadKind b
 	case payloadSeq:
 		assigns, err := parseAssigns(data)
 		if err != nil {
+			rm.s.stats.ParseErrors++
 			return
 		}
 		rm.s.to.onAssigns(assigns)

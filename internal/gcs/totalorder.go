@@ -164,8 +164,15 @@ func (to *totalOrder) onInstall(oldSequencerGone bool, targets map[NodeID]uint64
 			leftovers = append(leftovers, key)
 		case !inView:
 			// From an excluded member, beyond the flush target:
-			// other members may not have it. Drop.
+			// other members may not have it. Drop, along with its
+			// optimistic-delivery bookkeeping — it will never
+			// finalize — and tell the optimistic consumer so it can
+			// cancel any speculative state.
 			delete(to.pending, key)
+			delete(to.optIndex, key)
+			if to.s.onOptDiscard != nil {
+				to.s.onOptDiscard(OptDelivery{Sender: key.sender, MsgID: key.msgID, Payload: pm.data})
+			}
 		}
 		// Messages from surviving members beyond the target stay
 		// pending; the new sequencer assigns them below or on arrival.

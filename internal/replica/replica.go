@@ -4,6 +4,18 @@
 // multicast through the group communication stack; upon delivery each
 // replica runs the deterministic certification procedure and either installs
 // the write-set (remote transactions) or resolves the local transaction.
+//
+// Two protocol variants share this glue. The conservative variant certifies
+// on final (total-order) delivery only. The optimistic variant
+// (Options.Optimistic) runs a two-stage pipeline: on tentative delivery —
+// the stack's spontaneous receive order, one ordering round before the
+// sequencer's assignment — it certifies speculatively and pre-writes remote
+// write-sets to scratch storage; on final delivery it confirms the queued
+// verdict with no further certification work when the orders agree, and
+// rolls back plus re-certifies when they diverge. Commit logs are appended
+// only on final delivery, so both variants decide identically at every
+// replica — the optimistic one just overlaps certification and write-back
+// with the ordering round.
 package replica
 
 import (
@@ -17,6 +29,10 @@ import (
 
 // Options tune the replica glue.
 type Options struct {
+	// Optimistic selects the optimistic-delivery protocol variant: the
+	// two-stage certify-on-tentative / commit-on-final pipeline described
+	// in the package comment.
+	Optimistic bool
 	// ReadSetThreshold upgrades large read-sets to table locks before
 	// multicasting (0 disables).
 	ReadSetThreshold int
@@ -51,18 +67,65 @@ func (o *Options) fill() {
 	}
 }
 
+// Stats counts replica-level termination activity.
+type Stats struct {
+	// Delivered is the number of totally-ordered certification messages
+	// processed.
+	Delivered int64
+	// Drops counts delivered payloads discarded because dbsm.Unmarshal
+	// rejected them. Always zero in a healthy run: the reliable multicast
+	// only hands up complete messages, so a drop here means a marshaling
+	// or wire-format bug, not network loss.
+	Drops int64
+	// Tentative counts tentative certifications, including
+	// re-certifications after rollbacks (optimistic variant only).
+	Tentative int64
+	// Rollbacks counts tentative/final order divergences that unwound the
+	// speculative state.
+	Rollbacks int64
+	// Recertified counts transactions re-certified after a rollback.
+	Recertified int64
+	// PreApplied counts remote write-sets speculatively pre-written to
+	// scratch storage at tentative delivery.
+	PreApplied int64
+	// PreApplyWasted counts pre-writes whose transaction finally aborted:
+	// disk bandwidth spent on a wrong speculation.
+	PreApplyWasted int64
+}
+
+// tentTxn is the replica-side state of one tentatively-delivered message.
+type tentTxn struct {
+	tc         *dbsm.TxnCert
+	out        dbsm.Outcome
+	preApplied bool
+}
+
 // Replica wires a server into the group.
 type Replica struct {
 	rt     runtimeapi.Runtime
 	stack  *gcs.Stack
 	server *db.Server
 	cert   *dbsm.Certifier
+	spec   *dbsm.SpecCertifier // optimistic variant only
 	site   dbsm.SiteID
 	opts   Options
 
-	commitLog trace.CommitLog
-	delivered int64
-	stopped   bool
+	tent map[uint64]*tentTxn // TID -> outstanding tentative state
+	// done marks messages finalized before their tentative job ran. At the
+	// sequencer the total order is assigned in the very job that receives
+	// the data, so final delivery beats the scheduled tentative stage for
+	// every message — there is no speculation window to exploit there. The
+	// late tentative job must then skip the message entirely or it would
+	// poison the speculative queue with entries that can never finalize.
+	done map[uint64]bool
+
+	commitLog      trace.CommitLog
+	delivered      int64
+	drops          int64
+	recertified    int64
+	preApplied     int64
+	preApplyWasted int64
+	stopped        bool
 }
 
 // New builds the replica glue and installs its hooks on the stack and the
@@ -81,6 +144,13 @@ func New(rt runtimeapi.Runtime, stack *gcs.Stack, server *db.Server, opts Option
 		rt.Charge(sim.Time(items) * opts.CertCostPerItem)
 	}
 	r.cert.MaxHistory = opts.MaxHistory
+	if opts.Optimistic {
+		r.spec = dbsm.NewSpecCertifier(r.cert)
+		r.tent = make(map[uint64]*tentTxn)
+		r.done = make(map[uint64]bool)
+		stack.OnOptimistic(r.onOptimistic)
+		stack.OnOptimisticDiscard(r.onOptDiscard)
+	}
 	server.SetTerminator(r.terminate)
 	stack.OnDeliver(r.onDeliver)
 	if opts.Replicates != nil {
@@ -122,6 +192,25 @@ func (r *Replica) Certifier() *dbsm.Certifier { return r.cert }
 // Delivered reports totally-ordered deliveries processed.
 func (r *Replica) Delivered() int64 { return r.delivered }
 
+// Drops reports delivered payloads discarded on unmarshal failure.
+func (r *Replica) Drops() int64 { return r.drops }
+
+// Stats reports the replica's termination counters.
+func (r *Replica) Stats() Stats {
+	s := Stats{
+		Delivered:      r.delivered,
+		Drops:          r.drops,
+		Recertified:    r.recertified,
+		PreApplied:     r.preApplied,
+		PreApplyWasted: r.preApplyWasted,
+	}
+	if r.spec != nil {
+		s.Tentative = r.spec.Tentatives
+		s.Rollbacks = r.spec.Rollbacks
+	}
+	return s
+}
+
 // terminate is the server's distributed termination hook: gather the
 // transaction's sets and values and atomically multicast them. The hook is
 // invoked from simulated-job context; the marshaling and multicast run as a
@@ -141,6 +230,104 @@ func (r *Replica) terminate(t *db.Txn) {
 	})
 }
 
+// chargeUnmarshal accounts the CPU cost of decoding a payload.
+func (r *Replica) chargeUnmarshal(n int) {
+	r.rt.Charge(sim.Time(r.opts.MarshalCostPerByte * float64(n)))
+}
+
+// onOptimistic receives one tentatively-delivered message. The upcall runs
+// inside the stack's receive job, where accrued CPU cost would delay the
+// sequencer's ordering announcement — so the certification work is handed
+// off to its own job and only the scheduling happens here.
+func (r *Replica) onOptimistic(o gcs.OptDelivery) {
+	if r.stopped {
+		return
+	}
+	payload := o.Payload
+	r.rt.Schedule(0, func() { r.tentative(payload) })
+}
+
+// tentative is stage one of the optimistic pipeline: decode, certify
+// speculatively, and act on the verdict while the sequencer's round is still
+// in flight.
+func (r *Replica) tentative(payload []byte) {
+	if r.stopped {
+		return
+	}
+	tid, err := dbsm.PeekTID(payload)
+	if err != nil {
+		r.drops++
+		return
+	}
+	if r.done[tid] {
+		// Finalized before this job ran (sequencer-side delivery), or
+		// discarded at a view change: the message is settled, nothing
+		// to speculate on — and nothing to decode.
+		delete(r.done, tid)
+		return
+	}
+	tc, err := dbsm.Unmarshal(payload)
+	if err != nil {
+		r.drops++
+		return
+	}
+	r.chargeUnmarshal(len(payload))
+	st := &tentTxn{tc: tc}
+	st.out = r.spec.Tentative(tc)
+	r.tent[tc.TID] = st
+	r.speculate(st)
+}
+
+// onOptDiscard learns that a tentatively-delivered message was discarded at
+// a view change and will never reach final delivery: its speculative state
+// must be cancelled or it would wedge the queue head and force a rollback
+// on every subsequent final delivery.
+func (r *Replica) onOptDiscard(o gcs.OptDelivery) {
+	if r.stopped {
+		return
+	}
+	payload := o.Payload
+	r.rt.Schedule(0, func() { r.discard(payload) })
+}
+
+// discard cancels the speculation on one never-to-finalize message.
+func (r *Replica) discard(payload []byte) {
+	if r.stopped {
+		return
+	}
+	tid, err := dbsm.PeekTID(payload)
+	if err != nil {
+		return // never speculated on: the tentative stage dropped it
+	}
+	st := r.tent[tid]
+	if st == nil {
+		// The tentative job has not run yet: make it skip this message.
+		r.done[tid] = true
+		return
+	}
+	delete(r.tent, tid)
+	r.respeculate(r.spec.Invalidate(tid))
+}
+
+// speculate acts on a tentative verdict: local transactions learn their
+// certification decision one ordering round early, remote commits pre-write
+// their rows to scratch storage so the final install is a single
+// commit-record sector.
+func (r *Replica) speculate(st *tentTxn) {
+	if st.tc.Site == r.site {
+		r.server.NoteCertDecision(st.tc.TID)
+		return
+	}
+	if !st.out.Commit || st.preApplied {
+		return
+	}
+	if apply := r.localWrites(st.tc); apply != nil {
+		st.preApplied = true
+		r.preApplied++
+		r.server.PreApplyRemote(apply.WriteSet)
+	}
+}
+
 // onDeliver processes one totally-ordered certification message: certify,
 // then install or resolve. This runs identically — and decides identically —
 // at every replica.
@@ -148,13 +335,79 @@ func (r *Replica) onDeliver(d gcs.Delivery) {
 	if r.stopped {
 		return
 	}
+	if r.spec != nil {
+		r.finalize(d)
+		return
+	}
 	tc, err := dbsm.Unmarshal(d.Payload)
 	if err != nil {
+		r.drops++
 		return
 	}
 	r.delivered++
-	r.rt.Charge(sim.Time(r.opts.MarshalCostPerByte * float64(len(d.Payload))))
+	r.chargeUnmarshal(len(d.Payload))
 	out := r.cert.Certify(tc)
+	r.resolve(tc, out, false)
+}
+
+// finalize is stage two of the optimistic pipeline: confirm the queued
+// tentative verdict when the final order matches (the fast path decodes
+// nothing and certifies nothing), or roll the speculation back and
+// re-certify when it diverges.
+func (r *Replica) finalize(d gcs.Delivery) {
+	// Malformed payloads are not counted here: the tentative stage sees
+	// every payload this one does (same bytes) and already counted the
+	// drop — counting both stages would inflate CertDrops 2x relative to
+	// the conservative protocol.
+	tid, err := dbsm.PeekTID(d.Payload)
+	if err != nil {
+		return
+	}
+	st := r.tent[tid]
+	var tc *dbsm.TxnCert
+	if st != nil {
+		tc = st.tc
+	} else {
+		// The tentative stage has not seen this payload — the final
+		// order was assigned in the receive job itself (sequencer), or
+		// the tentative decode failed. Decode now and mark the message
+		// finalized so a late tentative job skips it.
+		tc, err = dbsm.Unmarshal(d.Payload)
+		if err != nil {
+			return
+		}
+		r.chargeUnmarshal(len(d.Payload))
+		r.done[tid] = true
+	}
+	r.delivered++
+	out, rolled := r.spec.Final(tc)
+	delete(r.tent, tid)
+	r.respeculate(rolled)
+	if st != nil && st.preApplied && !out.Commit {
+		r.preApplyWasted++
+	}
+	r.resolve(tc, out, st != nil && st.preApplied)
+}
+
+// respeculate re-runs the tentative stage for a rolled-back suffix, in its
+// original tentative order. Scratch pre-writes survive — the written data
+// does not depend on the verdict — so only the certification decisions are
+// recomputed.
+func (r *Replica) respeculate(rolled []*dbsm.TxnCert) {
+	for _, rtc := range rolled {
+		st := r.tent[rtc.TID]
+		if st == nil {
+			continue
+		}
+		st.out = r.spec.Tentative(rtc)
+		r.recertified++
+		r.speculate(st)
+	}
+}
+
+// resolve carries a final certification outcome to the server: local
+// transactions learn their fate, committed remote write-sets are installed.
+func (r *Replica) resolve(tc *dbsm.TxnCert, out dbsm.Outcome, preApplied bool) {
 	if out.Commit {
 		r.commitLog.Append(out.Seq, tc.TID)
 	}
@@ -165,24 +418,37 @@ func (r *Replica) onDeliver(d gcs.Delivery) {
 	if !out.Commit {
 		return
 	}
-	if r.opts.Replicates != nil {
-		// Partial replication: install only the locally-stored rows.
-		// Sites storing nothing from this transaction skip the apply
-		// entirely (no locks, no disk) — the mitigated write fan-out.
-		local := make(dbsm.ItemSet, 0, len(tc.WriteSet))
-		for _, id := range tc.WriteSet {
-			if r.opts.Replicates(id) {
-				local = append(local, id)
-			}
-		}
-		if len(local) == 0 {
-			r.server.NoteApplied(out.Seq)
-			return
-		}
-		filtered := *tc
-		filtered.WriteSet = local
-		r.server.ApplyRemote(&filtered, out.Seq)
+	apply := r.localWrites(tc)
+	if apply == nil {
+		// Partial replication: nothing from this transaction is stored
+		// here — skip the install entirely (no locks, no disk).
+		r.server.NoteApplied(out.Seq)
 		return
 	}
-	r.server.ApplyRemote(tc, out.Seq)
+	if preApplied {
+		r.server.ApplyRemotePrepared(apply, out.Seq)
+		return
+	}
+	r.server.ApplyRemote(apply, out.Seq)
+}
+
+// localWrites narrows a write-set to the locally-stored rows under partial
+// replication. It returns tc unchanged under full replication, a filtered
+// copy when only some rows are stored here, and nil when none are.
+func (r *Replica) localWrites(tc *dbsm.TxnCert) *dbsm.TxnCert {
+	if r.opts.Replicates == nil {
+		return tc
+	}
+	local := make(dbsm.ItemSet, 0, len(tc.WriteSet))
+	for _, id := range tc.WriteSet {
+		if r.opts.Replicates(id) {
+			local = append(local, id)
+		}
+	}
+	if len(local) == 0 {
+		return nil
+	}
+	filtered := *tc
+	filtered.WriteSet = local
+	return &filtered
 }

@@ -24,6 +24,11 @@ type testSite struct {
 
 func buildCluster(t *testing.T, n int) (*sim.Kernel, []*testSite) {
 	t.Helper()
+	return buildClusterOpts(t, n, Options{})
+}
+
+func buildClusterOpts(t *testing.T, n int, opts Options) (*sim.Kernel, []*testSite) {
+	t.Helper()
 	k := sim.NewKernel()
 	rng := sim.NewRNG(5)
 	net := simnet.NewNetwork(k, rng.Fork("net"))
@@ -49,7 +54,7 @@ func buildCluster(t *testing.T, n int) (*sim.Kernel, []*testSite) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep := New(rt, stack, server, Options{})
+		rep := New(rt, stack, server, opts)
 		stack.Start()
 		rep.Start()
 		sites = append(sites, &testSite{rt: rt, server: server, stack: stack, rep: rep})
@@ -170,6 +175,143 @@ func TestReplicaStopsOnCrash(t *testing.T) {
 	}
 	if sites[2].rep.CommitLog().Len() != 0 {
 		t.Fatal("stopped replica still logging")
+	}
+}
+
+// A corrupted certification payload must be counted at every replica, not
+// silently discarded: the drop counter is the only trace a marshaling or
+// wire-format bug leaves.
+func TestCorruptPayloadCountedNotSilent(t *testing.T) {
+	for _, optimistic := range []bool{false, true} {
+		k, sites := buildClusterOpts(t, 3, Options{Optimistic: optimistic})
+		// Too short for the TxnCert header: every replica's unmarshal
+		// rejects it on delivery.
+		k.ScheduleAt(10*sim.Millisecond, func() {
+			sites[0].rt.CPUs().SubmitReal(func() {
+				sites[0].stack.Multicast([]byte{0xde, 0xad, 0xbe, 0xef})
+			}, nil)
+		})
+		// A valid transaction afterwards still goes through.
+		var outcome db.Outcome
+		txn := txnFor(dbsm.MakeTID(1, 1), dbsm.MakeTupleID(1, 5))
+		txn.Done = func(_ *db.Txn, o db.Outcome) { outcome = o }
+		k.ScheduleAt(20*sim.Millisecond, func() { sites[0].server.Submit(txn) })
+		if err := k.RunUntil(5 * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		if outcome != db.Committed {
+			t.Fatalf("optimistic=%v: valid txn after garbage: %v", optimistic, outcome)
+		}
+		for i, s := range sites {
+			if s.rep.Drops() == 0 {
+				t.Fatalf("optimistic=%v: site %d dropped the corrupt payload silently", optimistic, i+1)
+			}
+			if s.rep.Delivered() != 1 {
+				t.Fatalf("optimistic=%v: site %d delivered %d", optimistic, i+1, s.rep.Delivered())
+			}
+		}
+	}
+}
+
+// The optimistic pipeline must behave exactly like the conservative one on a
+// fault-free cluster: every delivery was tentatively certified first, no
+// rollbacks occur, no payloads drop, and all sites commit the same sequence.
+func TestOptimisticPipelineFaultFree(t *testing.T) {
+	k, sites := buildClusterOpts(t, 3, Options{Optimistic: true})
+	hot := dbsm.MakeTupleID(1, 9)
+	committed := 0
+	for i := 0; i < 12; i++ {
+		item := dbsm.MakeTupleID(1, uint64(100+i))
+		if i%4 == 0 {
+			item = hot // sprinkle real conflicts in
+		}
+		txn := txnFor(dbsm.MakeTID(dbsm.SiteID(i%3+1), uint32(i)), item)
+		txn.Done = func(_ *db.Txn, o db.Outcome) {
+			if o == db.Committed {
+				committed++
+			}
+		}
+		at := sim.Time(i+1) * 20 * sim.Millisecond
+		site := sites[i%3]
+		k.ScheduleAt(at, func() { site.server.Submit(txn) })
+	}
+	if err := k.RunUntil(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	logs := map[dbsm.SiteID]*trace.CommitLog{}
+	op := map[dbsm.SiteID]bool{}
+	for i, s := range sites {
+		st := s.rep.Stats()
+		if st.Drops != 0 {
+			t.Fatalf("site %d drops = %d", i+1, st.Drops)
+		}
+		if st.Rollbacks != 0 {
+			t.Fatalf("site %d rollbacks = %d on a fault-free LAN", i+1, st.Rollbacks)
+		}
+		if s.stack.IsSequencer() {
+			// The sequencer assigns the total order in the very job
+			// that receives the data: final delivery wins the race
+			// with the tentative stage every time, so it never
+			// speculates.
+			if st.Tentative != 0 {
+				t.Fatalf("sequencer speculated %d times", st.Tentative)
+			}
+		} else {
+			// Followers tentatively certify every delivery and
+			// pre-apply every remote commit (full replication).
+			if st.Tentative != st.Delivered {
+				t.Fatalf("site %d: %d tentative certifications for %d deliveries",
+					i+1, st.Tentative, st.Delivered)
+			}
+			if st.PreApplied == 0 {
+				t.Fatalf("site %d never pre-applied a remote write-set", i+1)
+			}
+		}
+		logs[dbsm.SiteID(i+1)] = s.rep.CommitLog()
+		op[dbsm.SiteID(i+1)] = true
+	}
+	if v := check.Logs(check.FromCommitLogs(logs, op)); v != nil {
+		t.Fatalf("logs diverged: %v", v)
+	}
+}
+
+// Conservative and optimistic runs of the same workload must commit the
+// identical sequence: the protocol variant changes when certification work
+// happens, never what it decides.
+func TestProtocolsDecideIdentically(t *testing.T) {
+	run := func(optimistic bool) []trace.CommitEntry {
+		k, sites := buildClusterOpts(t, 3, Options{Optimistic: optimistic})
+		hot := dbsm.MakeTupleID(2, 7)
+		for i := 0; i < 9; i++ {
+			item := dbsm.MakeTupleID(1, uint64(200+i))
+			if i%3 == 1 {
+				item = hot
+			}
+			txn := txnFor(dbsm.MakeTID(dbsm.SiteID(i%3+1), uint32(i)), item)
+			at := sim.Time(i+1) * 15 * sim.Millisecond
+			site := sites[i%3]
+			k.ScheduleAt(at, func() { site.server.Submit(txn) })
+		}
+		if err := k.RunUntil(10 * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		return sites[0].rep.CommitLog().Entries()
+	}
+	cons := run(false)
+	opt := run(true)
+	if len(cons) == 0 {
+		t.Fatal("conservative run committed nothing")
+	}
+	if len(cons) != len(opt) {
+		t.Fatalf("conservative committed %d, optimistic %d", len(cons), len(opt))
+	}
+	for i := range cons {
+		if cons[i] != opt[i] {
+			t.Fatalf("position %d: conservative %+v, optimistic %+v", i, cons[i], opt[i])
+		}
 	}
 }
 
