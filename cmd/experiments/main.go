@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"repro/internal/profiles"
 )
 
 func main() {
@@ -37,6 +39,8 @@ func main() {
 	reps := fs.Int("reps", 3, "replications per grid point (mean ± 95% CI)")
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
 	progress := fs.Bool("progress", true, "report per-run progress on stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig3|fig4|fig5|fig6|table1|fig7|table2|protocols|all")
 		fs.PrintDefaults()
@@ -47,6 +51,11 @@ func main() {
 	if fs.NArg() < 1 {
 		fs.Usage()
 		os.Exit(2)
+	}
+	stopProfiles, perr := profiles.Start(*cpuprofile, *memprofile)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", perr)
+		os.Exit(1)
 	}
 	h := &harness{
 		fast:     *fast,
@@ -98,6 +107,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown subcommand %q\n", fs.Arg(0))
 		os.Exit(2)
 	}
+	stopProfiles() // flush profiles before any exit path
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/faults"
+	"repro/internal/profiles"
 	"repro/internal/sim"
 )
 
@@ -39,8 +40,15 @@ func main() {
 	replay := fs.Int64("replay", 0, "re-run the single campaign schedule with this seed")
 	short := fs.Bool("short", false, "smoke mode for CI: small transaction counts, clients, and seeds")
 	protoFlag := fs.String("protocol", "both", "termination variant under test: conservative, optimistic, or both")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
+	}
+	stopProfiles, perr := profiles.Start(*cpuprofile, *memprofile)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", perr)
+		os.Exit(1)
 	}
 	if *short {
 		*txns, *clients, *seeds = 300, 60, 2
@@ -93,6 +101,7 @@ func main() {
 			failures += runMatrix(cfg, *seeds, *parallel)
 		}
 	}
+	stopProfiles() // flush profiles before any exit path
 	if failures > 0 {
 		fmt.Printf("\n%d run(s) violated safety or errored\n", failures)
 		os.Exit(1)

@@ -22,5 +22,16 @@
 // one-copy serializability for both variants under randomized fault
 // schedules.
 //
+// The simulation critical path is engineered to allocate nothing in steady
+// state: certification runs against an inverted last-writer index
+// (O(|ReadSet|) per transaction, differential-tested against the paper's
+// history scan, which remains available via core.Config.ScanCertifier), the
+// kernel schedules through a pointer-free 4-ary heap over pooled event
+// slots, and the wire path hands buffers zero-copy from sender to receivers
+// with pooled packets and thunks. On the fault-free 3-site TPC-C
+// configuration this doubled simulator throughput (≈0.89M → ≈1.87M
+// events/s); README.md's "Performance" section has the measurements and the
+// reproduction commands.
+//
 // See README.md and the per-package documentation under internal/.
 package repro

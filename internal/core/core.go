@@ -84,6 +84,10 @@ type Config struct {
 	Faults faults.Config
 	// ReadSetThreshold upgrades large read-sets to table locks.
 	ReadSetThreshold int
+	// ScanCertifier runs certification with the reference history-scan
+	// procedure instead of the default inverted last-writer index (same
+	// verdicts, O(concurrent-history × read-set) cost per transaction).
+	ScanCertifier bool
 	// DedicatedSequencer adds a group member (node 0) that orders
 	// messages but hosts no database and originates no application
 	// traffic — the paper's Section 5.3 mitigation for sequencer
@@ -266,6 +270,7 @@ func New(cfg Config) (*Model, error) {
 				site.Replica = replica.New(rt, site.Stack, server, replica.Options{
 					Optimistic:       cfg.Protocol == ProtocolOptimistic,
 					ReadSetThreshold: cfg.ReadSetThreshold,
+					ScanCertifier:    cfg.ScanCertifier,
 					Replicates:       replicatesFunc(int(id)-1, cfg.Sites, cfg.ReplicationDegree),
 				})
 			}

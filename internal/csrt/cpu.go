@@ -35,6 +35,7 @@ type Job struct {
 	Class string
 
 	remaining sim.Time // for preempted simulated jobs
+	pooled    bool     // created by SubmitSim*/SubmitReal: recycled on completion
 }
 
 func (j *Job) class() string {
@@ -68,12 +69,31 @@ type CPU struct {
 	curEnd   sim.Time
 	curEvt   sim.EventID
 	stopped  bool
+
+	// onComplete is the single completion closure, bound once: completion
+	// always applies to the running job, so dispatch schedules this
+	// instead of allocating a fresh closure per job.
+	onComplete func()
+	free       []*Job // recycled pooled jobs
 }
 
 // NewCPU returns an idle CPU attached to the kernel. exec may be nil when
 // the CPU will only ever run simulated jobs (e.g. a non-replicated server).
 func NewCPU(id int, k *sim.Kernel, exec runReal) *CPU {
-	return &CPU{id: id, k: k, usage: metrics.NewUsageMeter(), exec: exec}
+	c := &CPU{id: id, k: k, usage: metrics.NewUsageMeter(), exec: exec}
+	c.onComplete = func() { c.complete(c.cur) }
+	return c
+}
+
+// newJob takes a pooled Job (or allocates one) for the Submit* helpers.
+func (c *CPU) newJob() *Job {
+	if n := len(c.free); n > 0 {
+		j := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return j
+	}
+	return &Job{pooled: true}
 }
 
 // Usage exposes the busy-time accounting for this CPU.
@@ -126,8 +146,10 @@ func (c *CPU) preemptCurrent() {
 	c.usage.AddBusy(j.class(), int64(now-c.curStart))
 	j.remaining = c.curEnd - now
 	c.k.Cancel(c.curEvt)
-	// Resume at the front of the simulated queue.
-	c.simQ = append([]*Job{j}, c.simQ...)
+	// Resume at the front of the simulated queue (shift in place).
+	c.simQ = append(c.simQ, nil)
+	copy(c.simQ[1:], c.simQ)
+	c.simQ[0] = j
 	c.busy = false
 	c.cur = nil
 	c.curEvt = 0
@@ -170,7 +192,7 @@ func (c *CPU) dispatch() {
 	}
 	c.curStart = c.k.Now()
 	c.curEnd = c.curStart + dur
-	c.curEvt = c.k.SchedulePri(dur, sim.PriorityHigh, func() { c.complete(j) })
+	c.curEvt = c.k.SchedulePri(dur, sim.PriorityHigh, c.onComplete)
 }
 
 func (c *CPU) complete(j *Job) {
@@ -178,8 +200,13 @@ func (c *CPU) complete(j *Job) {
 	c.busy = false
 	c.cur = nil
 	c.curEvt = 0
-	if j.Done != nil && !c.stopped {
-		j.Done()
+	done := j.Done
+	if j.pooled {
+		*j = Job{pooled: true}
+		c.free = append(c.free, j)
+	}
+	if done != nil && !c.stopped {
+		done()
 	}
 	c.dispatch()
 }
@@ -224,12 +251,17 @@ func (s *CPUSet) SubmitSim(dur sim.Time, done func()) {
 // SubmitSimClass is SubmitSim with an explicit accounting class.
 func (s *CPUSet) SubmitSimClass(class string, dur sim.Time, done func()) {
 	cpu := s.pick()
-	cpu.Submit(&Job{Dur: dur, Done: done, Class: class})
+	j := cpu.newJob()
+	j.Dur, j.Done, j.Class = dur, done, class
+	cpu.Submit(j)
 }
 
 // SubmitReal schedules a real job on CPU 0.
 func (s *CPUSet) SubmitReal(fn func(), done func()) {
-	s.cpus[0].Submit(&Job{Fn: fn, Done: done})
+	cpu := s.cpus[0]
+	j := cpu.newJob()
+	j.Fn, j.Done = fn, done
+	cpu.Submit(j)
 }
 
 // pick chooses an idle CPU if one exists, else round-robins.

@@ -72,6 +72,47 @@ type Runtime struct {
 	driftRate float64                 // clock drift rate r
 	schedLat  func(*sim.RNG) sim.Time // extra latency for future events
 	latRNG    *sim.RNG
+
+	freeDlv []*delivery // recycled reception thunks
+	freeJob []*oneShot  // recycled fire-and-forget job thunks
+}
+
+// oneShot is a pooled fire-and-forget scheduled job (StartJob): no Timer
+// handle exists, so the struct can be recycled the moment it fires.
+type oneShot struct {
+	r    *Runtime
+	fn   func()
+	fire func()
+}
+
+func (o *oneShot) run() {
+	r, fn := o.r, o.fn
+	o.fn = nil
+	r.freeJob = append(r.freeJob, o)
+	if r.down {
+		return
+	}
+	r.cpus.SubmitReal(fn, nil)
+}
+
+// delivery is one pooled pending reception job: its closure is bound once at
+// allocation, so handing a datagram to the CPU allocates nothing in steady
+// state.
+type delivery struct {
+	r    *Runtime
+	src  runtimeapi.NodeID
+	data []byte
+	fire func()
+}
+
+func (d *delivery) run() {
+	r, src, data := d.r, d.src, d.data
+	d.data = nil
+	r.freeDlv = append(r.freeDlv, d)
+	r.extra += r.cost.RecvCost(len(data))
+	if r.recv != nil {
+		r.recv(src, data)
+	}
 }
 
 var _ runtimeapi.Runtime = (*Runtime)(nil)
@@ -228,6 +269,35 @@ func (r *Runtime) Schedule(d sim.Time, fn func()) runtimeapi.Timer {
 	return t
 }
 
+// StartJob implements runtimeapi.Runtime: Schedule without a cancellation
+// handle. The scheduled thunk is pooled, so hot one-shot jobs allocate
+// nothing here (the kernel event is pooled too). Drift and scheduling-latency
+// faults apply exactly as in Schedule.
+func (r *Runtime) StartJob(d sim.Time, fn func()) {
+	r.prof.Pause()
+	defer r.prof.Resume()
+	if d < 0 {
+		d = 0
+	}
+	if r.driftRate != 0 {
+		d = sim.Time(float64(d) * r.driftFactor())
+	}
+	if d > 0 && r.schedLat != nil {
+		d += r.schedLat(r.latRNG)
+	}
+	var o *oneShot
+	if n := len(r.freeJob); n > 0 {
+		o = r.freeJob[n-1]
+		r.freeJob[n-1] = nil
+		r.freeJob = r.freeJob[:n-1]
+	} else {
+		o = &oneShot{r: r}
+		o.fire = o.run
+	}
+	o.fn = fn
+	r.k.Schedule(r.elapsedInJob()+d, o.fire)
+}
+
 // Send implements runtimeapi.Runtime: charges the configured send overhead
 // to the CPU and injects the datagram at now + elapsed job cost.
 func (r *Runtime) Send(dst runtimeapi.NodeID, data []byte) error {
@@ -265,12 +335,17 @@ func (r *Runtime) Deliver(src runtimeapi.NodeID, data []byte) {
 	if r.down {
 		return
 	}
-	r.cpus.SubmitReal(func() {
-		r.extra += r.cost.RecvCost(len(data))
-		if r.recv != nil {
-			r.recv(src, data)
-		}
-	}, nil)
+	var d *delivery
+	if n := len(r.freeDlv); n > 0 {
+		d = r.freeDlv[n-1]
+		r.freeDlv[n-1] = nil
+		r.freeDlv = r.freeDlv[:n-1]
+	} else {
+		d = &delivery{r: r}
+		d.fire = d.run
+	}
+	d.src, d.data = src, data
+	r.cpus.SubmitReal(d.fire, nil)
 }
 
 // Start schedules fn as the node's initialization job at time zero offsets;

@@ -11,6 +11,11 @@ import "repro/internal/dbsm"
 // (write-write conflict); when it aborts, the next waiter acquires. Already
 // certified transactions (remote or local) preempt and abort uncertified
 // local holders — those would abort in certification anyway.
+//
+// Holders and waiters live in flat maps keyed by tuple, with entries removed
+// on release: the uncontended acquire/release cycle allocates nothing, and
+// the maps stay sized to the locks actually held rather than every tuple
+// ever touched.
 type LockManager struct {
 	// OnPreempt is invoked when an uncertified holder is aborted by a
 	// certified transaction; the server finalizes the abort.
@@ -19,16 +24,12 @@ type LockManager struct {
 	// committed.
 	OnWaiterAbort func(*Txn)
 
-	locks map[dbsm.TupleID]*lockState
-	dirty []dbsm.TupleID // released locks pending waiter processing
-	busy  bool           // re-entrancy guard for processDirty
+	holders map[dbsm.TupleID]*Txn
+	waiters map[dbsm.TupleID][]*lockWaiter
+	dirty   []dbsm.TupleID // released locks pending waiter processing
+	busy    bool           // re-entrancy guard for processDirty
 
 	waits int64 // transactions that had to wait at least once
-}
-
-type lockState struct {
-	holder  *Txn
-	waiters []*lockWaiter
 }
 
 type lockWaiter struct {
@@ -38,42 +39,34 @@ type lockWaiter struct {
 
 // NewLockManager builds an empty manager.
 func NewLockManager() *LockManager {
-	return &LockManager{locks: make(map[dbsm.TupleID]*lockState)}
+	return &LockManager{
+		holders: make(map[dbsm.TupleID]*Txn),
+		waiters: make(map[dbsm.TupleID][]*lockWaiter),
+	}
 }
 
 // Waits reports how many acquisitions had to block.
 func (lm *LockManager) Waits() int64 { return lm.waits }
-
-func (lm *LockManager) state(id dbsm.TupleID) *lockState {
-	l := lm.locks[id]
-	if l == nil {
-		l = &lockState{}
-		lm.locks[id] = l
-	}
-	return l
-}
 
 // AcquireAll atomically acquires every lock in t's write set, invoking grant
 // when all are held. A read-only transaction is granted immediately. If a
 // lock is busy the transaction waits (holding nothing). Certified
 // transactions preempt uncertified holders.
 func (lm *LockManager) AcquireAll(t *Txn, grant func()) {
-	lm.tryAcquire(&lockWaiter{t: t, grant: grant})
+	lm.tryAcquire(t, grant)
 	lm.processDirty()
 }
 
-func (lm *LockManager) tryAcquire(w *lockWaiter) {
-	t := w.t
+func (lm *LockManager) tryAcquire(t *Txn, grant func()) {
 	if len(t.WriteSet) == 0 {
-		w.grant()
+		grant()
 		return
 	}
 	if t.certified {
 		// Preempt uncertified holders: they would fail certification
 		// against this already-certified transaction anyway.
 		for _, id := range t.WriteSet {
-			l := lm.state(id)
-			if h := l.holder; h != nil && !h.certified && h != t {
+			if h := lm.holders[id]; h != nil && !h.certified && h != t {
 				lm.releaseHolder(h)
 				if lm.OnPreempt != nil {
 					lm.OnPreempt(h)
@@ -83,27 +76,25 @@ func (lm *LockManager) tryAcquire(w *lockWaiter) {
 	}
 	// Atomic check: all free or none taken.
 	for _, id := range t.WriteSet {
-		l := lm.state(id)
-		if l.holder != nil && l.holder != t {
-			l.waiters = append(l.waiters, w)
+		if h := lm.holders[id]; h != nil && h != t {
+			lm.waiters[id] = append(lm.waiters[id], &lockWaiter{t: t, grant: grant})
 			lm.waits++
 			return
 		}
 	}
 	for _, id := range t.WriteSet {
-		lm.state(id).holder = t
+		lm.holders[id] = t
 	}
 	t.holding = true
-	w.grant()
+	grant()
 }
 
 // releaseHolder removes t as holder of all its locks without processing
 // waiters yet (the caller batches that via processDirty).
 func (lm *LockManager) releaseHolder(t *Txn) {
 	for _, id := range t.WriteSet {
-		l := lm.state(id)
-		if l.holder == t {
-			l.holder = nil
+		if lm.holders[id] == t {
+			delete(lm.holders, id)
 			lm.dirty = append(lm.dirty, id)
 		}
 	}
@@ -118,24 +109,35 @@ func (lm *LockManager) ReleaseCommit(t *Txn) {
 		return
 	}
 	for _, id := range t.WriteSet {
-		l := lm.state(id)
-		if l.holder != t {
+		if lm.holders[id] != t {
 			continue
 		}
-		l.holder = nil
-		kept := l.waiters[:0]
-		for _, w := range l.waiters {
-			if w.t.certified {
-				kept = append(kept, w)
-			} else if lm.OnWaiterAbort != nil {
-				lm.OnWaiterAbort(w.t)
+		delete(lm.holders, id)
+		if ws, ok := lm.waiters[id]; ok {
+			kept := ws[:0]
+			for _, w := range ws {
+				if w.t.certified {
+					kept = append(kept, w)
+				} else if lm.OnWaiterAbort != nil {
+					lm.OnWaiterAbort(w.t)
+				}
 			}
+			lm.setWaiters(id, kept)
 		}
-		l.waiters = kept
 		lm.dirty = append(lm.dirty, id)
 	}
 	t.holding = false
 	lm.processDirty()
+}
+
+// setWaiters stores a trimmed wait list, dropping the map entry when it
+// empties so the table tracks only contended tuples.
+func (lm *LockManager) setWaiters(id dbsm.TupleID, ws []*lockWaiter) {
+	if len(ws) == 0 {
+		delete(lm.waiters, id)
+	} else {
+		lm.waiters[id] = ws
+	}
 }
 
 // ReleaseAbort releases t's locks after an abort: the next waiters retry
@@ -152,17 +154,20 @@ func (lm *LockManager) ReleaseAbort(t *Txn) {
 // reason) from all wait lists.
 func (lm *LockManager) RemoveWaiter(t *Txn) {
 	for _, id := range t.WriteSet {
-		l := lm.locks[id]
-		if l == nil {
+		ws, ok := lm.waiters[id]
+		if !ok {
 			continue
 		}
-		kept := l.waiters[:0]
-		for _, w := range l.waiters {
+		kept := ws[:0]
+		for _, w := range ws {
 			if w.t != t {
 				kept = append(kept, w)
 			}
 		}
-		l.waiters = kept
+		for i := len(kept); i < len(ws); i++ {
+			ws[i] = nil
+		}
+		lm.setWaiters(id, kept)
 	}
 }
 
@@ -172,40 +177,38 @@ func (lm *LockManager) processDirty() {
 		return
 	}
 	lm.busy = true
-	for len(lm.dirty) > 0 {
-		id := lm.dirty[0]
-		lm.dirty = lm.dirty[1:]
-		l := lm.locks[id]
-		if l == nil || l.holder != nil || len(l.waiters) == 0 {
+	// Index cursor, not head reslicing: the queue may grow while draining
+	// (retrying the next waiter), and keeping the base pointer lets the
+	// backing array be reused run-long instead of reallocated per append.
+	for i := 0; i < len(lm.dirty); i++ {
+		id := lm.dirty[i]
+		if lm.holders[id] != nil {
 			continue
 		}
-		w := l.waiters[0]
-		l.waiters = l.waiters[1:]
+		ws, ok := lm.waiters[id]
+		if !ok {
+			continue
+		}
+		w := ws[0]
+		lm.setWaiters(id, ws[1:])
 		if w.t.finished || w.t.aborted {
 			lm.dirty = append(lm.dirty, id) // try the next waiter
 			continue
 		}
-		lm.tryAcquire(w)
+		lm.tryAcquire(w.t, w.grant)
 	}
+	lm.dirty = lm.dirty[:0]
 	lm.busy = false
 }
 
 // HeldLocks reports how many locks are currently held (for tests).
-func (lm *LockManager) HeldLocks() int {
-	n := 0
-	for _, l := range lm.locks {
-		if l.holder != nil {
-			n++
-		}
-	}
-	return n
-}
+func (lm *LockManager) HeldLocks() int { return len(lm.holders) }
 
 // WaiterCount reports how many waiters are queued (for tests).
 func (lm *LockManager) WaiterCount() int {
 	n := 0
-	for _, l := range lm.locks {
-		n += len(l.waiters)
+	for _, ws := range lm.waiters {
+		n += len(ws)
 	}
 	return n
 }

@@ -75,6 +75,7 @@ type Server struct {
 
 	remoteApplied   int64
 	inconsistencies int64
+	freeRemote      []*remoteApply
 }
 
 // NewServer builds a site over its CPU set and storage.
@@ -90,12 +91,10 @@ func NewServer(k *sim.Kernel, site dbsm.SiteID, cpus *csrt.CPUSet, storage *Stor
 	}
 	s.lm.OnPreempt = func(t *Txn) {
 		t.aborted = true
-		t.epoch++
 		s.finish(t, AbortLock)
 	}
 	s.lm.OnWaiterAbort = func(t *Txn) {
 		t.aborted = true
-		t.epoch++
 		s.finish(t, AbortLock)
 	}
 	return s
@@ -177,6 +176,16 @@ func (s *Server) Submit(t *Txn) {
 	t.SubmitAt = s.k.Now()
 	t.Snapshot = s.lastApplied
 	s.Class(t.Class).Submitted++
+	// One continuation closure serves every pipeline step of this
+	// transaction: stale callbacks (after preemption or crash) are fenced
+	// by the aborted/finished flags, which every abort path sets before
+	// any further event can fire.
+	t.stepFn = func() {
+		if t.aborted || t.finished || s.down {
+			return
+		}
+		s.step(t)
+	}
 	s.lm.AcquireAll(t, func() {
 		t.LocksAt = s.k.Now()
 		s.step(t)
@@ -194,34 +203,25 @@ func (s *Server) step(t *Txn) {
 	}
 	op := t.Ops[t.opIdx]
 	t.opIdx++
-	epoch := t.epoch
-	next := func() {
-		if t.epoch == epoch && !t.aborted && !s.down {
-			s.step(t)
-		}
-	}
 	switch op.Kind {
 	case OpFetch:
-		if s.storage.Read(next) {
-			next() // cache hit: no storage resources consumed
+		if s.storage.Read(t.stepFn) {
+			t.stepFn() // cache hit: no storage resources consumed
 		}
 	case OpProcess:
-		s.cpus.SubmitSim(op.CPU, next)
-	case OpWrite:
-		// Write-back is deferred to commit (the value sizes are already
-		// summed in WriteBytes); the step itself is free.
-		next()
+		s.cpus.SubmitSim(op.CPU, t.stepFn)
 	default:
-		next()
+		// OpWrite: write-back is deferred to commit (the value sizes are
+		// already summed in WriteBytes); the step itself is free.
+		t.stepFn()
 	}
 }
 
 // commitPhase runs the commit operation's CPU cost, then finishes locally
 // (read-only or centralized) or enters the distributed termination protocol.
 func (s *Server) commitPhase(t *Txn) {
-	epoch := t.epoch
 	s.cpus.SubmitSim(t.CommitCPU, func() {
-		if t.epoch != epoch || t.aborted || t.finished || s.down {
+		if t.aborted || t.finished || s.down {
 			return
 		}
 		switch {
@@ -340,22 +340,48 @@ func (s *Server) applyRemote(c *dbsm.TxnCert, seq uint64, sectors int) {
 	if seq > s.lastApplied {
 		s.lastApplied = seq
 	}
-	rt := &Txn{
+	var ra *remoteApply
+	if n := len(s.freeRemote); n > 0 {
+		ra = s.freeRemote[n-1]
+		s.freeRemote[n-1] = nil
+		s.freeRemote = s.freeRemote[:n-1]
+	} else {
+		ra = &remoteApply{s: s}
+		ra.granted = func() { ra.s.storage.WriteSectors(ra.sectors, ra.written) }
+		ra.written = ra.finish
+	}
+	ra.t = Txn{
 		TID:        c.TID,
 		Class:      "(remote)",
 		WriteSet:   c.WriteSet,
 		WriteBytes: c.WriteBytes,
 		certified:  true,
 	}
-	s.lm.AcquireAll(rt, func() {
-		s.storage.WriteSectors(sectors, func() {
-			if s.down {
-				return
-			}
-			s.lm.ReleaseCommit(rt)
-			s.remoteApplied++
-		})
-	})
+	ra.sectors = sectors
+	s.lm.AcquireAll(&ra.t, ra.granted)
+}
+
+// remoteApply is the pooled state of one remote write-set install: the
+// surrogate transaction holding the locks plus the two continuations
+// (lock-grant → write-back → release), bound once at allocation.
+type remoteApply struct {
+	s       *Server
+	t       Txn
+	sectors int
+	granted func()
+	written func()
+}
+
+// finish releases the surrogate's locks and recycles it.
+func (ra *remoteApply) finish() {
+	s := ra.s
+	if s.down {
+		return
+	}
+	s.lm.ReleaseCommit(&ra.t)
+	s.remoteApplied++
+	ra.t = Txn{}
+	s.freeRemote = append(s.freeRemote, ra)
 }
 
 // PreApplyRemote speculatively writes a tentatively-certified remote

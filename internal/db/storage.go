@@ -54,24 +54,48 @@ func (c StorageConfig) Latency() sim.Time {
 // Storage is the simulated disk: a fixed number of service slots with a
 // per-sector latency; excess requests queue. A cache hit ratio short-cuts
 // reads.
+//
+// Sector operations and their owning requests are pooled, and each pooled
+// operation carries a completion closure bound once at creation — so the
+// steady-state hot path allocates nothing per sector.
 type Storage struct {
 	k   *sim.Kernel
 	cfg StorageConfig
 	rng *sim.RNG
+	lat sim.Time // cached per-sector latency
 
 	inFlight int
-	queue    []func() // pending sector operations' start functions
+	queue    []*sectorOp // sector operations awaiting a free slot
+	qhead    int         // consumed prefix of queue (popped lazily, O(1))
 	maxQueue int
+
+	freeOps  []*sectorOp
+	freeReqs []*ioReq
 
 	busyNS  int64 // integrated slot-busy time
 	bytes   metrics.ByteMeter
 	sectors int64
 }
 
+// ioReq tracks one multi-sector request until its last sector completes.
+type ioReq struct {
+	remaining int
+	done      func()
+}
+
+// sectorOp is one sector's occupancy of a device slot. fire is the
+// completion event callback, bound once when the op is first allocated and
+// reused across recycles.
+type sectorOp struct {
+	s    *Storage
+	req  *ioReq
+	fire func()
+}
+
 // NewStorage builds the device.
 func NewStorage(k *sim.Kernel, cfg StorageConfig, rng *sim.RNG) *Storage {
 	cfg.fill()
-	return &Storage{k: k, cfg: cfg, rng: rng}
+	return &Storage{k: k, cfg: cfg, rng: rng, lat: cfg.Latency()}
 }
 
 // Read serves a single-item fetch: with probability CacheHitRatio it
@@ -109,49 +133,85 @@ func (s *Storage) WriteSectors(n int, done func()) {
 
 // request issues n sector operations and calls done when all finish.
 func (s *Storage) request(n int, done func()) {
-	remaining := n
-	complete := func() {
-		remaining--
-		if remaining == 0 && done != nil {
+	var req *ioReq
+	if ln := len(s.freeReqs); ln > 0 {
+		req = s.freeReqs[ln-1]
+		s.freeReqs[ln-1] = nil
+		s.freeReqs = s.freeReqs[:ln-1]
+	} else {
+		req = &ioReq{}
+	}
+	req.remaining = n
+	req.done = done
+	for i := 0; i < n; i++ {
+		var op *sectorOp
+		if ln := len(s.freeOps); ln > 0 {
+			op = s.freeOps[ln-1]
+			s.freeOps[ln-1] = nil
+			s.freeOps = s.freeOps[:ln-1]
+		} else {
+			op = &sectorOp{s: s}
+			op.fire = op.complete
+		}
+		op.req = req
+		if s.inFlight < s.cfg.MaxConcurrent {
+			op.start()
+		} else {
+			s.queue = append(s.queue, op)
+			if q := len(s.queue) - s.qhead; q > s.maxQueue {
+				s.maxQueue = q
+			}
+		}
+	}
+}
+
+// start occupies a device slot for one sector service time.
+func (op *sectorOp) start() {
+	s := op.s
+	s.inFlight++
+	s.sectors++
+	s.busyNS += int64(s.lat)
+	s.k.Schedule(s.lat, op.fire)
+}
+
+// complete finishes one sector: the owning request resolves when its last
+// sector lands, and the op (and, then, the request) return to the pool.
+func (op *sectorOp) complete() {
+	s := op.s
+	req := op.req
+	op.req = nil
+	s.freeOps = append(s.freeOps, op)
+	s.inFlight--
+	req.remaining--
+	if req.remaining == 0 {
+		done := req.done
+		req.done = nil
+		s.freeReqs = append(s.freeReqs, req)
+		if done != nil {
 			done()
 		}
 	}
-	for i := 0; i < n; i++ {
-		s.enqueue(complete)
-	}
+	s.dispatch()
 }
 
-func (s *Storage) enqueue(complete func()) {
-	start := func() {
-		s.inFlight++
-		s.sectors++
-		s.busyNS += int64(s.cfg.Latency())
-		s.k.Schedule(s.cfg.Latency(), func() {
-			s.inFlight--
-			complete()
-			s.dispatch()
-		})
-	}
-	if s.inFlight < s.cfg.MaxConcurrent {
-		start()
-	} else {
-		s.queue = append(s.queue, start)
-		if len(s.queue) > s.maxQueue {
-			s.maxQueue = len(s.queue)
-		}
-	}
-}
-
+// dispatch starts queued sectors while slots are free. The queue pops via a
+// head cursor — O(1) per op — and the backing array resets for reuse
+// whenever the queue fully drains.
 func (s *Storage) dispatch() {
-	for s.inFlight < s.cfg.MaxConcurrent && len(s.queue) > 0 {
-		start := s.queue[0]
-		s.queue = s.queue[1:]
-		start()
+	for s.inFlight < s.cfg.MaxConcurrent && s.qhead < len(s.queue) {
+		op := s.queue[s.qhead]
+		s.queue[s.qhead] = nil
+		s.qhead++
+		op.start()
+	}
+	if s.qhead == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.qhead = 0
 	}
 }
 
 // QueueLen reports currently queued sector operations.
-func (s *Storage) QueueLen() int { return len(s.queue) }
+func (s *Storage) QueueLen() int { return len(s.queue) - s.qhead }
 
 // MaxQueueLen reports the high-water queue length.
 func (s *Storage) MaxQueueLen() int { return s.maxQueue }

@@ -105,8 +105,8 @@ type Txn struct {
 	decided   bool // first certification verdict already sampled
 	finished  bool
 	holding   bool // currently holds its write locks
-	epoch     int  // invalidates in-flight op callbacks after preemption
 	server    *Server
+	stepFn    func() // single pipeline continuation, bound once at Submit
 }
 
 // CertInfo builds the certification message for this transaction.

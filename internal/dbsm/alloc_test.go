@@ -1,0 +1,44 @@
+package dbsm
+
+import "testing"
+
+// TestMarshalToAllocFree pins the zero-allocation budget of the hot marshal
+// path: with a warm scratch buffer, TxnCert.MarshalTo must not allocate —
+// the zero padding comes from the shared chunk and the encoding reuses the
+// caller's buffer.
+func TestMarshalToAllocFree(t *testing.T) {
+	tc := &TxnCert{
+		TID: 7, Site: 2, LastCommitted: 40,
+		ReadSet:    NewItemSet(MakeTupleID(1, 10), MakeTupleID(2, 20), MakeTupleID(3, 30)),
+		WriteSet:   NewItemSet(MakeTupleID(1, 10)),
+		WriteBytes: 9000, // > one zero chunk, exercising the chunked padding
+	}
+	scratch := tc.MarshalTo(nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = tc.MarshalTo(scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("MarshalTo with warm scratch: %v allocs/op, want 0", allocs)
+	}
+	if _, err := Unmarshal(scratch); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+// TestUnmarshalAllocBudget pins the decode path at its fixed budget: one
+// TxnCert struct plus one shared backing array for both item sets.
+func TestUnmarshalAllocBudget(t *testing.T) {
+	tc := &TxnCert{
+		TID: 7, ReadSet: NewItemSet(1, 2, 3), WriteSet: NewItemSet(9),
+		WriteBytes: 128,
+	}
+	wire := tc.Marshal()
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := Unmarshal(wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("Unmarshal: %v allocs/op, want <= 2 (struct + shared set array)", allocs)
+	}
+}

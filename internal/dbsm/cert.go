@@ -48,12 +48,31 @@ func (t *TxnCert) MarshaledSize() int {
 	return certHeader + 8*(len(t.ReadSet)+len(t.WriteSet)) + t.WriteBytes
 }
 
-// Marshal encodes the certification message. Written values are represented
-// by zero padding of the appropriate length, sizing the message as in a real
-// system. The prototype avoids copying already-marshaled buffers, so Marshal
-// allocates exactly once.
+// zeroChunk is the shared source of value padding: MarshalTo copies from it
+// instead of allocating WriteBytes of zeroes per message.
+var zeroChunk [4096]byte
+
+// Marshal encodes the certification message into a freshly allocated buffer.
+// Hot paths should prefer MarshalTo with a reused scratch buffer.
 func (t *TxnCert) Marshal() []byte {
-	buf := make([]byte, 0, t.MarshaledSize())
+	return t.MarshalTo(nil)
+}
+
+// MarshalTo encodes the certification message, appending to buf[:0] (buf may
+// be nil) and reallocating only when buf's capacity is insufficient — so a
+// caller-owned scratch buffer makes marshaling allocation-free. Written
+// values are represented by zero padding of the appropriate length, sizing
+// the message as in a real system; the padding is copied from a shared zero
+// chunk rather than allocated per message.
+//
+// The returned slice aliases buf when it fits: the caller must finish using
+// (or copying) the encoding before reusing the scratch.
+func (t *TxnCert) MarshalTo(buf []byte) []byte {
+	n := t.MarshaledSize()
+	if cap(buf) < n {
+		buf = make([]byte, 0, n)
+	}
+	buf = buf[:0]
 	buf = binary.BigEndian.AppendUint64(buf, t.TID)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(t.Site))
 	buf = binary.BigEndian.AppendUint64(buf, t.LastCommitted)
@@ -66,14 +85,21 @@ func (t *TxnCert) Marshal() []byte {
 	for _, id := range t.WriteSet {
 		buf = binary.BigEndian.AppendUint64(buf, uint64(id))
 	}
-	buf = append(buf, make([]byte, t.WriteBytes)...)
+	for pad := t.WriteBytes; pad > 0; {
+		c := min(pad, len(zeroChunk))
+		buf = append(buf, zeroChunk[:c]...)
+		pad -= c
+	}
 	return buf
 }
 
 // errBadCert reports a malformed certification message.
 var errBadCert = errors.New("dbsm: malformed certification message")
 
-// Unmarshal decodes a certification message.
+// Unmarshal decodes a certification message. The item sets are copied out,
+// so b may be reused or mutated afterwards. Length fields are validated
+// against len(b) before any offset arithmetic, so hostile values cannot
+// overflow the offset computations.
 func Unmarshal(b []byte) (*TxnCert, error) {
 	if len(b) < certHeader {
 		return nil, errBadCert
@@ -86,17 +112,22 @@ func Unmarshal(b []byte) (*TxnCert, error) {
 	nr := int(binary.BigEndian.Uint32(b[20:24]))
 	nw := int(binary.BigEndian.Uint32(b[24:28]))
 	t.WriteBytes = int(binary.BigEndian.Uint32(b[28:32]))
-	if nr < 0 || nw < 0 || len(b) < certHeader+8*(nr+nw)+t.WriteBytes {
+	// Bound each count by the bytes actually present before computing any
+	// combined offset: nr+nw and the per-element products stay far below
+	// overflow once each is capped by len(b)/8. The sign checks matter on
+	// 32-bit platforms, where a hostile uint32 converts to a negative int.
+	avail := len(b) - certHeader
+	if nr < 0 || nw < 0 || t.WriteBytes < 0 ||
+		nr > avail/8 || nw > avail/8-nr || t.WriteBytes > avail-8*(nr+nw) {
 		return nil, errBadCert
 	}
-	t.ReadSet = make(ItemSet, nr)
-	for i := 0; i < nr; i++ {
-		t.ReadSet[i] = TupleID(binary.BigEndian.Uint64(b[certHeader+8*i:]))
+	// Both sets share one backing array: a single allocation per decode.
+	ids := make(ItemSet, nr+nw)
+	for i := range ids {
+		ids[i] = TupleID(binary.BigEndian.Uint64(b[certHeader+8*i:]))
 	}
-	t.WriteSet = make(ItemSet, nw)
-	for i := 0; i < nw; i++ {
-		t.WriteSet[i] = TupleID(binary.BigEndian.Uint64(b[certHeader+8*nr+8*i:]))
-	}
+	t.ReadSet = ids[:nr:nr]
+	t.WriteSet = ids[nr:]
 	return t, nil
 }
 
@@ -123,10 +154,20 @@ type Outcome struct {
 // feeds it the totally-ordered stream of TxnCert messages; because the input
 // order and the procedure are identical everywhere, every replica reaches
 // the same verdict for every transaction.
+//
+// Two interchangeable implementations produce the identical outcome stream.
+// The default (NewCertifier) maintains an inverted last-writer index — per
+// tuple, the highest sequence number that committed a write to it, with
+// table-level entries carrying the table-lock semantics — so certifying a
+// transaction costs O(|ReadSet|) lookups regardless of history depth. The
+// reference implementation (NewScanCertifier) scans the retained history as
+// the paper formulates the procedure; it is kept behind this switch for
+// differential testing and as a fallback.
 type Certifier struct {
-	// Charge, if set, is invoked with the number of identifier
-	// comparisons performed, letting the caller account CPU cost for
-	// this real code.
+	// Charge, if set, is invoked with the number of set items the
+	// certification actually touched (index lookups and insertions, or
+	// identifier comparisons in scan mode), letting the caller account
+	// CPU cost for this real code.
 	Charge func(items int)
 	// MaxHistory bounds retained committed write-sets (0 = unlimited).
 	// Pruning is a pure function of the certified stream, so every
@@ -134,21 +175,70 @@ type Certifier struct {
 	// the retained window aborts deterministically (conservative).
 	MaxHistory int
 
-	history []histEntry
-	seq     uint64
-	pruned  uint64 // highest seq dropped by pruning
-	applied map[SiteID]uint64
+	scan bool
+	// undoEnabled records index restore logs with each history entry.
+	// Only speculative (tentative) certification ever truncates, so the
+	// SpecCertifier wrapper enables it; a plain conservative certifier
+	// skips the bookkeeping entirely.
+	undoEnabled bool
+	history     []histEntry
+	seq         uint64
+	pruned      uint64 // highest seq dropped by pruning
+	applied     map[SiteID]uint64
+
+	// Inverted last-writer index (unused in scan mode). lastWriter maps a
+	// tuple to the highest sequence number that committed a write to it;
+	// tableLock and tableAny carry the table-lock semantics per table:
+	// the highest committing sequence holding a whole-table lock, and the
+	// highest committing sequence that wrote anything in the table.
+	lastWriter map[TupleID]uint64
+	tableLock  map[uint16]uint64
+	tableAny   map[uint16]uint64
 }
 
+// histEntry is one committed write-set. undo is the index restore log
+// (indexed mode only): replaying it newest-first returns the index to its
+// state before this commit, which is how speculative rollback unwinds
+// tentative certifications.
 type histEntry struct {
 	seq      uint64
 	writeSet ItemSet
+	undo     []undoRec
 }
 
-// NewCertifier returns an empty certifier.
-func NewCertifier() *Certifier {
-	return &Certifier{applied: make(map[SiteID]uint64)}
+// undoRec records one index cell's value prior to an update. prev == 0 means
+// the cell was absent (sequence numbers are 1-based).
+type undoRec struct {
+	key  TupleID
+	prev uint64
+	kind uint8
 }
+
+const (
+	undoLW    uint8 = iota // lastWriter[key]
+	undoTLock              // tableLock[key.Table()]
+	undoTAny               // tableAny[key.Table()]
+)
+
+// NewCertifier returns an empty certifier using the inverted last-writer
+// index.
+func NewCertifier() *Certifier {
+	return &Certifier{
+		applied:    make(map[SiteID]uint64),
+		lastWriter: make(map[TupleID]uint64),
+		tableLock:  make(map[uint16]uint64),
+		tableAny:   make(map[uint16]uint64),
+	}
+}
+
+// NewScanCertifier returns an empty certifier using the reference
+// history-scan procedure (O(concurrent-history × read-set) per transaction).
+func NewScanCertifier() *Certifier {
+	return &Certifier{scan: true, applied: make(map[SiteID]uint64)}
+}
+
+// Scan reports whether this certifier uses the reference scan procedure.
+func (c *Certifier) Scan() bool { return c.scan }
 
 // Seq reports the current commit sequence number (count of committed
 // transactions so far).
@@ -169,12 +259,45 @@ func (c *Certifier) Certify(t *TxnCert) Outcome {
 		// stream identically at every replica.
 		return Outcome{Commit: false}
 	}
+	if c.scan {
+		return c.certifyScan(t)
+	}
+	work := 0
+	for _, r := range t.ReadSet {
+		work++
+		var last uint64
+		if r.IsTableLock() {
+			last = c.tableAny[r.Table()]
+		} else {
+			last = c.lastWriter[r]
+			if ls := c.tableLock[r.Table()]; ls > last {
+				last = ls
+			}
+		}
+		if last > t.LastCommitted {
+			if c.Charge != nil {
+				c.Charge(work)
+			}
+			return Outcome{Commit: false}
+		}
+	}
+	if c.Charge != nil {
+		c.Charge(work + len(t.WriteSet))
+	}
+	c.commit(t)
+	return Outcome{Commit: true, Seq: c.seq}
+}
+
+// certifyScan is the reference procedure: scan every retained write-set that
+// committed after the transaction's snapshot.
+func (c *Certifier) certifyScan(t *TxnCert) Outcome {
 	// Binary search for the first concurrent entry.
 	idx := sort.Search(len(c.history), func(i int) bool {
 		return c.history[i].seq > t.LastCommitted
 	})
 	comparisons := 0
-	for _, e := range c.history[idx:] {
+	for i := idx; i < len(c.history); i++ {
+		e := &c.history[i]
 		comparisons += len(e.writeSet) + len(t.ReadSet)
 		if e.writeSet.Intersects(t.ReadSet) {
 			if c.Charge != nil {
@@ -186,16 +309,147 @@ func (c *Certifier) Certify(t *TxnCert) Outcome {
 	if c.Charge != nil {
 		c.Charge(comparisons)
 	}
+	c.commit(t)
+	return Outcome{Commit: true, Seq: c.seq}
+}
+
+// commit advances the sequence, records the write-set, and applies the
+// in-certify MaxHistory pruning.
+func (c *Certifier) commit(t *TxnCert) {
 	c.seq++
-	if len(t.WriteSet) > 0 {
-		c.history = append(c.history, histEntry{seq: c.seq, writeSet: t.WriteSet.Clone()})
-		if c.MaxHistory > 0 && len(c.history) > c.MaxHistory {
-			drop := len(c.history) - c.MaxHistory
-			c.pruned = c.history[drop-1].seq
-			c.history = append(c.history[:0:0], c.history[drop:]...)
+	if len(t.WriteSet) == 0 {
+		return
+	}
+	e := histEntry{seq: c.seq, writeSet: t.WriteSet.Clone()}
+	if !c.scan {
+		e.undo = c.indexWrites(t.WriteSet)
+	}
+	c.history = append(c.history, e)
+	if c.MaxHistory > 0 && len(c.history) > c.MaxHistory {
+		c.dropOldest(len(c.history)-c.MaxHistory, true)
+	}
+}
+
+// indexWrites records ws as committed at the current sequence number and —
+// when undo logging is enabled — returns the log restoring the index cells
+// it displaced. ws is sorted, so same-table items are contiguous and the
+// table-level cells are updated once per table.
+func (c *Certifier) indexWrites(ws ItemSet) []undoRec {
+	var undo []undoRec
+	if c.undoEnabled {
+		undo = make([]undoRec, 0, len(ws)+2)
+	}
+	var curTable uint16
+	haveTable := false
+	for _, w := range ws {
+		tbl := w.Table()
+		if !haveTable || tbl != curTable {
+			if c.undoEnabled {
+				undo = append(undo, undoRec{key: w, prev: c.tableAny[tbl], kind: undoTAny})
+			}
+			c.tableAny[tbl] = c.seq
+			curTable, haveTable = tbl, true
+		}
+		if w.IsTableLock() {
+			if c.undoEnabled {
+				undo = append(undo, undoRec{key: w, prev: c.tableLock[tbl], kind: undoTLock})
+			}
+			c.tableLock[tbl] = c.seq
+		} else {
+			if c.undoEnabled {
+				undo = append(undo, undoRec{key: w, prev: c.lastWriter[w], kind: undoLW})
+			}
+			c.lastWriter[w] = c.seq
 		}
 	}
-	return Outcome{Commit: true, Seq: c.seq}
+	return undo
+}
+
+// truncate restores the certifier to an earlier state: history cut back to
+// histLen entries and the sequence counter to seqBefore, with every index
+// update of the removed entries unwound (newest first). It is the undo
+// primitive of speculative rollback — only valid on a certifier whose undo
+// logging was enabled by its SpecCertifier wrapper; the removed suffix never
+// crosses the pruning boundary because SpecCertifier prunes only the
+// finalized region.
+func (c *Certifier) truncate(histLen int, seqBefore uint64) {
+	if !c.scan && !c.undoEnabled && len(c.history) > histLen {
+		panic("dbsm: truncate on an indexed certifier without undo logging")
+	}
+	for i := len(c.history) - 1; i >= histLen; i-- {
+		e := &c.history[i]
+		for j := len(e.undo) - 1; j >= 0; j-- {
+			u := e.undo[j]
+			switch u.kind {
+			case undoLW:
+				if u.prev == 0 {
+					delete(c.lastWriter, u.key)
+				} else {
+					c.lastWriter[u.key] = u.prev
+				}
+			case undoTLock:
+				if u.prev == 0 {
+					delete(c.tableLock, u.key.Table())
+				} else {
+					c.tableLock[u.key.Table()] = u.prev
+				}
+			case undoTAny:
+				if u.prev == 0 {
+					delete(c.tableAny, u.key.Table())
+				} else {
+					c.tableAny[u.key.Table()] = u.prev
+				}
+			}
+		}
+		c.history[i] = histEntry{}
+	}
+	c.history = c.history[:histLen]
+	c.seq = seqBefore
+}
+
+// dropOldest removes the oldest drop history entries. When prune is true the
+// pruning boundary advances to the newest dropped sequence (the MaxHistory
+// retention rule); when false the boundary is untouched (advisory GC). In
+// indexed mode, index cells still pointing at dropped sequences are deleted:
+// any transaction that survives the pruned-window abort rule has
+// LastCommitted at or above every dropped sequence, so those cells can never
+// produce a conflict again — removing them bounds the index to the live
+// history.
+func (c *Certifier) dropOldest(drop int, prune bool) {
+	if drop <= 0 {
+		return
+	}
+	boundary := c.history[drop-1].seq
+	if prune && boundary > c.pruned {
+		c.pruned = boundary
+	}
+	if !c.scan {
+		for i := 0; i < drop; i++ {
+			ws := c.history[i].writeSet
+			var curTable uint16
+			haveTable := false
+			for _, w := range ws {
+				tbl := w.Table()
+				if !haveTable || tbl != curTable {
+					if c.tableAny[tbl] <= boundary {
+						delete(c.tableAny, tbl)
+					}
+					if c.tableLock[tbl] <= boundary {
+						delete(c.tableLock, tbl)
+					}
+					curTable, haveTable = tbl, true
+				}
+				if !w.IsTableLock() && c.lastWriter[w] <= boundary {
+					delete(c.lastWriter, w)
+				}
+			}
+		}
+	}
+	n := copy(c.history, c.history[drop:])
+	for i := n; i < len(c.history); i++ {
+		c.history[i] = histEntry{}
+	}
+	c.history = c.history[:n]
 }
 
 // NoteApplied records that a site has applied all transactions up to seq.
@@ -223,9 +477,7 @@ func (c *Certifier) GC(sites []SiteID) {
 		}
 	}
 	idx := sort.Search(len(c.history), func(i int) bool { return c.history[i].seq > low })
-	if idx > 0 {
-		c.history = append(c.history[:0:0], c.history[idx:]...)
-	}
+	c.dropOldest(idx, false)
 }
 
 // String aids debugging.

@@ -10,6 +10,7 @@
 package dbsm
 
 import (
+	"slices"
 	"sort"
 )
 
@@ -57,7 +58,7 @@ type ItemSet []TupleID
 func NewItemSet(ids ...TupleID) ItemSet {
 	s := make(ItemSet, len(ids))
 	copy(s, ids)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	// Deduplicate in place.
 	out := s[:0]
 	for i, id := range s {

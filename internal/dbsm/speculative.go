@@ -43,10 +43,12 @@ type specEntry struct {
 
 // NewSpecCertifier wraps a certifier for speculative use. The certifier's
 // in-Certify pruning is disabled (see the type comment); the wrapper prunes
-// deterministically at finalization instead.
+// deterministically at finalization instead. Index undo logging is switched
+// on so rollbacks can restore the inverted index.
 func NewSpecCertifier(c *Certifier) *SpecCertifier {
 	s := &SpecCertifier{c: c, maxHistory: c.MaxHistory}
 	c.MaxHistory = 0
+	c.undoEnabled = true
 	return s
 }
 
@@ -118,8 +120,7 @@ func (s *SpecCertifier) rollback(skip uint64) []*TxnCert {
 		return nil
 	}
 	e0 := s.tent[0]
-	s.c.history = s.c.history[:e0.histLen]
-	s.c.seq = e0.seqBefore
+	s.c.truncate(e0.histLen, e0.seqBefore)
 	rolled := make([]*TxnCert, 0, len(s.tent))
 	for _, e := range s.tent {
 		if e.t.TID != skip {
@@ -147,8 +148,7 @@ func (s *SpecCertifier) prune() {
 	if drop <= 0 {
 		return
 	}
-	s.c.pruned = s.c.history[drop-1].seq
-	s.c.history = append(s.c.history[:0:0], s.c.history[drop:]...)
+	s.c.dropOldest(drop, true)
 	for i := range s.tent {
 		s.tent[i].histLen -= drop
 	}

@@ -313,8 +313,9 @@ func (s *Stack) receive(src NodeID, data []byte) {
 	s.memb.heard(src)
 	switch data[0] {
 	case kindData, kindRetrans:
-		m, err := parseData(data)
-		if err != nil {
+		m := s.rm.newMsg()
+		if err := parseDataInto(m, data); err != nil {
+			s.rm.recycleMsg(m)
 			s.stats.ParseErrors++
 			return
 		}
@@ -327,13 +328,12 @@ func (s *Stack) receive(src NodeID, data []byte) {
 		}
 		s.rm.onNack(src, m)
 	case kindGossip:
-		m, err := parseGossip(data)
-		if err != nil {
+		if err := parseGossipInto(&s.stab.gossipScratch, data); err != nil {
 			s.stats.ParseErrors++
 			return
 		}
 		s.stats.GossipsRecv++
-		s.stab.onGossip(m)
+		s.stab.onGossip(&s.stab.gossipScratch)
 	case kindHeartbeat:
 		// heard() above is all a heartbeat is for.
 	case kindPropose:

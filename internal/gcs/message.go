@@ -59,21 +59,29 @@ func (m *dataMsg) marshal(kind byte, buf []byte) []byte {
 	return buf
 }
 
-func parseData(b []byte) (*dataMsg, error) {
+// parseDataInto decodes a stream chunk into a caller-provided (typically
+// pooled) struct. Data aliases b.
+func parseDataInto(m *dataMsg, b []byte) error {
 	if len(b) < dataHeader {
-		return nil, errTruncated
-	}
-	m := &dataMsg{
-		Sender:  runtimeapi.NodeID(binary.BigEndian.Uint32(b[1:5])),
-		Seq:     binary.BigEndian.Uint64(b[5:13]),
-		Frag:    b[13],
-		Payload: b[14],
+		return errTruncated
 	}
 	n := int(binary.BigEndian.Uint16(b[15:17]))
 	if len(b) < dataHeader+n {
-		return nil, errTruncated
+		return errTruncated
 	}
+	m.Sender = runtimeapi.NodeID(binary.BigEndian.Uint32(b[1:5]))
+	m.Seq = binary.BigEndian.Uint64(b[5:13])
+	m.Frag = b[13]
+	m.Payload = b[14]
 	m.Data = b[dataHeader : dataHeader+n]
+	return nil
+}
+
+func parseData(b []byte) (*dataMsg, error) {
+	m := &dataMsg{}
+	if err := parseDataInto(m, b); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -150,22 +158,22 @@ func (m *gossipMsg) marshal(buf []byte) []byte {
 	return buf
 }
 
-func parseGossip(b []byte) (*gossipMsg, error) {
+// parseGossipInto decodes a gossip round into a reusable struct, growing its
+// vectors in place (the decoded state is consumed synchronously).
+func parseGossipInto(m *gossipMsg, b []byte) error {
 	if len(b) < 19 {
-		return nil, errTruncated
-	}
-	m := &gossipMsg{
-		ViewID: binary.BigEndian.Uint32(b[1:5]),
-		Round:  binary.BigEndian.Uint64(b[5:13]),
-		W:      binary.BigEndian.Uint32(b[13:17]),
+		return errTruncated
 	}
 	n := int(binary.BigEndian.Uint16(b[17:19]))
 	if len(b) < 19+24*n {
-		return nil, errTruncated
+		return errTruncated
 	}
-	m.M = make([]uint64, n)
-	m.S = make([]uint64, n)
-	m.H = make([]uint64, n)
+	m.ViewID = binary.BigEndian.Uint32(b[1:5])
+	m.Round = binary.BigEndian.Uint64(b[5:13])
+	m.W = binary.BigEndian.Uint32(b[13:17])
+	m.M = growUint64(m.M, n)
+	m.S = growUint64(m.S, n)
+	m.H = growUint64(m.H, n)
 	for i := 0; i < n; i++ {
 		m.M[i] = binary.BigEndian.Uint64(b[19+8*i:])
 	}
@@ -174,6 +182,21 @@ func parseGossip(b []byte) (*gossipMsg, error) {
 	}
 	for i := 0; i < n; i++ {
 		m.H[i] = binary.BigEndian.Uint64(b[19+16*n+8*i:])
+	}
+	return nil
+}
+
+func growUint64(v []uint64, n int) []uint64 {
+	if cap(v) < n {
+		return make([]uint64, n)
+	}
+	return v[:n]
+}
+
+func parseGossip(b []byte) (*gossipMsg, error) {
+	m := &gossipMsg{}
+	if err := parseGossipInto(m, b); err != nil {
+		return nil, err
 	}
 	return m, nil
 }
@@ -186,8 +209,14 @@ type seqAssign struct {
 	Global uint64
 }
 
-func marshalAssigns(assigns []seqAssign) []byte {
-	buf := make([]byte, 0, 2+20*len(assigns))
+// marshalAssigns encodes a batch of assignments, appending to buf[:0] (the
+// sequencer passes its reusable scratch; the result aliases it when it
+// fits). The caller must finish using the encoding before reusing buf.
+func marshalAssigns(buf []byte, assigns []seqAssign) []byte {
+	if need := 2 + 20*len(assigns); cap(buf) < need {
+		buf = make([]byte, 0, need)
+	}
+	buf = buf[:0]
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(assigns)))
 	for _, a := range assigns {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(a.Sender))
@@ -197,7 +226,9 @@ func marshalAssigns(assigns []seqAssign) []byte {
 	return buf
 }
 
-func parseAssigns(b []byte) ([]seqAssign, error) {
+// parseAssignsInto decodes an assignment batch, appending to buf[:0] (a
+// reusable scratch — the decoded batch is consumed synchronously).
+func parseAssignsInto(buf []seqAssign, b []byte) ([]seqAssign, error) {
 	if len(b) < 2 {
 		return nil, errTruncated
 	}
@@ -205,16 +236,20 @@ func parseAssigns(b []byte) ([]seqAssign, error) {
 	if len(b) < 2+20*n {
 		return nil, errTruncated
 	}
-	out := make([]seqAssign, n)
+	buf = buf[:0]
 	for i := 0; i < n; i++ {
 		off := 2 + 20*i
-		out[i] = seqAssign{
+		buf = append(buf, seqAssign{
 			Sender: runtimeapi.NodeID(binary.BigEndian.Uint32(b[off : off+4])),
 			Seq:    binary.BigEndian.Uint64(b[off+4 : off+12]),
 			Global: binary.BigEndian.Uint64(b[off+12 : off+20]),
-		}
+		})
 	}
-	return out, nil
+	return buf, nil
+}
+
+func parseAssigns(b []byte) ([]seqAssign, error) {
+	return parseAssignsInto(nil, b)
 }
 
 // heartbeatMsg keeps failure detectors quiet during idle periods.

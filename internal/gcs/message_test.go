@@ -62,7 +62,7 @@ func TestGossipRoundTrip(t *testing.T) {
 
 func TestAssignsRoundTrip(t *testing.T) {
 	in := []seqAssign{{Sender: 1, Seq: 10, Global: 100}, {Sender: 2, Seq: 20, Global: 101}}
-	got, err := parseAssigns(marshalAssigns(in))
+	got, err := parseAssigns(marshalAssigns(nil, in))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,6 +31,12 @@ type relMcast struct {
 
 	// Receiver side.
 	peers map[NodeID]*peerState
+
+	// freeMsgs recycles dataMsg structs: a chunk's struct lives in a
+	// peer's receive buffer from reception until stability GC (or
+	// exclusion), then returns to the pool. The payload bytes are not
+	// pooled — they alias the sender's wire buffer (zero-copy path).
+	freeMsgs []*dataMsg
 }
 
 type outChunk struct {
@@ -67,6 +73,23 @@ func newRelMcast(s *Stack) *relMcast {
 		rm.peers[m] = &peerState{id: m, recvNext: 1, repairTarget: m}
 	}
 	return rm
+}
+
+// newMsg takes a dataMsg from the pool (or allocates one).
+func (rm *relMcast) newMsg() *dataMsg {
+	if n := len(rm.freeMsgs); n > 0 {
+		m := rm.freeMsgs[n-1]
+		rm.freeMsgs[n-1] = nil
+		rm.freeMsgs = rm.freeMsgs[:n-1]
+		return m
+	}
+	return &dataMsg{}
+}
+
+// recycleMsg returns a struct whose buffer slot has been vacated.
+func (rm *relMcast) recycleMsg(m *dataMsg) {
+	m.Data = nil
+	rm.freeMsgs = append(rm.freeMsgs, m)
 }
 
 func (rm *relMcast) peer(id NodeID) *peerState {
@@ -165,8 +188,11 @@ func (rm *relMcast) drain() {
 		rm.s.transmit(c.wire)
 		rm.s.memb.sentSomething()
 		// Self-delivery: my own stream is received locally at send time.
-		if m, err := parseData(c.wire); err == nil {
+		m := rm.newMsg()
+		if err := parseDataInto(m, c.wire); err == nil {
 			rm.onData(m)
+		} else {
+			rm.recycleMsg(m)
 		}
 	}
 	rm.clearBlocked()
@@ -231,9 +257,11 @@ func (rm *relMcast) unfreeze() {
 func (rm *relMcast) onData(m *dataMsg) {
 	ps := rm.peer(m.Sender)
 	if ps.excluded || m.Seq < ps.recvNext {
+		rm.recycleMsg(m)
 		return
 	}
 	if _, dup := ps.recvBuf[m.Seq]; dup {
+		rm.recycleMsg(m)
 		return
 	}
 	if ps.recvBuf == nil {
@@ -406,11 +434,12 @@ func (rm *relMcast) complete(sender NodeID, msgID, lastSeq uint64, payloadKind b
 	case payloadApp:
 		rm.s.to.onAppData(sender, msgID, lastSeq, data)
 	case payloadSeq:
-		assigns, err := parseAssigns(data)
+		assigns, err := parseAssignsInto(rm.s.to.assignScratch, data)
 		if err != nil {
 			rm.s.stats.ParseErrors++
 			return
 		}
+		rm.s.to.assignScratch = assigns
 		rm.s.to.onAssigns(assigns)
 	}
 }
@@ -424,7 +453,10 @@ func (rm *relMcast) gcStable(p NodeID, upto uint64) {
 		return
 	}
 	for seq := ps.stableUpto + 1; seq <= upto; seq++ {
-		delete(ps.recvBuf, seq)
+		if m, ok := ps.recvBuf[seq]; ok {
+			delete(ps.recvBuf, seq)
+			rm.recycleMsg(m)
+		}
 	}
 	ps.stableUpto = upto
 	if p == rm.s.cfg.Self && upto > rm.stableSelf {
@@ -445,7 +477,10 @@ func (rm *relMcast) excludePeer(p NodeID, upto uint64) {
 	ps := rm.peer(p)
 	ps.excluded = true
 	for seq := upto + 1; seq <= ps.maxSeen; seq++ {
-		delete(ps.recvBuf, seq)
+		if m, ok := ps.recvBuf[seq]; ok {
+			delete(ps.recvBuf, seq)
+			rm.recycleMsg(m)
+		}
 	}
 	if ps.maxSeen > upto {
 		ps.maxSeen = upto

@@ -18,6 +18,15 @@ type stability struct {
 	m      map[NodeID]uint64 // min contiguous among voters
 	stable map[NodeID]uint64 // S
 	timer  runtimeapi.Timer
+
+	// vecScratch backs the three wire vectors of a gossip tick. Only the
+	// pre-marshal staging is reused: the marshaled wire buffer itself is
+	// owned by the network after transmit (zero-copy handoff) and is
+	// allocated per message.
+	vecScratch []uint64
+	// gossipScratch is the reusable decode target for incoming gossip;
+	// onGossip consumes it synchronously.
+	gossipScratch gossipMsg
 }
 
 func newStability(s *Stack) *stability {
@@ -41,20 +50,18 @@ func (st *stability) scheduleTick() {
 	})
 }
 
-// beginRound resets round state with only the local vote.
+// beginRound resets round state with only the local vote. The M map is
+// reused across rounds (keys left over from departed members are harmless:
+// every reader iterates the current view).
 func (st *stability) beginRound(r uint64) {
 	st.round = r
 	st.w = 1 << uint(st.s.rank)
-	st.m = st.localContig()
-}
-
-// localContig snapshots this member's contiguous received prefix per sender.
-func (st *stability) localContig() map[NodeID]uint64 {
-	m := make(map[NodeID]uint64, len(st.s.view.Members))
-	for _, p := range st.s.view.Members {
-		m[p] = st.s.rm.contiguous(p)
+	if st.m == nil {
+		st.m = make(map[NodeID]uint64, len(st.s.view.Members))
 	}
-	return m
+	for _, p := range st.s.view.Members {
+		st.m[p] = st.s.rm.contiguous(p)
+	}
 }
 
 // fullMask is the voter bitmask covering all current view members.
@@ -67,26 +74,28 @@ func (st *stability) tick() {
 	if st.s.stopped {
 		return
 	}
+	members := st.s.view.Members
+	n := len(members)
+	if cap(st.vecScratch) < 3*n {
+		st.vecScratch = make([]uint64, 3*n)
+	}
+	vs := st.vecScratch[:3*n]
 	g := gossipMsg{
 		ViewID: st.s.view.ID,
 		Round:  st.round,
 		W:      st.w,
-		M:      st.vector(st.m),
-		S:      st.vector(st.stable),
-		H:      st.vector(st.localContig()),
+		M:      vs[:n],
+		S:      vs[n : 2*n],
+		H:      vs[2*n:],
+	}
+	for i, p := range members {
+		g.M[i] = st.m[p]
+		g.S[i] = st.stable[p]
+		g.H[i] = st.s.rm.contiguous(p)
 	}
 	st.s.stats.Gossips++
-	st.s.transmit(g.marshal(make([]byte, 0, 19+24*len(st.s.view.Members))))
+	st.s.transmit(g.marshal(make([]byte, 0, 19+24*n)))
 	st.s.memb.sentSomething()
-}
-
-// vector orders a per-member map by current view member order for the wire.
-func (st *stability) vector(m map[NodeID]uint64) []uint64 {
-	v := make([]uint64, len(st.s.view.Members))
-	for i, p := range st.s.view.Members {
-		v[i] = m[p]
-	}
-	return v
 }
 
 // onGossip merges a peer's round state.
@@ -117,13 +126,26 @@ func (st *stability) onGossip(g *gossipMsg) {
 	}
 	switch {
 	case g.Round > st.round:
-		// Join the newer round: adopt its state plus my vote.
+		// Join the newer round: adopt its state plus my vote, taking
+		// elementwise minima against my contiguous received prefixes.
 		st.round = g.Round
 		st.w = g.W | 1<<uint(st.s.rank)
-		st.m = st.minMerge(g.M, st.localContig())
+		for i, p := range st.s.view.Members {
+			v := g.M[i]
+			if lc := st.s.rm.contiguous(p); lc < v {
+				v = lc
+			}
+			st.m[p] = v
+		}
 	case g.Round == st.round:
 		st.w |= g.W
-		st.m = st.minMerge(g.M, st.m)
+		for i, p := range st.s.view.Members {
+			v := g.M[i]
+			if cur, ok := st.m[p]; ok && cur < v {
+				v = cur
+			}
+			st.m[p] = v
+		}
 	}
 	if st.w == st.fullMask() {
 		// Round complete: everything in M is stable.
@@ -138,20 +160,6 @@ func (st *stability) onGossip(g *gossipMsg) {
 	if advanced {
 		st.gcAdvance()
 	}
-}
-
-// minMerge combines a wire vector with a local map, taking elementwise
-// minima (messages received by *all* voters).
-func (st *stability) minMerge(wire []uint64, local map[NodeID]uint64) map[NodeID]uint64 {
-	out := make(map[NodeID]uint64, len(st.s.view.Members))
-	for i, p := range st.s.view.Members {
-		v := wire[i]
-		if lv, ok := local[p]; ok && lv < v {
-			v = lv
-		}
-		out[p] = v
-	}
-	return out
 }
 
 // gcAdvance releases buffers for newly stable prefixes.

@@ -27,6 +27,14 @@ type totalOrder struct {
 
 	batch          []seqAssign
 	batchScheduled bool
+	// scratch is the reusable marshal buffer for assignment batches: cast
+	// copies the payload into stream chunks before returning, so the
+	// buffer is free again by the next flush. assignScratch is the
+	// matching decode buffer for incoming batches, consumed synchronously
+	// by onAssigns. flushFn is the batch-flush job bound once.
+	scratch       []byte
+	assignScratch []seqAssign
+	flushFn       func()
 }
 
 type msgKey struct {
@@ -40,13 +48,15 @@ type pendingMsg struct {
 }
 
 func newTotalOrder(s *Stack) *totalOrder {
-	return &totalOrder{
+	to := &totalOrder{
 		s:        s,
 		order:    make(map[uint64]msgKey),
 		assigned: make(map[msgKey]bool),
 		pending:  make(map[msgKey]pendingMsg),
 		optIndex: make(map[msgKey]uint64),
 	}
+	to.flushFn = to.flushBatch
+	return to
 }
 
 // onAppData receives a complete (reassembled) application message from the
@@ -82,7 +92,7 @@ func (to *totalOrder) assign(key msgKey) {
 	to.batch = append(to.batch, seqAssign{Sender: key.sender, Seq: key.msgID, Global: g})
 	if !to.batchScheduled {
 		to.batchScheduled = true
-		to.s.rt.Schedule(0, to.flushBatch)
+		to.s.rt.StartJob(0, to.flushFn)
 	}
 }
 
@@ -93,7 +103,8 @@ func (to *totalOrder) flushBatch() {
 	if len(to.batch) == 0 || to.s.stopped {
 		return
 	}
-	payload := marshalAssigns(to.batch)
+	payload := marshalAssigns(to.scratch, to.batch)
+	to.scratch = payload
 	to.batch = to.batch[:0]
 	to.s.rm.cast(payloadSeq, payload)
 }
@@ -102,8 +113,12 @@ func (to *totalOrder) flushBatch() {
 func (to *totalOrder) onAssigns(assigns []seqAssign) {
 	for _, a := range assigns {
 		key := msgKey{sender: a.Sender, msgID: a.Seq}
-		if to.assigned[key] {
-			continue // sequencer hearing its own announcement
+		if a.Global <= to.nextDeliver || to.assigned[key] {
+			// Already delivered (the sequencer delivers before its own
+			// announcement makes the loopback trip, and its assignment
+			// marker is dropped at delivery), or already recorded:
+			// re-adding would leak order/assigned entries forever.
+			continue
 		}
 		to.order[a.Global] = key
 		to.assigned[key] = true
@@ -129,6 +144,11 @@ func (to *totalOrder) tryDeliver() {
 		to.nextDeliver++
 		delete(to.pending, key)
 		delete(to.order, to.nextDeliver)
+		// The reliable layer never hands the same message up twice (its
+		// FIFO cursor filters duplicates), so the assignment marker has
+		// served its purpose: dropping it keeps the map sized to
+		// in-flight messages instead of the whole run.
+		delete(to.assigned, key)
 		if to.s.onOpt != nil {
 			if idx, ok := to.optIndex[key]; ok {
 				if idx < to.lastOptFin {

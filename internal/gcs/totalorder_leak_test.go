@@ -1,0 +1,31 @@
+package gcs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestTotalOrderMapsDrainAfterDelivery pins the ordering layer's memory
+// behaviour: once every message is delivered, the order / assigned / pending
+// maps are empty at every member — including the sequencer, whose
+// self-heard assignment announcements arrive after it has already delivered
+// the messages (a path that once re-inserted, and leaked, both an order and
+// an assigned entry per sequenced message).
+func TestTotalOrderMapsDrainAfterDelivery(t *testing.T) {
+	c := newCluster(t, 3, 31, nil)
+	const msgs = 50
+	for i := 0; i < msgs; i++ {
+		c.castAt(sim.Time(i+1)*5*sim.Millisecond, NodeID(i%3+1), []byte(fmt.Sprintf("m%d", i)))
+	}
+	c.run(5 * sim.Second)
+	c.checkAgreement([]NodeID{1, 2, 3}, msgs)
+	for id, st := range c.stacks {
+		to := st.to
+		if len(to.order) != 0 || len(to.assigned) != 0 || len(to.pending) != 0 {
+			t.Fatalf("node %d leaks ordering state after full delivery: order=%d assigned=%d pending=%d",
+				id, len(to.order), len(to.assigned), len(to.pending))
+		}
+	}
+}

@@ -5,13 +5,22 @@ package metrics
 // The paper's Figure 6 reports average usage of CPUs and disk bandwidth; we
 // accumulate busy nanoseconds and divide by elapsed nanoseconds per class of
 // work ("simulated" transaction processing versus "real" protocol jobs).
+// The handful of work classes live in a small slice rather than a map: the
+// per-job AddBusy on the simulation hot path is then a short linear scan
+// whose string compares hit the pointer-equality fast path (classes are
+// interned constants), with no hashing.
 type UsageMeter struct {
-	busyByClass map[string]int64 // nanoseconds busy, per work class
+	classes []classBusy
+}
+
+type classBusy struct {
+	class string
+	ns    int64
 }
 
 // NewUsageMeter returns an empty meter.
 func NewUsageMeter() *UsageMeter {
-	return &UsageMeter{busyByClass: make(map[string]int64)}
+	return &UsageMeter{}
 }
 
 // AddBusy accrues busy nanoseconds attributed to a class of work.
@@ -19,17 +28,30 @@ func (u *UsageMeter) AddBusy(class string, ns int64) {
 	if ns < 0 {
 		return
 	}
-	u.busyByClass[class] += ns
+	for i := range u.classes {
+		if u.classes[i].class == class {
+			u.classes[i].ns += ns
+			return
+		}
+	}
+	u.classes = append(u.classes, classBusy{class: class, ns: ns})
 }
 
 // Busy reports accumulated busy nanoseconds for one class.
-func (u *UsageMeter) Busy(class string) int64 { return u.busyByClass[class] }
+func (u *UsageMeter) Busy(class string) int64 {
+	for i := range u.classes {
+		if u.classes[i].class == class {
+			return u.classes[i].ns
+		}
+	}
+	return 0
+}
 
 // TotalBusy reports accumulated busy nanoseconds over all classes.
 func (u *UsageMeter) TotalBusy() int64 {
 	var t int64
-	for _, v := range u.busyByClass {
-		t += v
+	for _, c := range u.classes {
+		t += c.ns
 	}
 	return t
 }

@@ -46,6 +46,12 @@ type Options struct {
 	// deterministic across replicas (a pure function of the certified
 	// stream). Defaults to 50000.
 	MaxHistory int
+	// ScanCertifier selects the reference history-scan certification
+	// procedure instead of the default inverted last-writer index. Both
+	// produce the identical outcome stream (differential-tested in
+	// internal/dbsm); the scan costs O(concurrent-history × read-set) per
+	// transaction and is kept as a fallback and for cross-checking.
+	ScanCertifier bool
 	// Replicates, when set, enables partial replication (the paper's
 	// Section 5.2 mitigation for the read-one/write-all disk bottleneck,
 	// evaluated as ongoing work in Section 7): only tuples for which it
@@ -119,6 +125,14 @@ type Replica struct {
 	// poison the speculative queue with entries that can never finalize.
 	done map[uint64]bool
 
+	// scratch is the reusable certification-marshal buffer: the stack's
+	// Multicast copies the payload into stream chunks before returning,
+	// so the buffer is free again by the next termination.
+	scratch []byte
+	// freeThunks recycles the one-shot job closures handed to the
+	// runtime's scheduler (terminate / tentative / discard stages).
+	freeThunks []*replicaThunk
+
 	commitLog      trace.CommitLog
 	delivered      int64
 	drops          int64
@@ -132,11 +146,15 @@ type Replica struct {
 // server. Call Start after the stack has started.
 func New(rt runtimeapi.Runtime, stack *gcs.Stack, server *db.Server, opts Options) *Replica {
 	opts.fill()
+	cert := dbsm.NewCertifier()
+	if opts.ScanCertifier {
+		cert = dbsm.NewScanCertifier()
+	}
 	r := &Replica{
 		rt:     rt,
 		stack:  stack,
 		server: server,
-		cert:   dbsm.NewCertifier(),
+		cert:   cert,
 		site:   server.Site(),
 		opts:   opts,
 	}
@@ -211,6 +229,42 @@ func (r *Replica) Stats() Stats {
 	return s
 }
 
+// replicaThunk is a pooled one-shot job: the closure handed to the runtime
+// scheduler is bound once at allocation, so scheduling a pipeline stage
+// allocates nothing in steady state.
+type replicaThunk struct {
+	r       *Replica
+	stage   func(r *Replica, txn *db.Txn, payload []byte)
+	txn     *db.Txn
+	payload []byte
+	fire    func()
+}
+
+func (th *replicaThunk) run() {
+	r, stage, txn, payload := th.r, th.stage, th.txn, th.payload
+	th.stage, th.txn, th.payload = nil, nil, nil
+	r.freeThunks = append(r.freeThunks, th)
+	if r.stopped {
+		return
+	}
+	stage(r, txn, payload)
+}
+
+// schedule queues a pipeline stage as its own zero-delay job.
+func (r *Replica) schedule(stage func(*Replica, *db.Txn, []byte), txn *db.Txn, payload []byte) {
+	var th *replicaThunk
+	if n := len(r.freeThunks); n > 0 {
+		th = r.freeThunks[n-1]
+		r.freeThunks[n-1] = nil
+		r.freeThunks = r.freeThunks[:n-1]
+	} else {
+		th = &replicaThunk{r: r}
+		th.fire = th.run
+	}
+	th.stage, th.txn, th.payload = stage, txn, payload
+	r.rt.StartJob(0, th.fire)
+}
+
 // terminate is the server's distributed termination hook: gather the
 // transaction's sets and values and atomically multicast them. The hook is
 // invoked from simulated-job context; the marshaling and multicast run as a
@@ -219,15 +273,15 @@ func (r *Replica) terminate(t *db.Txn) {
 	if r.stopped {
 		return
 	}
-	r.rt.Schedule(0, func() {
-		if r.stopped {
-			return
-		}
-		tc := t.CertInfo(r.site, r.opts.ReadSetThreshold)
-		wire := tc.Marshal()
-		r.rt.Charge(sim.Time(r.opts.MarshalCostPerByte * float64(len(wire))))
-		r.stack.Multicast(wire)
-	})
+	r.schedule(stageTerminate, t, nil)
+}
+
+func stageTerminate(r *Replica, t *db.Txn, _ []byte) {
+	tc := t.CertInfo(r.site, r.opts.ReadSetThreshold)
+	wire := tc.MarshalTo(r.scratch)
+	r.scratch = wire
+	r.rt.Charge(sim.Time(r.opts.MarshalCostPerByte * float64(len(wire))))
+	r.stack.Multicast(wire)
 }
 
 // chargeUnmarshal accounts the CPU cost of decoding a payload.
@@ -243,9 +297,10 @@ func (r *Replica) onOptimistic(o gcs.OptDelivery) {
 	if r.stopped {
 		return
 	}
-	payload := o.Payload
-	r.rt.Schedule(0, func() { r.tentative(payload) })
+	r.schedule(stageTentative, nil, o.Payload)
 }
+
+func stageTentative(r *Replica, _ *db.Txn, payload []byte) { r.tentative(payload) }
 
 // tentative is stage one of the optimistic pipeline: decode, certify
 // speculatively, and act on the verdict while the sequencer's round is still
@@ -286,9 +341,10 @@ func (r *Replica) onOptDiscard(o gcs.OptDelivery) {
 	if r.stopped {
 		return
 	}
-	payload := o.Payload
-	r.rt.Schedule(0, func() { r.discard(payload) })
+	r.schedule(stageDiscard, nil, o.Payload)
 }
+
+func stageDiscard(r *Replica, _ *db.Txn, payload []byte) { r.discard(payload) }
 
 // discard cancels the speculation on one never-to-finalize message.
 func (r *Replica) discard(payload []byte) {

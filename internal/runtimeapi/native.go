@@ -215,6 +215,12 @@ func (n *Native) Schedule(d sim.Time, fn func()) Timer {
 	return nt
 }
 
+// StartJob implements Runtime: a fire-and-forget Schedule. The native
+// bridge has no bookkeeping worth recycling, so it simply drops the handle.
+func (n *Native) StartJob(d sim.Time, fn func()) {
+	time.AfterFunc(d.Duration(), func() { n.post(fn) })
+}
+
 // Send implements Runtime.
 func (n *Native) Send(dst NodeID, data []byte) error {
 	if n.isClosed() {

@@ -63,6 +63,11 @@ type Runtime interface {
 	// cost occupies the node's CPU.
 	Schedule(d sim.Time, fn func()) Timer
 
+	// StartJob runs fn after d like Schedule but fire-and-forget: no
+	// cancellation handle is returned, which lets the runtime recycle
+	// its timer bookkeeping. Prefer it for one-shot jobs on hot paths.
+	StartJob(d sim.Time, fn func())
+
 	// Charge accounts explicit model cost for the current job. Under a
 	// wall-clock profiler this is a no-op; under the deterministic cost
 	// model it is how real code declares its CPU consumption.
@@ -72,12 +77,16 @@ type Runtime interface {
 	Rand() *sim.RNG
 
 	// Send transmits a unicast datagram (unreliable, unordered).
+	// Ownership of data passes to the runtime: the caller must not
+	// modify the buffer after the call. The simulated transport is
+	// zero-copy — receivers parse, and may retain, the sender's bytes.
 	Send(dst NodeID, data []byte) error
 
 	// Multicast transmits a datagram to every member of g, excluding the
 	// sender (unreliable). On LAN topologies this maps to one wire
 	// transmission (IP multicast); elsewhere the protocol layer falls
-	// back to unicast.
+	// back to unicast. As with Send, data is handed off and must not be
+	// modified by the caller afterwards.
 	Multicast(g Group, data []byte) error
 
 	// SetReceiver installs the datagram upcall. It must be set before

@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+// TestKernelScheduleAllocFree pins the scheduler's steady-state budget:
+// once the event pool, slot slab, and heap have warmed up, Schedule plus
+// dispatch of a prebound callback performs zero allocations.
+func TestKernelScheduleAllocFree(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	// Warm the pool and heap capacity.
+	for i := 0; i < 64; i++ {
+		k.Schedule(Microsecond, fn)
+	}
+	for k.Step() {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.Schedule(Microsecond, fn)
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+Step: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestKernelCancelAllocFree pins cancellation at zero allocations: lazy
+// cancel is a slot vacate plus free-list push.
+func TestKernelCancelAllocFree(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		k.Cancel(k.Schedule(Microsecond, fn))
+	}
+	for k.Step() {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.Cancel(k.Schedule(Microsecond, fn))
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+Cancel: %v allocs/op, want 0", allocs)
+	}
+}

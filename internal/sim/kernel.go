@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -13,64 +12,54 @@ type Priority int
 
 // Priority bands. The exact values are arbitrary; only relative order
 // matters. They are spaced so callers can slot custom bands in between.
+// Priorities must lie in [0, 1<<15): they are packed next to the insertion
+// sequence in one comparison key.
 const (
 	PriorityHigh   Priority = 10
 	PriorityNormal Priority = 20
 	PriorityLow    Priority = 30
 )
 
-// EventID identifies a scheduled event so it can be cancelled.
-// The zero value is never a valid ID.
+// maxPriority bounds the packable priority range.
+const maxPriority = 1<<15 - 1
+
+// EventID identifies a scheduled event so it can be cancelled. It encodes
+// the event's slot and a per-slot generation, so lookup is two array reads —
+// no hashing on the scheduling hot path. The zero value is never a valid ID
+// (generations start at 1).
 type EventID int64
 
 // ErrHalted is returned by Run and RunUntil when the kernel was stopped
 // explicitly via Stop.
 var ErrHalted = errors.New("sim: kernel halted")
 
+// event is one binary-heap node. It deliberately contains no pointers: heap
+// sifts are plain 24-byte moves with no write barriers, and the garbage
+// collector never scans the queue. The event body (its callback) lives in
+// the slot slab; gen detects stale nodes left behind by lazy cancellation.
 type event struct {
 	at   Time
-	pri  Priority
-	seq  int64 // insertion order; tie-breaker for determinism
-	id   EventID
-	fn   func()
-	heap int // index in the heap, -1 once popped
+	key  int64 // priority<<48 | insertion sequence: total order tie-breaker
+	slot uint32
+	gen  uint32
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
-	if a.at != b.at {
-		return a.at < b.at
+// before is the heap order: (at, pri, seq) lexicographically, with pri and
+// seq packed into key. seq makes the order total, so the dispatch sequence
+// is independent of the heap's internal arrangement.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	if a.pri != b.pri {
-		return a.pri < b.pri
-	}
-	return a.seq < b.seq
+	return e.key < o.key
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heap = i
-	h[j].heap = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.heap = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.heap = -1
-	*h = old[:n-1]
-	return ev
+// slotEntry holds a scheduled event's callback. gen increments every time
+// the slot is vacated (dispatch or cancel), invalidating outstanding
+// EventIDs and any stale heap node still referring to the slot.
+type slotEntry struct {
+	fn  func()
+	gen uint32
 }
 
 // Kernel is a single-threaded discrete-event scheduler.
@@ -78,19 +67,20 @@ func (h *eventHeap) Pop() any {
 // The zero value is not usable; construct with NewKernel. A Kernel must be
 // driven from a single goroutine; it performs no locking.
 type Kernel struct {
-	now      Time
-	events   eventHeap
-	nextSeq  int64
-	nextID   EventID
-	live     map[EventID]*event
-	halted   bool
-	running  bool
-	executed int64
+	now       Time
+	events    []event // binary heap ordered by event.before
+	slots     []slotEntry
+	freeSlots []uint32
+	nextSeq   int64
+	live      int // scheduled and not yet dispatched or cancelled
+	halted    bool
+	running   bool
+	executed  int64
 }
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{live: make(map[EventID]*event)}
+	return &Kernel{}
 }
 
 // Now reports the current simulated time.
@@ -100,7 +90,7 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Executed() int64 { return k.executed }
 
 // Pending reports how many events are currently scheduled.
-func (k *Kernel) Pending() int { return len(k.live) }
+func (k *Kernel) Pending() int { return k.live }
 
 // Schedule arranges for fn to run after delay (which may be zero) at normal
 // priority, returning an ID usable with Cancel. Negative delays are an
@@ -132,45 +122,133 @@ func (k *Kernel) SchedulePriAt(at Time, pri Priority, fn func()) EventID {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
+	if pri < 0 || pri > maxPriority {
+		panic(fmt.Sprintf("sim: priority %d outside [0, %d]", pri, maxPriority))
+	}
+	var slot uint32
+	if n := len(k.freeSlots); n > 0 {
+		slot = k.freeSlots[n-1]
+		k.freeSlots = k.freeSlots[:n-1]
+	} else {
+		k.slots = append(k.slots, slotEntry{gen: 1})
+		slot = uint32(len(k.slots) - 1)
+	}
+	s := &k.slots[slot]
+	s.fn = fn
 	k.nextSeq++
-	k.nextID++
-	ev := &event{at: at, pri: pri, seq: k.nextSeq, id: k.nextID, fn: fn}
-	heap.Push(&k.events, ev)
-	k.live[ev.id] = ev
-	return ev.id
+	k.push(event{at: at, key: int64(pri)<<48 | k.nextSeq, slot: slot, gen: s.gen})
+	k.live++
+	return EventID(int64(slot)<<32 | int64(s.gen))
+}
+
+// The queue is a 4-ary heap: half the depth of a binary heap, so pops — the
+// hot operation of the dispatch loop — touch fewer cache lines, and the four
+// children of a node share two cache lines. The comparator is total (seq
+// tie-break), so the dispatch order is identical whatever the arity.
+
+// push appends ev and restores the heap invariant (sift up).
+func (k *Kernel) push(ev event) {
+	h := append(k.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !ev.before(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+	k.events = h
+}
+
+// pop removes and returns the heap minimum (sift down). The heap must be
+// non-empty.
+func (k *Kernel) pop() event {
+	h := k.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	k.events = h
+	if n > 0 {
+		i := 0
+		for {
+			child := 4*i + 1
+			if child >= n {
+				break
+			}
+			end := min(child+4, n)
+			for c := child + 1; c < end; c++ {
+				if h[c].before(h[child]) {
+					child = c
+				}
+			}
+			if !h[child].before(last) {
+				break
+			}
+			h[i] = h[child]
+			i = child
+		}
+		h[i] = last
+	}
+	return top
+}
+
+// vacate clears a slot after dispatch or cancellation: the generation bump
+// invalidates the slot's EventID and any stale heap node, and the slot
+// returns to the free list for reuse.
+func (k *Kernel) vacate(slot uint32) {
+	s := &k.slots[slot]
+	s.fn = nil
+	s.gen++
+	if s.gen == 0 { // wrapped: 0 is reserved for "never valid"
+		s.gen = 1
+	}
+	k.freeSlots = append(k.freeSlots, slot)
+	k.live--
 }
 
 // Cancel removes a pending event. It reports whether the event was still
 // pending (false if it already ran, was cancelled, or never existed).
+// Cancellation is lazy: the slot is freed immediately but the heap node
+// stays queued until popped, where the generation mismatch discards it —
+// keeping Cancel O(1) with no heap surgery.
 func (k *Kernel) Cancel(id EventID) bool {
-	ev, ok := k.live[id]
-	if !ok {
+	slot := uint32(id >> 32)
+	gen := uint32(id)
+	if int(slot) >= len(k.slots) {
 		return false
 	}
-	delete(k.live, id)
-	if ev.heap >= 0 {
-		heap.Remove(&k.events, ev.heap)
+	if s := &k.slots[slot]; s.gen != gen || s.fn == nil {
+		return false
 	}
-	ev.fn = nil
+	k.vacate(slot)
 	return true
+}
+
+// stale reports whether a popped or peeked node was cancelled (its slot has
+// moved on).
+func (k *Kernel) stale(ev event) bool {
+	s := &k.slots[ev.slot]
+	return s.gen != ev.gen || s.fn == nil
 }
 
 // Step dispatches the next pending event, if any, and reports whether one
 // was dispatched.
 func (k *Kernel) Step() bool {
 	for len(k.events) > 0 {
-		ev := heap.Pop(&k.events).(*event)
-		if ev.fn == nil { // cancelled
+		ev := k.pop()
+		if k.stale(ev) {
 			continue
 		}
-		delete(k.live, ev.id)
 		if ev.at < k.now {
 			panic(fmt.Sprintf("sim: time went backwards: event at %v, now %v", ev.at, k.now))
 		}
+		fn := k.slots[ev.slot].fn
+		k.vacate(ev.slot)
 		k.now = ev.at
 		k.executed++
-		fn := ev.fn
-		ev.fn = nil
 		fn()
 		return true
 	}
@@ -195,8 +273,8 @@ func (k *Kernel) RunUntil(limit Time) error {
 	defer func() { k.running = false }()
 	for len(k.events) > 0 && !k.halted {
 		next := k.events[0]
-		if next.fn == nil {
-			heap.Pop(&k.events)
+		if k.stale(next) {
+			k.pop()
 			continue
 		}
 		if next.at > limit {

@@ -23,7 +23,10 @@ type (
 	Group = runtimeapi.Group
 )
 
-// Packet is one datagram in flight.
+// Packet is one datagram in flight. Packet structs are pooled: a packet
+// handed to a DeliverFunc is valid only for the duration of the upcall, and
+// its Data must not be modified (it may be shared by every receiver of a
+// multicast and by the sender's retransmission buffer).
 type Packet struct {
 	Seq       int64 // global trace sequence number
 	Src       NodeID
@@ -31,10 +34,13 @@ type Packet struct {
 	Group     Group  // multicast group; meaningful when Multicast
 	Multicast bool
 	Data      []byte
-	Wire      int // bytes on the wire including frame overhead
+
+	refs int32 // outstanding deliveries before the struct returns to the pool
 }
 
-// DeliverFunc receives packets that survived the trip.
+// DeliverFunc receives packets that survived the trip. The *Packet is pooled
+// and only valid during the call; retain Data (which the callee must treat
+// as read-only), not the struct.
 type DeliverFunc func(pkt *Packet)
 
 // LANConfig configures a shared-medium segment. Defaults model the paper's
@@ -229,14 +235,17 @@ func (r TraceRecord) String() string {
 
 // Network is the topology container.
 type Network struct {
-	k      *sim.Kernel
-	rng    *sim.RNG
-	hosts  map[NodeID]*Host
-	lans   []*LAN
-	links  map[[2]int]*link // indexed by LAN indices (lo, hi)
-	groups map[Group][]NodeID
-	tracer func(TraceRecord)
-	seq    int64
+	k       *sim.Kernel
+	rng     *sim.RNG
+	hosts   map[NodeID]*Host
+	lans    []*LAN
+	links   map[[2]int]*link // indexed by LAN indices (lo, hi)
+	groups  map[Group][]NodeID
+	tracer  func(TraceRecord)
+	seq     int64
+	free    []*Packet       // recycled Packet structs
+	freeArr []*arrival      // recycled arrival thunks
+	freeTx  []*transmission // recycled injection thunks
 
 	// isolated holds the hosts on the cut-off side of the active network
 	// partition (nil when fully connected); partitionDrops counts packets
@@ -322,14 +331,103 @@ func (n *Network) TotalBytes() int64 {
 	return t
 }
 
-func (n *Network) trace(r TraceRecord) {
-	if n.tracer != nil {
-		n.tracer(r)
+// arrival is one pooled pending reception: the closure scheduled for the
+// arrival instant is bound once at allocation and reused, so scheduling a
+// reception allocates nothing in steady state.
+type arrival struct {
+	n    *Network
+	dst  *Host
+	pkt  *Packet
+	fire func()
+}
+
+// scheduleArrival schedules pkt's reception at dst at the given instant.
+func (n *Network) scheduleArrival(at sim.Time, dst *Host, pkt *Packet) {
+	var a *arrival
+	if ln := len(n.freeArr); ln > 0 {
+		a = n.freeArr[ln-1]
+		n.freeArr[ln-1] = nil
+		n.freeArr = n.freeArr[:ln-1]
+	} else {
+		a = &arrival{n: n}
+		a.fire = a.run
+	}
+	a.dst, a.pkt = dst, pkt
+	n.k.ScheduleAt(at, a.fire)
+}
+
+func (a *arrival) run() {
+	dst, pkt := a.dst, a.pkt
+	a.dst, a.pkt = nil, nil
+	a.n.freeArr = append(a.n.freeArr, a)
+	a.n.arrive(dst, pkt)
+}
+
+// transmission is one pooled pending injection: the datagram waits out the
+// sender's CPU-elapsed delay, then hits the wire. members non-nil selects
+// the multicast path.
+type transmission struct {
+	n       *Network
+	src     *Host
+	dst     *Host
+	members []NodeID
+	pkt     *Packet
+	fire    func()
+}
+
+// scheduleTransmission queues pkt's injection after delay.
+func (n *Network) scheduleTransmission(delay sim.Time, src, dst *Host, members []NodeID, pkt *Packet) {
+	var tx *transmission
+	if ln := len(n.freeTx); ln > 0 {
+		tx = n.freeTx[ln-1]
+		n.freeTx[ln-1] = nil
+		n.freeTx = n.freeTx[:ln-1]
+	} else {
+		tx = &transmission{n: n}
+		tx.fire = tx.run
+	}
+	tx.src, tx.dst, tx.members, tx.pkt = src, dst, members, pkt
+	n.k.Schedule(delay, tx.fire)
+}
+
+func (tx *transmission) run() {
+	n, src, dst, members, pkt := tx.n, tx.src, tx.dst, tx.members, tx.pkt
+	tx.src, tx.dst, tx.members, tx.pkt = nil, nil, nil, nil
+	n.freeTx = append(n.freeTx, tx)
+	if members != nil {
+		n.transmitMulticast(src, members, pkt)
+	} else {
+		n.transmit(src, dst, pkt)
+	}
+}
+
+// newPacket takes a Packet from the free list (or allocates one) with a
+// single reference held by the in-flight transmission.
+func (n *Network) newPacket() *Packet {
+	if ln := len(n.free); ln > 0 {
+		pkt := n.free[ln-1]
+		n.free[ln-1] = nil
+		n.free = n.free[:ln-1]
+		return pkt
+	}
+	return &Packet{}
+}
+
+// release drops one reference; the last reference returns the struct (not
+// its Data, which receivers may retain) to the pool.
+func (n *Network) release(pkt *Packet) {
+	pkt.refs--
+	if pkt.refs <= 0 {
+		*pkt = Packet{}
+		n.free = append(n.free, pkt)
 	}
 }
 
 // Send injects a unicast datagram from src after delay (the sender's CPU
-// elapsed time; see csrt.Port).
+// elapsed time; see csrt.Port). Ownership of data passes to the network: the
+// caller must not modify the buffer after the call (the paper's zero-copy
+// wire path — receivers parse, and may retain, the very bytes the sender
+// built).
 func (n *Network) Send(src, dst NodeID, data []byte, delay sim.Time) error {
 	hs, ok := n.hosts[src]
 	if !ok {
@@ -340,15 +438,17 @@ func (n *Network) Send(src, dst NodeID, data []byte, delay sim.Time) error {
 		return fmt.Errorf("simnet: unknown destination %d", dst)
 	}
 	n.seq++
-	pkt := &Packet{Seq: n.seq, Src: src, Dst: dst, Data: cloneBytes(data)}
-	n.k.Schedule(delay, func() { n.transmit(hs, hd, pkt) })
+	pkt := n.newPacket()
+	pkt.Seq, pkt.Src, pkt.Dst, pkt.Data, pkt.refs = n.seq, src, dst, data, 1
+	n.scheduleTransmission(delay, hs, hd, nil, pkt)
 	return nil
 }
 
 // Multicast injects a LAN multicast from src to every member of g on the
 // same segment, excluding the sender. Members on other segments are not
 // reached: wide-area dissemination falls back to unicast at the protocol
-// layer, as in the paper's prototype.
+// layer, as in the paper's prototype. As with Send, data is handed off and
+// must not be modified by the caller afterwards; all receivers share it.
 func (n *Network) Multicast(src NodeID, g Group, data []byte, delay sim.Time) error {
 	hs, ok := n.hosts[src]
 	if !ok {
@@ -359,22 +459,25 @@ func (n *Network) Multicast(src NodeID, g Group, data []byte, delay sim.Time) er
 		return fmt.Errorf("simnet: unknown group %d", g)
 	}
 	n.seq++
-	pkt := &Packet{Seq: n.seq, Src: src, Group: g, Multicast: true, Data: cloneBytes(data)}
-	n.k.Schedule(delay, func() { n.transmitMulticast(hs, members, pkt) })
+	pkt := n.newPacket()
+	pkt.Seq, pkt.Src, pkt.Group, pkt.Multicast, pkt.Data, pkt.refs = n.seq, src, g, true, data, 1
+	n.scheduleTransmission(delay, hs, nil, members, pkt)
 	return nil
 }
 
 // transmit performs the wire transmission of a unicast packet.
 func (n *Network) transmit(src, dst *Host, pkt *Packet) {
 	if src.down {
+		n.release(pkt)
 		return
 	}
-	n.trace(TraceRecord{At: n.k.Now(), Event: TraceSend, Seq: pkt.Seq, Src: pkt.Src, Dst: pkt.Dst, Size: len(pkt.Data)})
+	if n.tracer != nil {
+		n.tracer(TraceRecord{At: n.k.Now(), Event: TraceSend, Seq: pkt.Seq, Src: pkt.Src, Dst: pkt.Dst, Size: len(pkt.Data)})
+	}
 	src.sent.Add(len(pkt.Data))
 	if src.lan == dst.lan {
 		wire := src.lan.wireSize(len(pkt.Data))
-		arrive := n.lanTransmit(src.lan, wire)
-		n.k.ScheduleAt(arrive, func() { n.arrive(dst, pkt) })
+		n.scheduleArrival(n.lanTransmit(src.lan, wire), dst, pkt)
 		return
 	}
 	// Cross-LAN: source segment, WAN link, destination segment —
@@ -386,6 +489,7 @@ func (n *Network) transmit(src, dst *Host, pkt *Packet) {
 	key := [2]int{min(ia, ib), max(ia, ib)}
 	lk, ok := n.links[key]
 	if !ok {
+		n.release(pkt)
 		return // no route: silently dropped, like a misconfigured WAN
 	}
 	dir := 0
@@ -403,19 +507,22 @@ func (n *Network) transmit(src, dst *Host, pkt *Packet) {
 		n.k.ScheduleAt(t2, func() {
 			// At the remote gateway: final-hop transmission.
 			wireDst := dst.lan.wireSize(len(pkt.Data))
-			arrive := n.lanTransmit(dst.lan, wireDst)
-			n.k.ScheduleAt(arrive, func() { n.arrive(dst, pkt) })
+			n.scheduleArrival(n.lanTransmit(dst.lan, wireDst), dst, pkt)
 		})
 	})
 }
 
 // transmitMulticast performs one wire transmission reaching all same-LAN
-// group members.
+// group members. Every receiver holds a reference on the shared packet; the
+// injection reference is dropped once the arrivals are scheduled.
 func (n *Network) transmitMulticast(src *Host, members []NodeID, pkt *Packet) {
 	if src.down {
+		n.release(pkt)
 		return
 	}
-	n.trace(TraceRecord{At: n.k.Now(), Event: TraceSend, Seq: pkt.Seq, Src: pkt.Src, Multi: true, Size: len(pkt.Data)})
+	if n.tracer != nil {
+		n.tracer(TraceRecord{At: n.k.Now(), Event: TraceSend, Seq: pkt.Seq, Src: pkt.Src, Multi: true, Size: len(pkt.Data)})
+	}
 	src.sent.Add(len(pkt.Data))
 	wire := src.lan.wireSize(len(pkt.Data))
 	arrive := n.lanTransmit(src.lan, wire)
@@ -424,9 +531,10 @@ func (n *Network) transmitMulticast(src *Host, members []NodeID, pkt *Packet) {
 		if dst == nil || dst == src || dst.lan != src.lan {
 			continue
 		}
-		d := dst
-		n.k.ScheduleAt(arrive, func() { n.arrive(d, pkt) })
+		pkt.refs++
+		n.scheduleArrival(arrive, dst, pkt)
 	}
+	n.release(pkt)
 }
 
 // lanTransmit serializes a frame burst on the shared medium and returns the
@@ -440,30 +548,34 @@ func (n *Network) lanTransmit(l *LAN, wire int) sim.Time {
 }
 
 // arrive applies the partition cut, receiver-side loss, and crash state,
-// then delivers.
+// then delivers. Whatever the fate, the receiver's packet reference is
+// dropped on the way out. Drop, cut, and receive accounting is identical
+// with and without a tracer attached — only the trace records themselves
+// are conditional.
 func (n *Network) arrive(dst *Host, pkt *Packet) {
+	defer n.release(pkt)
 	if dst.down {
 		return
 	}
 	if !n.reachable(pkt.Src, dst.id) {
 		n.partitionDrops++
-		n.trace(TraceRecord{At: n.k.Now(), Event: TraceCut, Seq: pkt.Seq, Src: pkt.Src, Dst: dst.id, Multi: pkt.Multicast, Size: len(pkt.Data)})
+		if n.tracer != nil {
+			n.tracer(TraceRecord{At: n.k.Now(), Event: TraceCut, Seq: pkt.Seq, Src: pkt.Src, Dst: dst.id, Multi: pkt.Multicast, Size: len(pkt.Data)})
+		}
 		return
 	}
 	if dst.loss != nil && dst.loss.Drop(dst.rng, n.k.Now()) {
 		dst.dropped++
-		n.trace(TraceRecord{At: n.k.Now(), Event: TraceDrop, Seq: pkt.Seq, Src: pkt.Src, Dst: dst.id, Multi: pkt.Multicast, Size: len(pkt.Data)})
+		if n.tracer != nil {
+			n.tracer(TraceRecord{At: n.k.Now(), Event: TraceDrop, Seq: pkt.Seq, Src: pkt.Src, Dst: dst.id, Multi: pkt.Multicast, Size: len(pkt.Data)})
+		}
 		return
 	}
 	dst.received.Add(len(pkt.Data))
-	n.trace(TraceRecord{At: n.k.Now(), Event: TraceRecv, Seq: pkt.Seq, Src: pkt.Src, Dst: dst.id, Multi: pkt.Multicast, Size: len(pkt.Data)})
+	if n.tracer != nil {
+		n.tracer(TraceRecord{At: n.k.Now(), Event: TraceRecv, Seq: pkt.Seq, Src: pkt.Src, Dst: dst.id, Multi: pkt.Multicast, Size: len(pkt.Data)})
+	}
 	if dst.deliver != nil {
 		dst.deliver(pkt)
 	}
-}
-
-func cloneBytes(b []byte) []byte {
-	out := make([]byte, len(b))
-	copy(out, b)
-	return out
 }
