@@ -12,6 +12,8 @@
 //	table2  abort rates under message loss (Table 2)
 //	protocols  conservative vs optimistic delivery: certification-latency
 //	           split, misprediction rate, rollbacks (extension)
+//	recovery   terminal crash vs crash-and-rejoin: downtime, recovery
+//	           duration, snapshot transfer, delta catch-up (extension)
 //	all     everything above
 //
 // Every grid point runs -reps independent replications (derived seeds) and
@@ -42,7 +44,7 @@ func main() {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig3|fig4|fig5|fig6|table1|fig7|table2|protocols|all")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig3|fig4|fig5|fig6|table1|fig7|table2|protocols|recovery|all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -92,11 +94,13 @@ func main() {
 		err = h.table2()
 	case "protocols":
 		err = h.protocols()
+	case "recovery":
+		err = h.recovery()
 	case "all":
 		steps := []func() error{
 			h.fig3, h.fig4,
 			func() error { return h.fig5and6(true, true) },
-			h.table1, h.fig7, h.table2, h.protocols,
+			h.table1, h.fig7, h.table2, h.protocols, h.recovery,
 		}
 		for _, step := range steps {
 			if err = step(); err != nil {

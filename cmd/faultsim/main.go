@@ -38,6 +38,8 @@ func main() {
 	nCampaign := fs.Int("campaign", 0, "run N randomized fault schedules instead of the fixed matrix")
 	baseSeed := fs.Int64("seed", 1, "campaign base seed (schedule i uses a seed derived from it)")
 	replay := fs.Int64("replay", 0, "re-run the single campaign schedule with this seed")
+	list := fs.Bool("list", false, "print the resolved fault matrix or campaign schedule and exit without running")
+	rejoin := fs.Bool("rejoin", false, "force every campaign schedule to include a crash-and-rejoin")
 	short := fs.Bool("short", false, "smoke mode for CI: small transaction counts, clients, and seeds")
 	protoFlag := fs.String("protocol", "both", "termination variant under test: conservative, optimistic, or both")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -70,10 +72,26 @@ func main() {
 		TotalTxns:  *txns,
 		MaxSimTime: 20 * sim.Minute,
 	}
-	params := campaign.Params{Sites: *sites}
+	params := campaign.Params{Sites: *sites, Rejoin: *rejoin}
 	if *short {
 		// Shorter runs need faults that land while traffic still flows.
 		params.Horizon = 15 * sim.Second
+	}
+
+	if *list {
+		// Replay debugging aid: show exactly what a seed resolves to —
+		// the full schedule of a campaign, or the fixed matrix — without
+		// running a single simulation.
+		switch {
+		case *replay != 0:
+			listSchedules([]campaign.Schedule{campaign.New(*replay, params)})
+		case *nCampaign > 0:
+			listSchedules(campaign.Plan(*baseSeed, *nCampaign, params))
+		default:
+			listMatrix()
+		}
+		stopProfiles()
+		return
 	}
 
 	failures := 0
@@ -137,6 +155,35 @@ func matrix() []struct {
 		{"partition site 3 @20s (no heal)", faults.Config{
 			Partitions: []faults.Partition{{Sites: []int32{3}, At: 20 * sim.Second}},
 		}},
+		{"crash non-seq @20s rejoin @35s", faults.Config{
+			Crashes:  []faults.Crash{{Site: 3, At: 20 * sim.Second}},
+			Recovers: []faults.Recover{{Site: 3, At: 35 * sim.Second}},
+		}},
+		{"crash sequencer @20s rejoin @35s", faults.Config{
+			Crashes:  []faults.Crash{{Site: 1, At: 20 * sim.Second}},
+			Recovers: []faults.Recover{{Site: 1, At: 35 * sim.Second}},
+		}},
+		{"loss 5% + crash @20s rejoin @35s", faults.Config{
+			Loss:     faults.Loss{Kind: faults.LossRandom, Rate: 0.05},
+			Crashes:  []faults.Crash{{Site: 2, At: 20 * sim.Second}},
+			Recovers: []faults.Recover{{Site: 2, At: 35 * sim.Second}},
+		}},
+	}
+}
+
+// listMatrix prints the resolved fixed matrix without running it.
+func listMatrix() {
+	fmt.Println("fixed dependability matrix:")
+	for _, row := range matrix() {
+		sched := campaign.Schedule{Faults: row.f}
+		fmt.Printf("  %s\n%s", row.name, sched.Describe())
+	}
+}
+
+// listSchedules prints resolved campaign schedules without running them.
+func listSchedules(plan []campaign.Schedule) {
+	for i, s := range plan {
+		fmt.Printf("campaign[%3d] seed=%-20d %s\n%s", i, s.Seed, s.Label(), s.Describe())
 	}
 }
 
@@ -221,6 +268,8 @@ func verdictOf(pt expr.Point) (string, string) {
 	switch {
 	case r.SafetyErr != nil:
 		return "UNSAFE", r.SafetyErr.Error()
+	case r.RejoinViolations != 0:
+		return "UNSAFE", fmt.Sprintf("%d rejoin prefix violations", r.RejoinViolations)
 	case r.Inconsistencies != 0:
 		return "UNSAFE", fmt.Sprintf("%d local/global inconsistencies", r.Inconsistencies)
 	case r.CertDrops != 0:
@@ -233,6 +282,22 @@ func verdictOf(pt expr.Point) (string, string) {
 		if r.Protocol == core.ProtocolOptimistic {
 			detail += fmt.Sprintf(" rollbacks=%d mispred=%.1f%%", r.Rollbacks, r.OptMispredictPct)
 		}
+		if r.Recoveries > 0 {
+			detail += fmt.Sprintf(" recoveries=%d recovery=%.0fms transfer=%.0fKB delta=%d lag=%d",
+				r.Recoveries, r.MeanRecoveryMS, float64(r.TransferBytes)/1024,
+				r.DeltaApplied, maxRejoinLag(r))
+		}
 		return "SAFE", detail
 	}
+}
+
+// maxRejoinLag reports the largest per-site commit lag at rejoin.
+func maxRejoinLag(r *core.Results) uint64 {
+	var lag uint64
+	for _, s := range r.Sites {
+		if s.RejoinLag > lag {
+			lag = s.RejoinLag
+		}
+	}
+	return lag
 }

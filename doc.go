@@ -22,6 +22,20 @@
 // one-copy serializability for both variants under randomized fault
 // schedules.
 //
+// Site liveness is an explicit lifecycle — Up → Crashed → Recovering → Up —
+// owned by internal/recovery, so the dependability campaigns measure the
+// recovery side the DSN'05 evaluation implies, not just survival: a crashed
+// site (faults.Crash) can rejoin (faults.Recover) through a gcs join
+// handshake (admission view change plus a sequencer-announced catch-up
+// sequence), state-transfer a snapshot — certifier state, commit log,
+// written pages — from a donor replica, and replay the deliveries buffered
+// during the transfer. Safety verdicts extend across rejoin: the dead
+// incarnation's log must be a prefix of the donor's at install, and a
+// recovered site's log is held to full equality with the survivors' at the
+// end of the run. Per-site downtime, recovery duration, transfer bytes, and
+// post-rejoin commit lag surface through core.Results/Aggregate, the
+// faultsim verdict lines, and cmd/experiments's "recovery" table.
+//
 // The simulation critical path is engineered to allocate nothing in steady
 // state: certification runs against an inverted last-writer index
 // (O(|ReadSet|) per transaction, differential-tested against the paper's

@@ -36,12 +36,13 @@ const (
 	KindLossRandom = "loss-random"
 	KindLossBursty = "loss-bursty"
 	KindCrash      = "crash"
+	KindRejoin     = "crash-rejoin"
 	KindPartition  = "partition"
 )
 
 // Kinds lists every fault kind a campaign can inject, in report order.
 func Kinds() []string {
-	return []string{KindDrift, KindLatency, KindLossRandom, KindLossBursty, KindCrash, KindPartition}
+	return []string{KindDrift, KindLatency, KindLossRandom, KindLossBursty, KindCrash, KindRejoin, KindPartition}
 }
 
 // Params bounds the schedule space.
@@ -55,6 +56,11 @@ type Params struct {
 	// fault-free traffic first, early enough that the survivors then run
 	// degraded for most of the experiment.
 	Horizon sim.Time
+	// Rejoin forces every schedule to contain at least one
+	// crash-and-rejoin (CI smoke campaigns use it so rejoin safety is
+	// exercised on every push). Without it, crashes recover with
+	// probability 0.6 each.
+	Rejoin bool
 }
 
 func (p *Params) fill() {
@@ -93,6 +99,48 @@ func (s Schedule) Label() string {
 		return "fault-free"
 	}
 	return strings.Join(s.Kinds, "+")
+}
+
+// Describe renders the schedule's fully resolved fault load, one fault per
+// line — what `faultsim -list` prints so a campaign can be inspected (and a
+// failing seed understood) without running anything.
+func (s Schedule) Describe() string {
+	var b strings.Builder
+	f := s.Faults
+	if f.ClockDriftRate != 0 {
+		sites := "all sites"
+		if len(f.ClockDriftSites) > 0 {
+			sites = fmt.Sprintf("sites %v", f.ClockDriftSites)
+		}
+		fmt.Fprintf(&b, "    clock-drift rate=%.3f (%s)\n", f.ClockDriftRate, sites)
+	}
+	if f.SchedLatencyMean != 0 {
+		fmt.Fprintf(&b, "    sched-latency exp(%v)\n", f.SchedLatencyMean)
+	}
+	switch f.Loss.Kind {
+	case faults.LossRandom:
+		fmt.Fprintf(&b, "    loss-random rate=%.3f\n", f.Loss.Rate)
+	case faults.LossBursty:
+		fmt.Fprintf(&b, "    loss-bursty rate=%.3f burst~%.1f\n", f.Loss.Rate, f.Loss.MeanBurst)
+	}
+	for _, c := range f.Crashes {
+		if rc := f.RecoverOf(c.Site); rc != nil {
+			fmt.Fprintf(&b, "    crash site %d at %v, rejoin at %v\n", c.Site, c.At, rc.At)
+		} else {
+			fmt.Fprintf(&b, "    crash site %d at %v (no rejoin)\n", c.Site, c.At)
+		}
+	}
+	for _, pt := range f.Partitions {
+		if pt.Heal != 0 {
+			fmt.Fprintf(&b, "    partition sites %v at %v, heal at %v\n", pt.Sites, pt.At, pt.Heal)
+		} else {
+			fmt.Fprintf(&b, "    partition sites %v at %v (no heal)\n", pt.Sites, pt.At)
+		}
+	}
+	if b.Len() == 0 {
+		return "    (fault-free)\n"
+	}
+	return b.String()
 }
 
 // New deterministically generates the schedule for a seed. All randomness
@@ -139,10 +187,16 @@ func New(seed int64, p Params) Schedule {
 
 	// Structural faults share the quorum budget. Partition minorities are
 	// the highest-numbered sites; crashes draw from the remainder — so
-	// the (replacement) sequencer always sits in the majority.
+	// the (replacement) sequencer always sits in the majority. Forced
+	// rejoin reserves one budget slot for the crash the schedule must
+	// contain.
 	remaining := budget
-	if remaining > 0 && g.Bool(0.4) {
-		m := 1 + g.Intn(remaining)
+	partBudget := remaining
+	if p.Rejoin {
+		partBudget = remaining - 1
+	}
+	if partBudget > 0 && g.Bool(0.4) {
+		m := 1 + g.Intn(partBudget)
 		minority := make([]int32, 0, m)
 		for i := 0; i < m; i++ {
 			minority = append(minority, int32(p.Sites-i))
@@ -157,7 +211,7 @@ func New(seed int64, p Params) Schedule {
 		remaining -= m
 		s.Kinds = append(s.Kinds, KindPartition)
 	}
-	if remaining > 0 && g.Bool(0.4) {
+	if remaining > 0 && (g.Bool(0.4) || p.Rejoin) {
 		c := 1 + g.Intn(remaining)
 		// Candidate crash targets: every site not in a partition
 		// minority. Shuffle and take the first c.
@@ -172,14 +226,32 @@ func New(seed int64, p Params) Schedule {
 		g.Shuffle(len(candidates), func(i, j int) {
 			candidates[i], candidates[j] = candidates[j], candidates[i]
 		})
+		rejoined := false
 		for i := 0; i < c; i++ {
-			f.Crashes = append(f.Crashes, faults.Crash{
+			cr := faults.Crash{
 				Site: candidates[i],
 				At:   g.UniformDur(5*sim.Second, p.Horizon),
-			})
+			}
+			f.Crashes = append(f.Crashes, cr)
+			// Crash-and-rejoin: most crashed sites come back after an
+			// outage, restoring the full group — the recovery side of
+			// the dependability evaluation. The rejoin delay is long
+			// enough that the group has certainly excluded the site
+			// (failure timeout 1s) and committed past its horizon.
+			if g.Bool(0.6) || (p.Rejoin && i == 0) {
+				f.Recovers = append(f.Recovers, faults.Recover{
+					Site: cr.Site,
+					At:   cr.At + g.UniformDur(8*sim.Second, 25*sim.Second),
+				})
+				rejoined = true
+			}
 		}
 		sort.Slice(f.Crashes, func(i, j int) bool { return f.Crashes[i].At < f.Crashes[j].At })
+		sort.Slice(f.Recovers, func(i, j int) bool { return f.Recovers[i].At < f.Recovers[j].At })
 		s.Kinds = append(s.Kinds, KindCrash)
+		if rejoined {
+			s.Kinds = append(s.Kinds, KindRejoin)
+		}
 	}
 
 	// Never emit a fault-free schedule: a campaign run must stress

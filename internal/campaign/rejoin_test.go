@@ -1,0 +1,55 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestRejoinSchedulesWellFormed: every generated recovery matches a crash of
+// the same site and lands after it, and the crash-rejoin kind labels exactly
+// the schedules that carry one.
+func TestRejoinSchedulesWellFormed(t *testing.T) {
+	sawRejoin := false
+	for seed := int64(1); seed <= 400; seed++ {
+		s := New(seed, Params{Sites: 5})
+		crashAt := map[int32]sim.Time{}
+		for _, c := range s.Faults.Crashes {
+			crashAt[c.Site] = c.At
+		}
+		seen := map[int32]bool{}
+		for _, rc := range s.Faults.Recovers {
+			at, ok := crashAt[rc.Site]
+			if !ok {
+				t.Fatalf("seed %d: recovery of uncrashed site %d", seed, rc.Site)
+			}
+			if rc.At <= at {
+				t.Fatalf("seed %d: site %d recovers at %v before crash at %v", seed, rc.Site, rc.At, at)
+			}
+			if seen[rc.Site] {
+				t.Fatalf("seed %d: site %d recovers twice", seed, rc.Site)
+			}
+			seen[rc.Site] = true
+		}
+		if s.Has(KindRejoin) != (len(s.Faults.Recovers) > 0) {
+			t.Fatalf("seed %d: kind label %v vs %d recoveries", seed, s.Kinds, len(s.Faults.Recovers))
+		}
+		sawRejoin = sawRejoin || s.Has(KindRejoin)
+	}
+	if !sawRejoin {
+		t.Fatal("no schedule out of 400 contained a crash-and-rejoin")
+	}
+}
+
+// TestForcedRejoin: Params.Rejoin guarantees a crash-and-rejoin in every
+// schedule — the CI smoke campaign's contract.
+func TestForcedRejoin(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		for _, sites := range []int{3, 5} {
+			s := New(seed, Params{Sites: sites, Rejoin: true})
+			if !s.Has(KindRejoin) || len(s.Faults.Recovers) == 0 {
+				t.Fatalf("seed %d sites %d: forced-rejoin schedule has no rejoin: %v", seed, sites, s.Kinds)
+			}
+		}
+	}
+}

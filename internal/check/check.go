@@ -61,10 +61,14 @@ func (k Kind) String() string {
 // SiteLog is one site's committed sequence plus its liveness at the end of
 // the run. Operational is false for sites that stopped participating
 // (crashed, or isolated in a partitioned minority); their logs are held to
-// the weaker prefix condition.
+// the weaker prefix condition. Recovered marks a site that crashed and
+// rejoined: an operational recovered site is held to full equality like any
+// survivor — its snapshot-installed log must have re-converged — and the
+// flag lets a violation name the rejoin as the likely culprit.
 type SiteLog struct {
 	Site        dbsm.SiteID
 	Operational bool
+	Recovered   bool
 	Entries     []trace.CommitEntry
 }
 
@@ -138,20 +142,22 @@ func compare(s, ref *SiteLog) *Violation {
 			if sameTxnSet(s.Entries, ref.Entries) {
 				kind = KindReorder
 			}
-			return &Violation{
-				Kind: kind, Site: s.Site, Ref: ref.Site, Pos: i,
-				Detail: fmt.Sprintf("committed (seq=%d tid=%x), reference committed (seq=%d tid=%x)",
-					s.Entries[i].Seq, s.Entries[i].TID, ref.Entries[i].Seq, ref.Entries[i].TID),
+			detail := fmt.Sprintf("committed (seq=%d tid=%x), reference committed (seq=%d tid=%x)",
+				s.Entries[i].Seq, s.Entries[i].TID, ref.Entries[i].Seq, ref.Entries[i].TID)
+			if s.Recovered {
+				detail = "recovered site " + detail
 			}
+			return &Violation{Kind: kind, Site: s.Site, Ref: ref.Site, Pos: i, Detail: detail}
 		}
 	}
 	switch {
 	case s.Operational && len(s.Entries) != len(ref.Entries):
-		return &Violation{
-			Kind: KindLengthMismatch, Site: s.Site, Ref: ref.Site, Pos: -1,
-			Detail: fmt.Sprintf("committed %d transactions, reference committed %d",
-				len(s.Entries), len(ref.Entries)),
+		detail := fmt.Sprintf("committed %d transactions, reference committed %d",
+			len(s.Entries), len(ref.Entries))
+		if s.Recovered {
+			detail = "recovered site " + detail
 		}
+		return &Violation{Kind: KindLengthMismatch, Site: s.Site, Ref: ref.Site, Pos: -1, Detail: detail}
 	case !s.Operational && len(s.Entries) > len(ref.Entries):
 		return &Violation{
 			Kind: KindNonPrefix, Site: s.Site, Ref: ref.Site, Pos: len(ref.Entries),

@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/csrt"
 	"repro/internal/db"
 	"repro/internal/dbsm"
 	"repro/internal/faults"
 	"repro/internal/gcs"
+	"repro/internal/recovery"
 	"repro/internal/replica"
 	"repro/internal/runtimeapi"
 	"repro/internal/sim"
@@ -143,7 +145,10 @@ func (c *Config) fill() {
 	}
 }
 
-// Site is one replica's assembled components.
+// Site is one replica's assembled components. Across a crash-and-rejoin the
+// Site persists while Stack and Replica are rebuilt (a crash destroys all
+// volatile protocol state); Life tracks the lifecycle — Up → Crashed →
+// Recovering → Up — and the availability metrics of each transition.
 type Site struct {
 	ID      dbsm.SiteID
 	RT      *csrt.Runtime
@@ -153,20 +158,28 @@ type Site struct {
 	Replica *replica.Replica // nil when Sites == 1
 	Host    *simnet.Host
 	Gen     *tpcc.Generator
+	Life    *recovery.Lifecycle
 
-	crashed     bool
 	partitioned bool // isolated in a partition minority at some point
-	outstanding int64
+
+	// Counters of dead incarnations, folded into the site totals when the
+	// current Stack/Replica are replaced at recovery.
+	deadGCS     gcs.Stats
+	deadReplica replica.Stats
 }
 
-// operational reports whether the site still participates in the protocol:
-// not crashed, never isolated in a partition minority, and its stack not
-// wedged (a stack halts on exclusion from the view or on quorum loss under
-// the primary-component rule — e.g. a loss-induced false suspicion).
+// Lifecycle exposes the site's state machine.
+func (s *Site) Lifecycle() *recovery.Lifecycle { return s.Life }
+
+// operational reports whether the site participates in the protocol right
+// now: lifecycle Up, never isolated in a partition minority, and its stack
+// not wedged (a stack halts on exclusion from the view or on quorum loss
+// under the primary-component rule — e.g. a loss-induced false suspicion).
 // Non-operational sites are held to the prefix safety condition and
-// excluded from quiescence accounting.
+// excluded from quiescence accounting; a recovered site is operational
+// again and held to full equality.
 func (s *Site) operational() bool {
-	if s.crashed || s.partitioned {
+	if s.Life.State() != recovery.StateUp || s.partitioned {
 		return false
 	}
 	return s.Stack == nil || !s.Stack.Stopped()
@@ -174,11 +187,12 @@ func (s *Site) operational() bool {
 
 // Model is a configured instance of the testing tool.
 type Model struct {
-	cfg Config
-	k   *sim.Kernel
-	rng *sim.RNG
-	net *simnet.Network
-	lan *simnet.LAN
+	cfg     Config
+	k       *sim.Kernel
+	rng     *sim.RNG
+	net     *simnet.Network
+	lan     *simnet.LAN
+	members []runtimeapi.NodeID // full group universe (rebuilt stacks need it)
 
 	sites     []*Site
 	dedicated *Site // dedicated sequencer member, when configured
@@ -188,6 +202,16 @@ type Model struct {
 	finished int64
 	lastDone sim.Time
 	txnLog   trace.TxnLog
+
+	// pendingRecover marks crashed sites whose scheduled recovery has not
+	// fired yet: the run must not quiesce before it does, or a
+	// crash-and-rejoin schedule would silently skip the rejoin under test.
+	pendingRecover map[*Site]bool
+
+	// rejoinViolations counts install-time prefix-check failures: a dead
+	// incarnation's commit log that was not a prefix of its donor's.
+	rejoinViolations int64
+	rejoinViolation  error
 }
 
 // New builds a model from a config.
@@ -211,6 +235,7 @@ func New(cfg Config) (*Model, error) {
 		// Node 0 sorts first in the view, making it the sequencer.
 		members = append([]runtimeapi.NodeID{0}, members...)
 	}
+	m.members = members
 	m.net.SetGroup(1, members)
 
 	warehouses := cfg.Warehouses
@@ -237,26 +262,13 @@ func New(cfg Config) (*Model, error) {
 		rt.Bind(cpus)
 		host.SetDeliver(func(pkt *simnet.Packet) { rt.Deliver(pkt.Src, pkt.Data) })
 
-		site := &Site{ID: dbsm.SiteID(id), RT: rt, CPUs: cpus, Host: host}
+		site := &Site{ID: dbsm.SiteID(id), RT: rt, CPUs: cpus, Host: host,
+			Life: recovery.NewLifecycle(dbsm.SiteID(id))}
 
 		if len(members) > 1 {
-			gcfg := gcs.Config{
-				Self:         id,
-				Members:      members,
-				Group:        1,
-				UseMulticast: true,
-				// Partitions need the primary-component rule: the
-				// minority side must wedge rather than split-brain.
-				PrimaryComponent: len(cfg.Faults.Partitions) > 0,
+			if err := m.buildStack(site, false); err != nil {
+				return nil, err
 			}
-			if cfg.GCSTweak != nil {
-				cfg.GCSTweak(&gcfg)
-			}
-			stack, err := gcs.New(rt, gcfg)
-			if err != nil {
-				return nil, fmt.Errorf("core: site %d stack: %w", id, err)
-			}
-			site.Stack = stack
 		}
 
 		if id != 0 {
@@ -267,12 +279,7 @@ func New(cfg Config) (*Model, error) {
 			site.Gen = tpcc.NewGenerator(dbsm.SiteID(id), warehouses, cfg.Calibration,
 				m.rng.Fork(fmt.Sprintf("gen-%d", id)))
 			if site.Stack != nil {
-				site.Replica = replica.New(rt, site.Stack, server, replica.Options{
-					Optimistic:       cfg.Protocol == ProtocolOptimistic,
-					ReadSetThreshold: cfg.ReadSetThreshold,
-					ScanCertifier:    cfg.ScanCertifier,
-					Replicates:       replicatesFunc(int(id)-1, cfg.Sites, cfg.ReplicationDegree),
-				})
+				m.buildReplica(site, false)
 			}
 		}
 		if site.Stack != nil {
@@ -300,13 +307,45 @@ func New(cfg Config) (*Model, error) {
 		}
 	}
 
+	crashAt := map[int32]sim.Time{}
 	for _, cr := range cfg.Faults.Crashes {
 		idx := int(cr.Site) - 1
 		if idx < 0 || idx >= len(m.sites) {
 			return nil, fmt.Errorf("core: crash targets unknown site %d", cr.Site)
 		}
+		if _, dup := crashAt[cr.Site]; dup {
+			return nil, fmt.Errorf("core: site %d crashes twice", cr.Site)
+		}
+		crashAt[cr.Site] = cr.At
 		site := m.sites[idx]
 		m.k.ScheduleAt(cr.At, func() { m.crash(site) })
+	}
+	seenRecover := map[int32]bool{}
+	for _, rc := range cfg.Faults.Recovers {
+		idx := int(rc.Site) - 1
+		if idx < 0 || idx >= len(m.sites) {
+			return nil, fmt.Errorf("core: recovery targets unknown site %d", rc.Site)
+		}
+		at, crashed := crashAt[rc.Site]
+		if !crashed {
+			return nil, fmt.Errorf("core: recovery of site %d without a crash", rc.Site)
+		}
+		if rc.At <= at {
+			return nil, fmt.Errorf("core: site %d recovers at %v, not after its crash at %v", rc.Site, rc.At, at)
+		}
+		if seenRecover[rc.Site] {
+			return nil, fmt.Errorf("core: site %d recovers twice", rc.Site)
+		}
+		seenRecover[rc.Site] = true
+		site := m.sites[idx]
+		if m.pendingRecover == nil {
+			m.pendingRecover = make(map[*Site]bool)
+		}
+		m.pendingRecover[site] = true
+		m.k.ScheduleAt(rc.At, func() {
+			delete(m.pendingRecover, site)
+			m.recover(site)
+		})
 	}
 
 	// The network supports one active cut at a time, so partitions must
@@ -445,9 +484,53 @@ func (m *Model) onDone(c *tpcc.Client, t *db.Txn, o db.Outcome) {
 	}
 }
 
-// crash stops a site completely.
+// buildStack assembles a site's group communication stack — at model build
+// time (joining false) or for a fresh incarnation rejoining after a crash
+// (joining true).
+func (m *Model) buildStack(s *Site, joining bool) error {
+	gcfg := gcs.Config{
+		Self:         runtimeapi.NodeID(s.ID),
+		Members:      m.members,
+		Group:        1,
+		UseMulticast: true,
+		Joining:      joining,
+		// Partitions need the primary-component rule: the minority side
+		// must wedge rather than split-brain.
+		PrimaryComponent: len(m.cfg.Faults.Partitions) > 0,
+	}
+	if m.cfg.GCSTweak != nil {
+		m.cfg.GCSTweak(&gcfg)
+	}
+	stack, err := gcs.New(s.RT, gcfg)
+	if err != nil {
+		return fmt.Errorf("core: site %d stack: %w", s.ID, err)
+	}
+	s.Stack = stack
+	return nil
+}
+
+// buildReplica assembles a site's termination glue over the current stack.
+func (m *Model) buildReplica(s *Site, recovering bool) {
+	s.Replica = replica.New(s.RT, s.Stack, s.Server, replica.Options{
+		Optimistic:       m.cfg.Protocol == ProtocolOptimistic,
+		ReadSetThreshold: m.cfg.ReadSetThreshold,
+		ScanCertifier:    m.cfg.ScanCertifier,
+		Replicates:       replicatesFunc(int(s.ID)-1, m.cfg.Sites, m.cfg.ReplicationDegree),
+		Recovering:       recovering,
+	})
+}
+
+// crash stops a site completely, capturing its crash horizon (applied
+// sequence and commit log) so a later recovery can size the snapshot and
+// verify the rejoin prefix condition.
 func (m *Model) crash(s *Site) {
-	s.crashed = true
+	var commits []trace.CommitEntry
+	if s.Replica != nil {
+		commits = s.Replica.CommitLog().Entries()
+	}
+	if err := s.Life.Crash(m.k.Now(), s.Server.LastApplied(), commits); err != nil {
+		panic(err) // fault schedules are validated at model build
+	}
 	s.RT.Crash()
 	s.Host.SetDown(true)
 	s.Server.Crash()
@@ -457,6 +540,62 @@ func (m *Model) crash(s *Site) {
 	if s.Replica != nil {
 		s.Replica.Stop()
 	}
+}
+
+// recover restarts a crashed site: the runtime and host come back, a fresh
+// stack begins the join handshake, and a fresh replica buffers deliveries
+// until the recovery manager finishes the state transfer. The server stays
+// down (its clients blocked) until the snapshot installs.
+func (m *Model) recover(s *Site) {
+	if err := s.Life.BeginRecovery(m.k.Now()); err != nil {
+		panic(err)
+	}
+	// Fold the dead incarnation's protocol counters into the site totals
+	// before discarding it.
+	if s.Stack != nil {
+		accumulateGCS(&s.deadGCS, s.Stack.Stats())
+	}
+	if s.Replica != nil {
+		accumulateReplica(&s.deadReplica, s.Replica.Stats())
+	}
+	s.RT.Restart()
+	s.Host.SetDown(false)
+	if err := m.buildStack(s, true); err != nil {
+		panic(err) // the original stack built from the same inputs
+	}
+	m.buildReplica(s, true)
+	mgr := recovery.NewManager(recovery.ManagerConfig{
+		K:         m.k,
+		Site:      s.ID,
+		Life:      s.Life,
+		PickDonor: func() recovery.Donor { return m.pickDonor(s) },
+		Joiner:    s.Replica,
+		WriteSectors: func(n int, done func()) {
+			s.Server.Storage().WriteSectors(n, done)
+		},
+		OnViolation: func(v *check.Violation) {
+			m.rejoinViolations++
+			if m.rejoinViolation == nil {
+				m.rejoinViolation = v
+			}
+		},
+	})
+	s.Stack.OnJoined(mgr.OnJoined)
+	s.Stack.Start()
+	s.Replica.Start()
+}
+
+// pickDonor selects the snapshot donor for a joiner: the lowest-numbered
+// fully-operational replica. Deterministic, so a replayed seed transfers
+// from the same site.
+func (m *Model) pickDonor(joiner *Site) recovery.Donor {
+	for _, s := range m.sites {
+		if s == joiner || !s.operational() || s.Replica == nil || s.Replica.Recovering() {
+			continue
+		}
+		return s.Replica
+	}
+	return nil
 }
 
 // Run executes the model to completion and assembles results.
@@ -493,13 +632,18 @@ func (m *Model) Run() (*Results, error) {
 // quiesced reports whether issuance stopped and no live site has work in
 // flight. Sites isolated in a partition minority are excluded: their
 // in-flight transactions can never resolve once the majority excludes them
-// from the view.
+// from the view. A site mid-recovery holds the run open — its rejoin always
+// completes in bounded time, and ending before it would leave the recovery
+// metrics (and the rejoin safety condition) unexercised.
 func (m *Model) quiesced() bool {
 	if m.issued < m.cfg.TotalTxns {
 		return false
 	}
 	live := int64(0)
 	for _, s := range m.sites {
+		if s.Life.State() == recovery.StateRecovering || m.pendingRecover[s] {
+			return false
+		}
 		if s.operational() {
 			sub, com, ab := s.Server.Totals()
 			live += sub - com - ab

@@ -10,6 +10,8 @@ import (
 	"repro/internal/dbsm"
 	"repro/internal/gcs"
 	"repro/internal/metrics"
+	"repro/internal/recovery"
+	"repro/internal/replica"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -30,8 +32,14 @@ type ClassResult struct {
 
 // SiteResult summarizes one replica.
 type SiteResult struct {
-	Site    dbsm.SiteID
+	Site dbsm.SiteID
+	// State is the lifecycle state at the end of the run (up, crashed,
+	// recovering). Crashed is kept as the terminal-crash shorthand.
+	State   string
 	Crashed bool
+	// Recovered reports the site crashed and completed at least one
+	// rejoin; its commit log is then held to full equality again.
+	Recovered bool
 	// Partitioned reports the site spent part of the run isolated in a
 	// partition minority; its log is held to the prefix condition.
 	Partitioned   bool
@@ -43,6 +51,15 @@ type SiteResult struct {
 	CPURealUtil   float64 // protocol (real) jobs — Figure 7(c)
 	DiskUtilPct   float64 // Figure 6(b)
 	RemoteApplied int64
+	// Availability metrics of the lifecycle refactor: total time not Up,
+	// the share of it spent in the Recovering state, snapshot bytes
+	// shipped to this site, the commit-sequence gap to the donor at
+	// rejoin, and the deliveries replayed in the delta catch-up.
+	DowntimeMS   float64
+	RecoveryMS   float64
+	TransferKB   float64
+	RejoinLag    uint64
+	DeltaApplied int64
 }
 
 // Results carries everything the paper's evaluation reports for one run.
@@ -104,6 +121,18 @@ type Results struct {
 	// rate: final deliveries whose spontaneous position disagreed with the
 	// total order, in percent of tentative deliveries.
 	OptMispredictPct float64
+	// Recovery metrics, summed over sites: completed rejoins, snapshot
+	// bytes shipped, mean recovery duration and downtime per rejoin, the
+	// deliveries replayed as delta catch-up, and install-time prefix-check
+	// failures (RejoinViolations must be zero; RejoinErr carries the
+	// first one).
+	Recoveries       int
+	TransferBytes    int64
+	MeanRecoveryMS   float64
+	MeanDowntimeMS   float64
+	DeltaApplied     int64
+	RejoinViolations int64
+	RejoinErr        error
 	// GCS aggregates protocol counters over all stacks.
 	GCS gcs.Stats
 	// SafetyErr is the off-line commit-sequence comparison verdict
@@ -142,16 +171,30 @@ func (m *Model) results() *Results {
 	classAgg := map[string]*ClassResult{}
 	classLat := map[string]*metrics.Sample{}
 	liveSites := 0
+	now := m.k.Now()
 	for _, s := range m.sites {
 		sub, com, ab := s.Server.Totals()
+		life := s.Life
 		sr := SiteResult{
 			Site:          s.ID,
-			Crashed:       s.crashed,
+			State:         life.State().String(),
+			Crashed:       life.State() == recovery.StateCrashed,
+			Recovered:     life.Recoveries() > 0,
 			Partitioned:   s.partitioned,
 			Submitted:     sub,
 			Committed:     com,
 			Aborted:       ab,
 			RemoteApplied: s.Server.RemoteApplied(),
+			DowntimeMS:    life.Downtime(now).Millis(),
+			RecoveryMS:    life.RecoveryTime(now).Millis(),
+			TransferKB:    float64(life.TransferBytes()) / 1024,
+			RejoinLag:     life.RejoinLag(),
+		}
+		r.Recoveries += life.Recoveries()
+		r.TransferBytes += life.TransferBytes()
+		if life.Recoveries() > 0 {
+			r.MeanRecoveryMS += life.RecoveryTime(now).Millis()
+			r.MeanDowntimeMS += life.Downtime(now).Millis()
 		}
 		if duration > 0 {
 			sr.CPUUtilPct = s.CPUs.Utilization(duration)
@@ -159,6 +202,20 @@ func (m *Model) results() *Results {
 			sr.CPURealUtil = s.CPUs.ClassUtilization("real", duration)
 			sr.DiskUtilPct = s.Server.Storage().Utilization(duration)
 		}
+		// Fold the live incarnation's counters on top of any dead
+		// incarnations' accumulated at recovery time.
+		repStats := s.deadReplica
+		if s.Replica != nil {
+			accumulateReplica(&repStats, s.Replica.Stats())
+		}
+		r.CertDrops += repStats.Drops
+		r.Tentative += repStats.Tentative
+		r.Rollbacks += repStats.Rollbacks
+		r.Recertified += repStats.Recertified
+		r.PreApplied += repStats.PreApplied
+		r.PreApplyWasted += repStats.PreApplyWasted
+		r.DeltaApplied += repStats.DeltaApplied
+		sr.DeltaApplied = repStats.DeltaApplied
 		r.Sites = append(r.Sites, sr)
 		r.Submitted += sub
 		r.Committed += com
@@ -186,35 +243,22 @@ func (m *Model) results() *Results {
 			r.CertDecideLat.Add(v)
 		}
 		r.Inconsistencies += s.Server.Inconsistencies()
-		if s.Replica != nil {
-			rs := s.Replica.Stats()
-			r.CertDrops += rs.Drops
-			r.Tentative += rs.Tentative
-			r.Rollbacks += rs.Rollbacks
-			r.Recertified += rs.Recertified
-			r.PreApplied += rs.PreApplied
-			r.PreApplyWasted += rs.PreApplyWasted
-		}
+		gcsStats := s.deadGCS
 		if s.Stack != nil {
-			st := s.Stack.Stats()
-			r.GCS.Sent += st.Sent
-			r.GCS.Retransmits += st.Retransmits
-			r.GCS.Nacks += st.Nacks
-			r.GCS.Gossips += st.Gossips
-			r.GCS.Delivered += st.Delivered
-			r.GCS.Optimistic += st.Optimistic
-			r.GCS.Mispredicted += st.Mispredicted
-			r.GCS.ParseErrors += st.ParseErrors
-			r.GCS.Blocked += st.Blocked
-			r.GCS.BlockedTime += st.BlockedTime
-			r.GCS.ViewChanges += st.ViewChanges
-			r.GCS.QuorumLosses += st.QuorumLosses
+			accumulateGCS(&gcsStats, s.Stack.Stats())
 		}
+		accumulateGCS(&r.GCS, gcsStats)
 	}
+	r.RejoinViolations = m.rejoinViolations
+	r.RejoinErr = m.rejoinViolation
 	if liveSites > 0 {
 		r.CPUUtilPct /= float64(liveSites)
 		r.CPURealUtilPct /= float64(liveSites)
 		r.DiskUtilPct /= float64(liveSites)
+	}
+	if r.Recoveries > 0 {
+		r.MeanRecoveryMS /= float64(r.Recoveries)
+		r.MeanDowntimeMS /= float64(r.Recoveries)
 	}
 	if m.dedicated != nil && m.dedicated.Stack != nil {
 		st := m.dedicated.Stack.Stats()
@@ -259,14 +303,53 @@ func (m *Model) results() *Results {
 			siteLogs = append(siteLogs, check.SiteLog{
 				Site:        s.ID,
 				Operational: s.operational(),
+				Recovered:   s.Life.Recoveries() > 0,
 				Entries:     s.Replica.CommitLog().Entries(),
 			})
 		}
 		if v := check.Logs(siteLogs); v != nil {
 			r.SafetyErr = v
 		}
+		if r.SafetyErr == nil && r.RejoinErr != nil {
+			// An install-time prefix violation is a safety violation even
+			// if the final logs happen to line up.
+			r.SafetyErr = r.RejoinErr
+		}
 	}
 	return r
+}
+
+// accumulateGCS folds one stack's counters into an accumulator (used for
+// run totals and for preserving a dead incarnation's counters across a
+// crash-and-rejoin rebuild).
+func accumulateGCS(dst *gcs.Stats, s gcs.Stats) {
+	dst.Sent += s.Sent
+	dst.Retransmits += s.Retransmits
+	dst.Nacks += s.Nacks
+	dst.Gossips += s.Gossips
+	dst.GossipsRecv += s.GossipsRecv
+	dst.Delivered += s.Delivered
+	dst.Optimistic += s.Optimistic
+	dst.Mispredicted += s.Mispredicted
+	dst.ParseErrors += s.ParseErrors
+	dst.Blocked += s.Blocked
+	dst.BlockedTime += s.BlockedTime
+	dst.ViewChanges += s.ViewChanges
+	dst.QuorumLosses += s.QuorumLosses
+	dst.JoinRequests += s.JoinRequests
+	dst.Joins += s.Joins
+}
+
+// accumulateReplica folds one replica's counters into an accumulator.
+func accumulateReplica(dst *replica.Stats, s replica.Stats) {
+	dst.Delivered += s.Delivered
+	dst.Drops += s.Drops
+	dst.Tentative += s.Tentative
+	dst.Rollbacks += s.Rollbacks
+	dst.Recertified += s.Recertified
+	dst.PreApplied += s.PreApplied
+	dst.PreApplyWasted += s.PreApplyWasted
+	dst.DeltaApplied += s.DeltaApplied
 }
 
 func collectClasses(s *Site, agg map[string]*ClassResult, lat map[string]*metrics.Sample) {
@@ -295,6 +378,10 @@ func (r *Results) Summary() string {
 		r.TPM, r.MeanLatencyMS, r.AbortRatePct, r.CPUUtilPct, r.DiskUtilPct, r.NetKBps)
 	if r.Protocol == ProtocolOptimistic {
 		fmt.Fprintf(&b, " certdecide=%.1fms rollbacks=%d", r.MeanCertDecideMS, r.Rollbacks)
+	}
+	if r.Recoveries > 0 {
+		fmt.Fprintf(&b, " recoveries=%d recovery=%.0fms transfer=%.0fKB delta=%d",
+			r.Recoveries, r.MeanRecoveryMS, float64(r.TransferBytes)/1024, r.DeltaApplied)
 	}
 	if r.CertDrops > 0 || r.GCS.ParseErrors > 0 {
 		fmt.Fprintf(&b, " DROPS(cert=%d parse=%d)", r.CertDrops, r.GCS.ParseErrors)
@@ -366,6 +453,15 @@ type Aggregate struct {
 	OptMispredictPct Stat
 	CertDrops        int64
 	GCSParseErrors   int64
+	// Recovery detail: rejoins completed, recovery duration and downtime
+	// per rejoin, snapshot transfer volume, delta catch-up size, and the
+	// summed install-time prefix violations (must stay zero).
+	Recoveries       Stat
+	MeanRecoveryMS   Stat
+	MeanDowntimeMS   Stat
+	TransferKB       Stat
+	DeltaApplied     Stat
+	RejoinViolations int64
 	// Classes aggregates abort-rate rows — Tables 1 and 2.
 	Classes []ClassAggregate
 	// Pooled latency samples over all replications — Figures 4 and 7.
@@ -424,6 +520,11 @@ func AggregateRuns(runs []*Results) *Aggregate {
 	a.Rollbacks = col(func(r *Results) float64 { return float64(r.Rollbacks) })
 	a.Recertified = col(func(r *Results) float64 { return float64(r.Recertified) })
 	a.OptMispredictPct = col(func(r *Results) float64 { return r.OptMispredictPct })
+	a.Recoveries = col(func(r *Results) float64 { return float64(r.Recoveries) })
+	a.MeanRecoveryMS = col(func(r *Results) float64 { return r.MeanRecoveryMS })
+	a.MeanDowntimeMS = col(func(r *Results) float64 { return r.MeanDowntimeMS })
+	a.TransferKB = col(func(r *Results) float64 { return float64(r.TransferBytes) / 1024 })
+	a.DeltaApplied = col(func(r *Results) float64 { return float64(r.DeltaApplied) })
 
 	for _, r := range runs {
 		for _, v := range r.LatCommitted.Values() {
@@ -446,6 +547,7 @@ func AggregateRuns(runs []*Results) *Aggregate {
 		}
 		a.CertDrops += r.CertDrops
 		a.GCSParseErrors += r.GCS.ParseErrors
+		a.RejoinViolations += r.RejoinViolations
 		a.Inconsistencies += r.Inconsistencies
 		a.Events += r.Events
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/dbsm"
+	"repro/internal/recovery"
 	"repro/internal/sim"
 )
 
@@ -67,7 +68,7 @@ func (m *Model) StartResourceSampler(period sim.Time) *ResourceLog {
 	var tick func()
 	tick = func() {
 		for _, s := range m.sites {
-			if s.crashed {
+			if s.Life.State() != recovery.StateUp {
 				continue
 			}
 			sample := ResourceSample{At: m.k.Now(), Site: s.ID}

@@ -118,6 +118,10 @@ func (c *CPU) Stop() {
 	c.cur = nil
 }
 
+// Restart brings a stopped CPU back with empty queues — the jobs dropped at
+// crash time stay dropped; only new submissions execute.
+func (c *CPU) Restart() { c.stopped = false }
+
 // Submit enqueues a job for execution, dispatching immediately if possible.
 func (c *CPU) Submit(j *Job) {
 	if c.stopped {
@@ -282,6 +286,13 @@ func (s *CPUSet) pick() *CPU {
 func (s *CPUSet) Stop() {
 	for _, c := range s.cpus {
 		c.Stop()
+	}
+}
+
+// Restart restarts every CPU (crash recovery).
+func (s *CPUSet) Restart() {
+	for _, c := range s.cpus {
+		c.Restart()
 	}
 }
 

@@ -162,6 +162,22 @@ func (r *Runtime) Crash() {
 // Down reports whether the node has crashed.
 func (r *Runtime) Down() bool { return r.down }
 
+// Restart brings a crashed node back up: the CPUs resume dispatching and the
+// node sends and receives again. Work dropped at crash time stays dropped —
+// timers armed by the dead incarnation that fire after the restart run their
+// callbacks, which must fence themselves (protocol stacks do, via their
+// stopped flag). The receiver installed by the previous incarnation remains
+// until the new protocol stack replaces it with SetReceiver.
+func (r *Runtime) Restart() {
+	if !r.down {
+		return
+	}
+	r.down = false
+	if r.cpus != nil {
+		r.cpus.Restart()
+	}
+}
+
 func (r *Runtime) driftFactor() float64 { return 1 + r.driftRate }
 
 // scaleMeasured converts a profiler-measured duration into the simulated

@@ -12,17 +12,20 @@ import (
 // ClassStats aggregates per-transaction-class results, feeding the paper's
 // Tables 1 and 2 (abort rate breakdowns) and Figure 5.
 type ClassStats struct {
-	Submitted int64
-	Committed int64
-	AbortLock int64
-	AbortCert int64
-	AbortUser int64
+	Submitted  int64
+	Committed  int64
+	AbortLock  int64
+	AbortCert  int64
+	AbortUser  int64
+	AbortCrash int64
 	// Lat holds committed-transaction latencies in milliseconds.
 	Lat metrics.Sample
 }
 
 // Aborted reports all aborts of the class.
-func (c *ClassStats) Aborted() int64 { return c.AbortLock + c.AbortCert + c.AbortUser }
+func (c *ClassStats) Aborted() int64 {
+	return c.AbortLock + c.AbortCert + c.AbortUser + c.AbortCrash
+}
 
 // AbortRate reports aborted/completed as a percentage.
 func (c *ClassStats) AbortRate() float64 {
@@ -52,6 +55,10 @@ type Server struct {
 
 	terminator  func(*Txn)
 	pendingCert map[uint64]*Txn
+	// active tracks every in-flight transaction from Submit to finish, so a
+	// crash-and-restart can resolve them: their clients are blocked waiting
+	// for an outcome that the dead incarnation will never produce.
+	active      map[uint64]*Txn
 	lastApplied uint64
 	down        bool
 
@@ -76,6 +83,15 @@ type Server struct {
 	remoteApplied   int64
 	inconsistencies int64
 	freeRemote      []*remoteApply
+
+	// epoch counts restarts; continuations captured by a dead incarnation
+	// (e.g. a remote-apply disk completion in flight at crash time) compare
+	// it to fence themselves out after the site comes back.
+	epoch int
+	// blockedSubmits holds transactions swallowed by Submit while the site
+	// was down: never executed, never counted, but their clients are blocked
+	// and must be woken when the site restarts.
+	blockedSubmits []*Txn
 }
 
 // NewServer builds a site over its CPU set and storage.
@@ -87,8 +103,16 @@ func NewServer(k *sim.Kernel, site dbsm.SiteID, cpus *csrt.CPUSet, storage *Stor
 		storage:     storage,
 		lm:          NewLockManager(),
 		pendingCert: make(map[uint64]*Txn),
+		active:      make(map[uint64]*Txn),
 		classes:     make(map[string]*ClassStats),
 	}
+	s.wireLockHooks()
+	return s
+}
+
+// wireLockHooks installs the preemption/abort callbacks on the current lock
+// manager (also used by Restart, which builds a fresh one).
+func (s *Server) wireLockHooks() {
 	s.lm.OnPreempt = func(t *Txn) {
 		t.aborted = true
 		s.finish(t, AbortLock)
@@ -97,7 +121,6 @@ func NewServer(k *sim.Kernel, site dbsm.SiteID, cpus *csrt.CPUSet, storage *Stor
 		t.aborted = true
 		s.finish(t, AbortLock)
 	}
-	return s
 }
 
 // Site reports this server's replica identifier.
@@ -131,8 +154,54 @@ func (s *Server) Inconsistencies() int64 { return s.inconsistencies }
 func (s *Server) Down() bool { return s.down }
 
 // Crash stops the site: in-flight transactions never complete and their
-// clients stay blocked, as in the paper's crash fault model.
+// clients stay blocked, as in the paper's crash fault model. A later Restart
+// resolves them with AbortCrash.
 func (s *Server) Crash() { s.down = true }
+
+// Restart brings a crashed site back up with empty volatile state: the lock
+// table is rebuilt from scratch, pending certifications are forgotten, and
+// every transaction left in flight by the dead incarnation — including
+// submissions swallowed while the site was down — is resolved with
+// AbortCrash so its blocked client can resume. Durable state (the applied
+// sequence horizon) is restored separately via RestoreApplied once the
+// recovery snapshot installs.
+func (s *Server) Restart() {
+	if !s.down {
+		return
+	}
+	s.down = false
+	s.epoch++
+	s.lm = NewLockManager()
+	s.wireLockHooks()
+	s.pendingCert = make(map[uint64]*Txn)
+	// Resolve in-flight transactions in TID order so restart is
+	// deterministic regardless of map iteration.
+	tids := make([]uint64, 0, len(s.active))
+	for tid := range s.active {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		t := s.active[tid]
+		t.aborted = true
+		s.finish(t, AbortCrash)
+	}
+	// Swallowed submissions were never executed or counted: wake their
+	// clients without touching the class statistics.
+	for _, t := range s.blockedSubmits {
+		t.aborted = true
+		t.finished = true
+		t.EndAt = s.k.Now()
+		if t.Done != nil {
+			t.Done(t, AbortCrash)
+		}
+	}
+	s.blockedSubmits = nil
+}
+
+// RestoreApplied resets the applied-sequence horizon from a recovery
+// snapshot.
+func (s *Server) RestoreApplied(seq uint64) { s.lastApplied = seq }
 
 // Class returns (creating if needed) the stats bucket for a class.
 func (s *Server) Class(name string) *ClassStats {
@@ -170,9 +239,15 @@ func (s *Server) Totals() (submitted, committed, aborted int64) {
 // atomically, then execute.
 func (s *Server) Submit(t *Txn) {
 	if s.down {
-		return // clients of a crashed site block forever
+		// The client blocks, as in the paper's crash model. The
+		// transaction is remembered so a restart can wake the client with
+		// AbortCrash; without a recovery event it stays blocked forever.
+		t.server = s
+		s.blockedSubmits = append(s.blockedSubmits, t)
+		return
 	}
 	t.server = s
+	s.active[t.TID] = t
 	t.SubmitAt = s.k.Now()
 	t.Snapshot = s.lastApplied
 	s.Class(t.Class).Submitted++
@@ -267,11 +342,18 @@ func (s *Server) NoteCertDecision(tid uint64) {
 
 // ResolveLocal delivers the certification outcome for a local transaction,
 // in total delivery order. On commit, the write-back happens while the locks
-// are still held; on abort, locks release immediately.
-func (s *Server) ResolveLocal(tid uint64, commit bool, seq uint64) {
+// are still held; on abort, locks release immediately. It reports whether the
+// transaction was known: false means no pending certification entry exists —
+// the submitting incarnation crashed — and the caller must install a
+// committed write-set through the remote path instead, or the recovered
+// site's storage would silently miss the group's commit.
+func (s *Server) ResolveLocal(tid uint64, commit bool, seq uint64) bool {
 	t, ok := s.pendingCert[tid]
-	if !ok || s.down {
-		return
+	if !ok {
+		return false
+	}
+	if s.down {
+		return true
 	}
 	delete(s.pendingCert, tid)
 	lat := (s.k.Now() - t.CommitReqAt).Millis()
@@ -288,12 +370,12 @@ func (s *Server) ResolveLocal(tid uint64, commit bool, seq uint64) {
 		if commit {
 			s.inconsistencies++
 		}
-		return
+		return true
 	}
 	if !commit {
 		s.lm.ReleaseAbort(t)
 		s.finish(t, AbortCert)
-		return
+		return true
 	}
 	t.certified = true
 	if seq > s.lastApplied {
@@ -306,6 +388,7 @@ func (s *Server) ResolveLocal(tid uint64, commit bool, seq uint64) {
 		s.lm.ReleaseCommit(t)
 		s.finish(t, Committed)
 	})
+	return true
 }
 
 // NoteApplied advances the local snapshot horizon without installing
@@ -350,6 +433,7 @@ func (s *Server) applyRemote(c *dbsm.TxnCert, seq uint64, sectors int) {
 		ra.granted = func() { ra.s.storage.WriteSectors(ra.sectors, ra.written) }
 		ra.written = ra.finish
 	}
+	ra.epoch = s.epoch
 	ra.t = Txn{
 		TID:        c.TID,
 		Class:      "(remote)",
@@ -368,6 +452,7 @@ type remoteApply struct {
 	s       *Server
 	t       Txn
 	sectors int
+	epoch   int // incarnation that issued the install
 	granted func()
 	written func()
 }
@@ -375,7 +460,9 @@ type remoteApply struct {
 // finish releases the surrogate's locks and recycles it.
 func (ra *remoteApply) finish() {
 	s := ra.s
-	if s.down {
+	if s.down || ra.epoch != s.epoch {
+		// The issuing incarnation crashed; a restarted site must not let
+		// the stale completion touch the rebuilt lock table.
 		return
 	}
 	s.lm.ReleaseCommit(&ra.t)
@@ -411,6 +498,7 @@ func (s *Server) finish(t *Txn, outcome Outcome) {
 	}
 	t.finished = true
 	t.EndAt = s.k.Now()
+	delete(s.active, t.TID)
 	cs := s.Class(t.Class)
 	switch outcome {
 	case Committed:
@@ -429,6 +517,8 @@ func (s *Server) finish(t *Txn, outcome Outcome) {
 		cs.AbortCert++
 	case AbortUser:
 		cs.AbortUser++
+	case AbortCrash:
+		cs.AbortCrash++
 	}
 	if t.Done != nil {
 		t.Done(t, outcome)

@@ -119,6 +119,16 @@ func (s *Storage) Write(n int, done func()) {
 	s.WriteSectors(sectors, done)
 }
 
+// ReadSectors issues n whole-sector reads that bypass the cache model —
+// used for bulk operations like exporting a recovery snapshot, where the
+// pages are certainly not all cached; done fires when the last one completes.
+func (s *Storage) ReadSectors(n int, done func()) {
+	if n < 1 {
+		n = 1
+	}
+	s.request(n, done)
+}
+
 // WriteSectors issues n whole-sector synchronous writes. Transaction
 // write-back uses one sector per written row: updated tuples live on
 // distinct pages, so the ext3 synchronous 4 KB writes the paper measures

@@ -55,6 +55,18 @@ func NewSpecCertifier(c *Certifier) *SpecCertifier {
 // Certifier exposes the wrapped deterministic certifier.
 func (s *SpecCertifier) Certifier() *Certifier { return s.c }
 
+// Finalized reports the certifier's finalized prefix: the history length and
+// commit sequence excluding outstanding tentative certifications. A snapshot
+// exported from a speculating donor must be truncated to this prefix —
+// tentative commits can still be rolled back, and shipping them would leave
+// the importer with phantom commits no other replica has.
+func (s *SpecCertifier) Finalized() (histLen int, seq uint64) {
+	if len(s.tent) == 0 {
+		return len(s.c.history), s.c.seq
+	}
+	return s.tent[0].histLen, s.tent[0].seqBefore
+}
+
 // Pending reports outstanding tentative decisions awaiting final order.
 func (s *SpecCertifier) Pending() int { return len(s.tent) }
 

@@ -1,0 +1,81 @@
+package dbsm
+
+// CertState is a portable snapshot of a certifier's decision-relevant state:
+// the commit sequence, the pruning boundary, and the retained committed
+// write-sets. It is what a recovering site state-transfers from a donor
+// (internal/recovery) instead of replaying the certified stream from zero:
+// importing the state and then feeding the post-snapshot stream yields
+// verdicts identical to having processed the whole stream.
+//
+// The inverted last-writer index is deliberately not serialized: it is a pure
+// function of the retained history (dropOldest deletes every index cell at or
+// below the pruning boundary), so ImportState rebuilds it by replaying the
+// entries — which also regenerates the undo logs a speculative wrapper needs.
+type CertState struct {
+	// Seq is the commit sequence number at export.
+	Seq uint64
+	// Pruned is the pruning boundary: transactions whose snapshot predates
+	// it abort deterministically.
+	Pruned uint64
+	// History holds the retained committed write-sets, oldest first.
+	History []CommitRecord
+}
+
+// CommitRecord is one retained committed write-set.
+type CommitRecord struct {
+	Seq      uint64
+	WriteSet ItemSet
+}
+
+// WireSize reports the modeled transfer size of the state in bytes: two
+// sequence fields plus, per record, its sequence and 8 bytes per item.
+func (st *CertState) WireSize() int64 {
+	n := int64(16)
+	for i := range st.History {
+		n += 8 + 8*int64(len(st.History[i].WriteSet))
+	}
+	return n
+}
+
+// ExportState snapshots the certifier. Write-sets are deep-copied, so the
+// exporting certifier can keep running (and pruning) while the snapshot is in
+// transit.
+func (c *Certifier) ExportState() *CertState {
+	st := &CertState{
+		Seq:     c.seq,
+		Pruned:  c.pruned,
+		History: make([]CommitRecord, len(c.history)),
+	}
+	for i := range c.history {
+		e := &c.history[i]
+		st.History[i] = CommitRecord{Seq: e.seq, WriteSet: e.writeSet.Clone()}
+	}
+	return st
+}
+
+// ImportState replaces the certifier's state with a snapshot, rebuilding the
+// last-writer index (and, when undo logging is enabled, the restore logs) by
+// replaying the retained history. Any prior state is discarded; the applied
+// vector is kept, as it tracks sites rather than history.
+func (c *Certifier) ImportState(st *CertState) {
+	for i := range c.history {
+		c.history[i] = histEntry{}
+	}
+	c.history = c.history[:0]
+	if !c.scan {
+		c.lastWriter = make(map[TupleID]uint64, len(st.History))
+		c.tableLock = make(map[uint16]uint64)
+		c.tableAny = make(map[uint16]uint64)
+	}
+	c.pruned = st.Pruned
+	for i := range st.History {
+		rec := &st.History[i]
+		e := histEntry{seq: rec.Seq, writeSet: rec.WriteSet.Clone()}
+		c.seq = rec.Seq
+		if !c.scan {
+			e.undo = c.indexWrites(e.writeSet)
+		}
+		c.history = append(c.history, e)
+	}
+	c.seq = st.Seq
+}

@@ -58,6 +58,16 @@ type Crash struct {
 	At   sim.Time
 }
 
+// Recover restarts a previously crashed site at a given instant: the node
+// comes back with empty volatile state, rejoins the group through the
+// recovery join handshake, state-transfers a snapshot from a donor, and
+// resumes serving its clients. Each Recover must match an earlier Crash of
+// the same site.
+type Recover struct {
+	Site int32
+	At   sim.Time
+}
+
 // Partition isolates a set of sites from the rest of the group between two
 // instants, modeling a network split (a failed switch uplink). The listed
 // sites must form a strict minority so the remainder keeps a primary
@@ -92,6 +102,8 @@ type Config struct {
 	Loss Loss
 	// Crashes stop sites at fixed times.
 	Crashes []Crash
+	// Recovers restart crashed sites at fixed times (crash-and-rejoin).
+	Recovers []Recover
 	// Partitions cut the network between scheduled instants.
 	Partitions []Partition
 }
@@ -100,6 +112,16 @@ type Config struct {
 func (c Config) Any() bool {
 	return c.ClockDriftRate != 0 || c.SchedLatencyMean != 0 ||
 		c.Loss.Kind != LossNone || len(c.Crashes) > 0 || len(c.Partitions) > 0
+}
+
+// RecoverOf returns the recovery scheduled for a site, or nil.
+func (c Config) RecoverOf(site int32) *Recover {
+	for i := range c.Recovers {
+		if c.Recovers[i].Site == site {
+			return &c.Recovers[i]
+		}
+	}
+	return nil
 }
 
 // DriftsSite reports whether a site's clock drifts under this config.

@@ -67,6 +67,16 @@ type Config struct {
 	// FailTimeout is the failure detector's silence threshold. Defaults
 	// to 1s.
 	FailTimeout sim.Time
+	// Joining starts the stack in recovery-join mode: instead of assuming
+	// the configured membership is live, the node periodically requests
+	// admission from the current view. The membership layer runs a view
+	// change that admits it without flushing (it holds no old-view state),
+	// and the sequencer then sends the catch-up sequence — the total-order
+	// position below which the node must state-transfer a database
+	// snapshot instead of replaying deliveries. The OnJoined upcall fires
+	// when that sequence is known. Members must use the same full member
+	// universe in Members as the original group.
+	Joining bool
 	// PrimaryComponent enforces the primary-partition membership rule: a
 	// member that can no longer reach a strict majority of its current
 	// view wedges (halts the stack) instead of installing a minority view,
@@ -188,6 +198,10 @@ type Stats struct {
 	// member found itself unable to reach a majority of its view and
 	// halted rather than risk minority progress.
 	QuorumLosses int64
+	// JoinRequests counts admission requests sent while joining; Joins
+	// counts views this stack was admitted into as a joiner (0 or 1).
+	JoinRequests int64
+	Joins        int64
 }
 
 // Stack is one member's group communication endpoint.
@@ -201,6 +215,7 @@ type Stack struct {
 	onOpt        func(OptDelivery)
 	onOptDiscard func(OptDelivery)
 	onView       func(View)
+	onJoined     func(joinSeq uint64)
 
 	rm    *relMcast
 	stab  *stability
@@ -210,6 +225,13 @@ type Stack struct {
 
 	started bool
 	stopped bool
+
+	// Join (recovery) state: joining is true from Start until a view
+	// admitting this node installs; joinSynced becomes true when the
+	// sequencer's joinSync announces the catch-up sequence.
+	joining    bool
+	joinSynced bool
+	joinSeq    uint64
 }
 
 // New builds a stack. The member list is copied and sorted; all members must
@@ -239,6 +261,8 @@ func New(rt runtimeapi.Runtime, cfg Config) (*Stack, error) {
 	s := &Stack{rt: rt, cfg: cfg}
 	s.view = View{ID: 0, Members: members}
 	s.rank = s.indexOf(cfg.Self)
+	s.joining = cfg.Joining
+	s.joinSynced = !cfg.Joining
 	s.rm = newRelMcast(s)
 	s.stab = newStability(s)
 	s.to = newTotalOrder(s)
@@ -264,6 +288,20 @@ func (s *Stack) OnOptimisticDiscard(fn func(OptDelivery)) { s.onOptDiscard = fn 
 // OnViewChange installs the view installation upcall.
 func (s *Stack) OnViewChange(fn func(View)) { s.onView = fn }
 
+// OnJoined installs the recovery-join upcall: it fires once, when a joining
+// stack has been admitted to a view and learned its catch-up sequence. Every
+// delivery this stack subsequently makes has a global sequence number greater
+// than joinSeq; the application must obtain the effects of messages at or
+// below joinSeq by state transfer. Must be set before Start.
+func (s *Stack) OnJoined(fn func(joinSeq uint64)) { s.onJoined = fn }
+
+// Joined reports whether a joining stack has been admitted and synced (a
+// stack that never joined reports true).
+func (s *Stack) Joined() bool { return !s.joining && s.joinSynced }
+
+// JoinSeq reports the catch-up sequence learned at join time.
+func (s *Stack) JoinSeq() uint64 { return s.joinSeq }
+
 // View reports the current view.
 func (s *Stack) View() View { return s.view }
 
@@ -274,23 +312,70 @@ func (s *Stack) Stats() Stats { return s.stats }
 func (s *Stack) IsSequencer() bool { return s.view.Sequencer() == s.cfg.Self }
 
 // Start registers the receiver and begins periodic protocol activity. It
-// must be invoked from the runtime's dispatch context.
+// must be invoked from the runtime's dispatch context. A joining stack only
+// runs the admission loop; normal operation begins when a view admits it.
 func (s *Stack) Start() {
 	if s.started {
 		return
 	}
 	s.started = true
 	s.rt.SetReceiver(s.receive)
+	if s.joining {
+		s.memb.startJoin()
+		return
+	}
 	s.stab.startTimer()
 	s.memb.startTimers()
 }
 
 // Stop silences the stack (used when the local node halts).
-func (s *Stack) Stop() { s.stopped = true }
+func (s *Stack) Stop() { s.halt() }
+
+// halt is the single stop path — explicit Stop, exclusion from the view, and
+// quorum-loss wedging all land here. Beyond silencing the stack it releases
+// every receive- and send-side buffer immediately: a halted member never
+// reaches another stability GC round, so waiting for one would leak each
+// buffered message (and the wire bytes its payload aliases) for the rest of
+// the run.
+func (s *Stack) halt() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	s.rm.releaseAll()
+	s.to.releaseAll()
+}
 
 // Stopped reports whether the stack has halted — by Stop, by exclusion from
 // the view, or by wedging on quorum loss under the primary-component rule.
 func (s *Stack) Stopped() bool { return s.stopped }
+
+// BufferedMessages reports chunks held in receive and send buffers plus
+// queued unsent chunks (leak diagnostics: must drop to zero at halt).
+func (s *Stack) BufferedMessages() int {
+	n := len(s.rm.sendBuf) + len(s.rm.outQ) + len(s.to.pending)
+	for _, ps := range s.rm.peers {
+		n += len(ps.recvBuf)
+	}
+	return n
+}
+
+// BufferedBytes reports the payload bytes those buffers pin.
+func (s *Stack) BufferedBytes() int {
+	n := s.rm.sendBufBytes
+	for _, c := range s.rm.outQ {
+		n += len(c.wire)
+	}
+	for _, ps := range s.rm.peers {
+		for _, m := range ps.recvBuf {
+			n += len(m.Data)
+		}
+	}
+	for _, pm := range s.to.pending {
+		n += len(pm.data)
+	}
+	return n
+}
 
 // Multicast submits an application payload for atomic (totally ordered)
 // multicast to the group, including self-delivery. It never blocks the
@@ -311,6 +396,30 @@ func (s *Stack) receive(src NodeID, data []byte) {
 	}
 	s.rt.Charge(s.cfg.Costs.msgCost(len(data)))
 	s.memb.heard(src)
+	if s.joining {
+		// Before admission the node holds no view state: group traffic is
+		// meaningless to it (stream cursors are set from the flush targets
+		// at install; anything dropped here that postdates them is
+		// repaired by the reliable layer afterwards). Only the admission
+		// decision and a possibly-early catch-up announcement matter.
+		switch data[0] {
+		case kindDecide:
+			m, err := parseDecide(data)
+			if err != nil {
+				s.stats.ParseErrors++
+				return
+			}
+			s.memb.onDecide(m)
+		case kindJoinSync:
+			m, err := parseJoinSync(data)
+			if err != nil {
+				s.stats.ParseErrors++
+				return
+			}
+			s.memb.onJoinSync(m)
+		}
+		return
+	}
 	switch data[0] {
 	case kindData, kindRetrans:
 		m := s.rm.newMsg()
@@ -364,6 +473,20 @@ func (s *Stack) receive(src NodeID, data []byte) {
 			return
 		}
 		s.memb.onInstalled(src, m)
+	case kindJoinReq:
+		m, err := parseJoinReq(data)
+		if err != nil {
+			s.stats.ParseErrors++
+			return
+		}
+		s.memb.onJoinReq(src, m)
+	case kindJoinSync:
+		m, err := parseJoinSync(data)
+		if err != nil {
+			s.stats.ParseErrors++
+			return
+		}
+		s.memb.onJoinSync(m)
 	default:
 		// Unknown message kind: equally a wire-format regression.
 		s.stats.ParseErrors++

@@ -38,13 +38,26 @@ type membership struct {
 
 	// Member state.
 	pendingDecide *decideMsg
+	// flushProposer is the coordinator of the view change this member is
+	// frozen for; if it dies mid-change the member abandons the change so
+	// the next coordinator's proposal is not ignored.
+	flushProposer NodeID
+
+	// Join (recovery) state. pendingJoiners are restarted nodes asking for
+	// admission; pendingJoinSync buffers a catch-up announcement that
+	// arrived before this node finished installing its join view;
+	// joinTicking guards against running two join-request tick chains.
+	pendingJoiners  map[NodeID]bool
+	pendingJoinSync *joinSyncMsg
+	joinTicking     bool
 }
 
 func newMembership(s *Stack) *membership {
 	return &membership{
-		s:         s,
-		lastHeard: make(map[NodeID]sim.Time),
-		suspected: make(map[NodeID]bool),
+		s:              s,
+		lastHeard:      make(map[NodeID]sim.Time),
+		suspected:      make(map[NodeID]bool),
+		pendingJoiners: make(map[NodeID]bool),
 	}
 }
 
@@ -123,7 +136,21 @@ func (mb *membership) fdTick() {
 			changed = true
 		}
 	}
-	if !changed {
+	// The abandon check runs every tick, not only on fresh suspicions: the
+	// flush proposer may have been suspected before its (retransmitted)
+	// proposal even arrived, in which case no later tick would ever flag a
+	// change while this member sits frozen waiting on a dead coordinator.
+	abandoned := false
+	if mb.state != membStable && mb.suspected[mb.flushProposer] {
+		// The coordinator of the in-flight view change died mid-change:
+		// no decision (or no further retransmission) will ever come from
+		// it. Abandon the frozen change so the next coordinator's
+		// proposal is acted on rather than dropped by the state gate.
+		mb.state = membStable
+		mb.pendingDecide = nil
+		abandoned = true
+	}
+	if !changed && !abandoned {
 		return
 	}
 	if mb.quorumLost() {
@@ -132,7 +159,7 @@ func (mb *membership) fdTick() {
 		// committing anything here could diverge from the primary
 		// component that keeps running on the other side.
 		mb.s.stats.QuorumLosses++
-		mb.s.stopped = true
+		mb.s.halt()
 		return
 	}
 	mb.maybeInitiate()
@@ -158,8 +185,22 @@ func (mb *membership) alive() []NodeID {
 	return out
 }
 
+// joinerList returns the pending joiners, sorted, dropping any that made it
+// into the current view in the meantime.
+func (mb *membership) joinerList() []NodeID {
+	out := make([]NodeID, 0, len(mb.pendingJoiners))
+	for p := range mb.pendingJoiners {
+		if !mb.s.view.Contains(p) || mb.suspected[p] {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // maybeInitiate starts a view change if this member is the lowest-ranked
-// live member (the coordinator).
+// live member (the coordinator) and there is something to change: a
+// suspected member to exclude or a joiner to admit.
 func (mb *membership) maybeInitiate() {
 	if mb.state != membStable || mb.proposing {
 		return
@@ -168,11 +209,16 @@ func (mb *membership) maybeInitiate() {
 	if len(alive) == 0 || alive[0] != mb.s.cfg.Self {
 		return
 	}
+	joiners := mb.joinerList()
+	if len(joiners) == 0 && len(alive) == len(mb.s.view.Members) {
+		return
+	}
 	mb.proposing = true
 	mb.proposal = &proposeMsg{
 		NewViewID: mb.s.view.ID + 1,
 		Proposer:  mb.s.cfg.Self,
 		Members:   alive,
+		Joiners:   joiners,
 	}
 	mb.acks = make(map[NodeID]*flushAckMsg)
 	mb.installAcks = make(map[NodeID]bool)
@@ -205,26 +251,45 @@ func (mb *membership) armRetry() {
 	})
 }
 
-// retryTick retransmits coordinator messages until everyone progressed.
+// retryTick retransmits coordinator messages until everyone progressed. A
+// member that dies mid-change must not wedge it: in the flush phase the
+// proposal is re-issued without newly suspected members, and in the install
+// phase suspected members are given up on (the next view change excludes
+// them).
 func (mb *membership) retryTick() {
 	if mb.s.stopped || !mb.proposing {
 		return
 	}
 	if mb.decision == nil {
+		kept := mb.proposal.Members[:0]
+		for _, p := range mb.proposal.Members {
+			if p == mb.s.cfg.Self || !mb.suspected[p] {
+				kept = append(kept, p)
+			}
+		}
+		mb.proposal.Members = kept
 		mb.broadcastProposal()
-		mb.armRetry()
+		mb.checkFlushComplete()
+		if mb.decision == nil {
+			mb.armRetry()
+		}
 		return
 	}
 	allInstalled := true
 	wire := mb.decision.marshal(make([]byte, 0, 128))
 	for _, p := range mb.decision.Members {
-		if p == mb.s.cfg.Self {
+		if p == mb.s.cfg.Self || mb.installAcks[p] || mb.suspected[p] {
 			continue
 		}
-		if !mb.installAcks[p] {
-			allInstalled = false
-			mb.s.transmitTo(p, wire)
+		allInstalled = false
+		mb.s.transmitTo(p, wire)
+	}
+	for _, p := range mb.decision.Joiners {
+		if mb.installAcks[p] || mb.suspected[p] {
+			continue
 		}
+		allInstalled = false
+		mb.s.transmitTo(p, wire)
 	}
 	if allInstalled {
 		mb.proposing = false
@@ -246,6 +311,7 @@ func (mb *membership) onPropose(m *proposeMsg) {
 		return // already past the flush phase for a pending view
 	}
 	mb.state = membFlushing
+	mb.flushProposer = m.Proposer
 	mb.s.rm.freeze()
 	// Members absent from the proposal are the suspected ones.
 	present := make(map[NodeID]bool, len(m.Members))
@@ -268,20 +334,28 @@ func (mb *membership) onPropose(m *proposeMsg) {
 	}
 }
 
-// onFlushAck (coordinator) collects flush snapshots; once all proposed
-// members answered, compute per-sender flush targets and decide.
+// onFlushAck (coordinator) collects flush snapshots.
 func (mb *membership) onFlushAck(src NodeID, m *flushAckMsg) {
 	if !mb.proposing || mb.proposal == nil || m.NewViewID != mb.proposal.NewViewID || mb.decision != nil {
 		return
 	}
 	mb.acks[src] = m
+	mb.checkFlushComplete()
+}
+
+// checkFlushComplete decides once every proposed member answered: compute
+// per-sender flush targets — the highest contiguous sequence any survivor
+// holds for each old-view stream, and who holds it — and broadcast the
+// decision to survivors and joiners alike.
+func (mb *membership) checkFlushComplete() {
+	if !mb.proposing || mb.decision != nil {
+		return
+	}
 	for _, p := range mb.proposal.Members {
 		if mb.acks[p] == nil {
 			return
 		}
 	}
-	// Compute targets: the highest contiguous sequence any survivor holds
-	// for each old-view stream, and who holds it.
 	targets := make([]flushTarget, 0, len(mb.s.view.Members))
 	for _, p := range mb.s.view.Members {
 		var best uint64
@@ -301,6 +375,7 @@ func (mb *membership) onFlushAck(src NodeID, m *flushAckMsg) {
 		NewViewID: mb.proposal.NewViewID,
 		Proposer:  mb.s.cfg.Self,
 		Members:   mb.proposal.Members,
+		Joiners:   mb.proposal.Joiners,
 		Targets:   targets,
 	}
 	wire := mb.decision.marshal(make([]byte, 0, 128))
@@ -309,16 +384,33 @@ func (mb *membership) onFlushAck(src NodeID, m *flushAckMsg) {
 			mb.s.transmitTo(p, wire)
 		}
 	}
+	for _, p := range mb.decision.Joiners {
+		mb.s.transmitTo(p, wire)
+	}
 	mb.onDecide(mb.decision)
 	mb.armRetry()
 }
 
 // onDecide moves to the repair phase: fetch everything up to the flush
-// targets, then install.
+// targets, then install. A node listed as a joiner skips repair entirely —
+// it holds no old-view state; the flush targets instead seed its stream
+// cursors and the database below them arrives by state transfer.
 func (mb *membership) onDecide(m *decideMsg) {
 	if m.NewViewID <= mb.s.view.ID {
 		ack := installedMsg{NewViewID: m.NewViewID}
 		mb.s.transmitTo(m.Proposer, ack.marshal(make([]byte, 0, 5)))
+		return
+	}
+	for _, j := range m.Joiners {
+		if j == mb.s.cfg.Self {
+			mb.installJoin(m)
+			return
+		}
+	}
+	if mb.s.joining {
+		// A concurrent view change that does not admit this node (it may
+		// even still list the dead predecessor as a member): nothing to
+		// act on — the join request keeps retrying against the new view.
 		return
 	}
 	if mb.state == membDeciding {
@@ -328,6 +420,7 @@ func (mb *membership) onDecide(m *decideMsg) {
 		mb.s.rm.freeze()
 	}
 	mb.state = membDeciding
+	mb.flushProposer = m.Proposer
 	mb.pendingDecide = m
 	for _, t := range m.Targets {
 		if t.Member == mb.s.cfg.Self {
@@ -339,7 +432,10 @@ func (mb *membership) onDecide(m *decideMsg) {
 }
 
 // checkInstall installs the pending view once every old stream has been
-// received up to its flush target.
+// received up to its flush target. The new view lists the survivors in their
+// old relative order followed by the joiners: a joiner can therefore never
+// be the sequencer of the view that admits it (it lacks the ordering state),
+// while survivor ranks — and with them the sequencer — are untouched.
 func (mb *membership) checkInstall() {
 	m := mb.pendingDecide
 	if m == nil {
@@ -353,18 +449,29 @@ func (mb *membership) checkInstall() {
 	mb.pendingDecide = nil
 	oldSequencer := mb.s.view.Sequencer()
 
-	newMembers := make([]NodeID, len(m.Members))
-	copy(newMembers, m.Members)
-	sort.Slice(newMembers, func(i, j int) bool { return newMembers[i] < newMembers[j] })
+	newMembers := make([]NodeID, 0, len(m.Members)+len(m.Joiners))
+	newMembers = append(newMembers, m.Members...)
+	newMembers = append(newMembers, m.Joiners...)
 
 	targets := make(map[NodeID]uint64, len(m.Targets))
 	inNew := make(map[NodeID]bool, len(newMembers))
+	joiner := make(map[NodeID]bool, len(m.Joiners))
 	for _, p := range newMembers {
 		inNew[p] = true
 	}
+	for _, p := range m.Joiners {
+		joiner[p] = true
+	}
 	for _, t := range m.Targets {
 		targets[t.Member] = t.Seq
-		if !inNew[t.Member] {
+		switch {
+		case joiner[t.Member]:
+			// A fresh incarnation readmitted in the same change that
+			// excludes its dead predecessor: the old stream's tail
+			// beyond the flush target dies with it.
+			mb.s.to.purgeSender(t.Member, t.Seq)
+		case !inNew[t.Member]:
+			mb.s.to.purgeSender(t.Member, t.Seq)
 			mb.s.rm.excludePeer(t.Member, t.Seq)
 		}
 	}
@@ -378,20 +485,40 @@ func (mb *membership) checkInstall() {
 	for _, p := range newMembers {
 		mb.lastHeard[p] = now
 	}
+	// Admitted joiners start over: fresh incarnation, fresh stream, no
+	// stability carried over from their previous life.
+	for _, j := range m.Joiners {
+		mb.s.rm.resetPeer(j, 0)
+		mb.s.stab.resetPeer(j, 0)
+		delete(mb.pendingJoiners, j)
+	}
 
 	if mb.s.rank < 0 {
 		// Excluded from the view: halt.
-		mb.s.stopped = true
+		mb.s.halt()
 		return
 	}
 	mb.s.stab.resetForView()
-	mb.s.to.onInstall(!inNew[oldSequencer], targets)
+	// Unfreeze before the ordering layer runs: deliveries paused for the
+	// view change resume only once the reliable layer accepts traffic
+	// again, and the deferred assignments made in onInstall must be able
+	// to drain.
 	mb.s.rm.unfreeze()
+	mb.s.to.onInstall(!inNew[oldSequencer], targets)
 	if m.Proposer != mb.s.cfg.Self {
 		ack := installedMsg{NewViewID: m.NewViewID}
 		mb.s.transmitTo(m.Proposer, ack.marshal(make([]byte, 0, 5)))
 	} else {
 		mb.installAcks[mb.s.cfg.Self] = true
+	}
+	if mb.s.IsSequencer() {
+		// Tell each joiner its catch-up sequence: by install time every
+		// old-view message has an assignment here (install waits for the
+		// full flush), so maxAssigned bounds everything the joiner can
+		// never receive through the streams.
+		for _, j := range m.Joiners {
+			mb.sendJoinSync(j)
+		}
 	}
 	if mb.s.onView != nil {
 		mb.s.onView(mb.s.view)
@@ -405,9 +532,178 @@ func (mb *membership) onInstalled(src NodeID, m *installedMsg) {
 	}
 	mb.installAcks[src] = true
 	for _, p := range mb.decision.Members {
-		if !mb.installAcks[p] && p != mb.s.cfg.Self {
+		if !mb.installAcks[p] && p != mb.s.cfg.Self && !mb.suspected[p] {
+			return
+		}
+	}
+	for _, p := range mb.decision.Joiners {
+		if !mb.installAcks[p] && !mb.suspected[p] {
 			return
 		}
 	}
 	mb.proposing = false
+}
+
+// startJoin begins the admission loop of a recovering node: periodically
+// multicast a join request until a view admits us and the sequencer's
+// joinSync announces the catch-up sequence.
+func (mb *membership) startJoin() {
+	mb.ensureJoinTick()
+}
+
+// ensureJoinTick (re)starts the periodic join request without ever running
+// two tick chains at once.
+func (mb *membership) ensureJoinTick() {
+	if !mb.joinTicking {
+		mb.joinTick()
+	}
+}
+
+func (mb *membership) joinTick() {
+	s := mb.s
+	if s.stopped || (!s.joining && s.joinSynced) {
+		mb.joinTicking = false
+		return
+	}
+	mb.joinTicking = true
+	req := joinReqMsg{Node: s.cfg.Self}
+	if !s.joining {
+		// Admitted but still waiting for the catch-up sequence: the
+		// nonzero installed view tells the sequencer to resend it rather
+		// than start another view change.
+		req.Installed = s.view.ID
+	}
+	s.stats.JoinRequests++
+	s.transmit(req.marshal(make([]byte, 0, 9)))
+	s.rt.StartJob(s.cfg.RetransPeriod, func() { mb.joinTick() })
+}
+
+// onJoinReq handles an admission request at a live member.
+func (mb *membership) onJoinReq(src NodeID, m *joinReqMsg) {
+	s := mb.s
+	node := m.Node
+	if node != src || node == s.cfg.Self {
+		return
+	}
+	if s.view.Contains(node) {
+		if m.Installed != 0 {
+			// An admitted member that lost its joinSync: resend. Only
+			// the sequencer knows the order, so only it answers.
+			if s.IsSequencer() {
+				mb.sendJoinSync(node)
+			}
+			return
+		}
+		// A fresh incarnation of a node the view still lists: its dead
+		// predecessor was never excluded (it restarted faster than the
+		// failure detector). Suspect the ghost so one view change both
+		// excludes it and admits the new incarnation.
+		if !mb.suspected[node] {
+			mb.suspected[node] = true
+			mb.lastHeard[node] = 0
+		}
+	}
+	mb.pendingJoiners[node] = true
+	mb.maybeInitiate()
+}
+
+// sendJoinSync announces a joiner's catch-up sequence: everything at or
+// below it must come from a database snapshot; everything above arrives as
+// normal deliveries. Any maxAssigned value taken at or after the join
+// install is sound — later values only widen the snapshot's coverage — so
+// retries simply use the current one.
+func (mb *membership) sendJoinSync(dst NodeID) {
+	sync := joinSyncMsg{ViewID: mb.s.view.ID, JoinSeq: mb.s.to.maxAssigned}
+	mb.s.transmitTo(dst, sync.marshal(make([]byte, 0, 13)))
+}
+
+// onJoinSync handles the catch-up announcement at the joiner. It can arrive
+// before the decide that admits us (the sequencer may install first); buffer
+// it until our own install in that case. After install only an announcement
+// for the installed view counts: a retransmission from a view we have since
+// been readmitted past would understate the catch-up sequence.
+func (mb *membership) onJoinSync(m *joinSyncMsg) {
+	s := mb.s
+	if s.joinSynced {
+		return
+	}
+	if s.joining {
+		mb.pendingJoinSync = m
+		return
+	}
+	if m.ViewID != s.view.ID {
+		return
+	}
+	s.joinSynced = true
+	s.joinSeq = m.JoinSeq
+	s.to.skipTo(m.JoinSeq)
+	if s.onJoined != nil {
+		s.onJoined(m.JoinSeq)
+	}
+}
+
+// installJoin installs the view that admits this joining node. There is no
+// repair phase: the flush targets become the stream cursors — everything at
+// or below them is covered by the database snapshot this node transfers —
+// and normal periodic duty (stability, failure detection, heartbeats)
+// starts now.
+func (mb *membership) installJoin(m *decideMsg) {
+	s := mb.s
+	firstInstall := s.joining
+	newMembers := make([]NodeID, 0, len(m.Members)+len(m.Joiners))
+	newMembers = append(newMembers, m.Members...)
+	newMembers = append(newMembers, m.Joiners...)
+	s.view = View{ID: m.NewViewID, Members: newMembers}
+	s.rank = s.indexOf(s.cfg.Self)
+	s.stats.ViewChanges++
+	s.stats.Joins++
+	mb.state = membStable
+	mb.suspected = make(map[NodeID]bool)
+	// A second admission (a member mistook our still-joining requests for
+	// a fresh restart and excluded-plus-readmitted us) invalidates the
+	// earlier catch-up sequence: the cursor jumps below skip message
+	// ranges only a newer joinSync can account for. Re-enter the unsynced
+	// state and request a fresh announcement.
+	s.joinSynced = false
+	for _, t := range m.Targets {
+		if t.Member == s.cfg.Self {
+			continue
+		}
+		s.rm.resetPeer(t.Member, t.Seq)
+		s.stab.resetPeer(t.Member, t.Seq)
+	}
+	for _, j := range m.Joiners {
+		if j == s.cfg.Self {
+			// The group reset our stream cursor to zero; restart the
+			// local numbering to match (no-op on a first admission).
+			s.rm.resetSelf()
+			continue
+		}
+		s.rm.resetPeer(j, 0)
+		s.stab.resetPeer(j, 0)
+	}
+	now := s.rt.Now()
+	for _, p := range newMembers {
+		mb.lastHeard[p] = now
+	}
+	s.joining = false
+	s.stab.resetForView()
+	// A readmitted node may still be frozen from an earlier, abandoned
+	// view change; its cursors were just reset, so resume normal flow.
+	s.rm.unfreeze()
+	if firstInstall {
+		s.stab.startTimer()
+		mb.scheduleFD()
+		mb.scheduleHB()
+	}
+	ack := installedMsg{NewViewID: m.NewViewID}
+	s.transmitTo(m.Proposer, ack.marshal(make([]byte, 0, 5)))
+	if s.onView != nil {
+		s.onView(s.view)
+	}
+	if sync := mb.pendingJoinSync; sync != nil {
+		mb.pendingJoinSync = nil
+		mb.onJoinSync(sync)
+	}
+	mb.ensureJoinTick()
 }

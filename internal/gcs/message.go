@@ -19,6 +19,8 @@ const (
 	kindFlushAck                  // view change: member state snapshot
 	kindDecide                    // view change: decision
 	kindInstalled                 // view change: member finished install
+	kindJoinReq                   // recovery: a restarted node asks to be admitted
+	kindJoinSync                  // recovery: sequencer tells a joiner its catch-up sequence
 )
 
 // Payload kinds carried inside data chunks.
@@ -268,40 +270,71 @@ func parseHeartbeat(b []byte) (*heartbeatMsg, error) {
 }
 
 // proposeMsg starts a view change: the coordinator proposes a new membership.
+// Members are the surviving old-view members, who must flush; Joiners are
+// recovering nodes admitted without flushing (they hold no old-view state and
+// state-transfer the database instead).
 type proposeMsg struct {
 	NewViewID uint32
 	Proposer  runtimeapi.NodeID
 	Members   []runtimeapi.NodeID
+	Joiners   []runtimeapi.NodeID
 }
 
 func (m *proposeMsg) marshal(buf []byte) []byte {
 	buf = append(buf, kindPropose)
 	buf = binary.BigEndian.AppendUint32(buf, m.NewViewID)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Proposer))
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Members)))
-	for _, id := range m.Members {
-		buf = binary.BigEndian.AppendUint32(buf, uint32(id))
-	}
+	buf = appendNodeList(buf, m.Members)
+	buf = appendNodeList(buf, m.Joiners)
 	return buf
 }
 
 func parsePropose(b []byte) (*proposeMsg, error) {
-	if len(b) < 11 {
+	if len(b) < 9 {
 		return nil, errTruncated
 	}
 	m := &proposeMsg{
 		NewViewID: binary.BigEndian.Uint32(b[1:5]),
 		Proposer:  runtimeapi.NodeID(binary.BigEndian.Uint32(b[5:9])),
 	}
-	n := int(binary.BigEndian.Uint16(b[9:11]))
-	if len(b) < 11+4*n {
-		return nil, errTruncated
+	var err error
+	off := 9
+	if m.Members, off, err = parseNodeList(b, off); err != nil {
+		return nil, err
 	}
-	m.Members = make([]runtimeapi.NodeID, n)
-	for i := 0; i < n; i++ {
-		m.Members[i] = runtimeapi.NodeID(binary.BigEndian.Uint32(b[11+4*i:]))
+	if m.Joiners, _, err = parseNodeList(b, off); err != nil {
+		return nil, err
 	}
 	return m, nil
+}
+
+// appendNodeList encodes [count:2][id:4]*count.
+func appendNodeList(buf []byte, ids []runtimeapi.NodeID) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(ids)))
+	for _, id := range ids {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(id))
+	}
+	return buf
+}
+
+// parseNodeList decodes a node list at off, returning the next offset.
+func parseNodeList(b []byte, off int) ([]runtimeapi.NodeID, int, error) {
+	if len(b) < off+2 {
+		return nil, 0, errTruncated
+	}
+	n := int(binary.BigEndian.Uint16(b[off : off+2]))
+	off += 2
+	if len(b) < off+4*n {
+		return nil, 0, errTruncated
+	}
+	if n == 0 {
+		return nil, off, nil
+	}
+	ids := make([]runtimeapi.NodeID, n)
+	for i := range ids {
+		ids[i] = runtimeapi.NodeID(binary.BigEndian.Uint32(b[off+4*i:]))
+	}
+	return ids, off + 4*n, nil
 }
 
 // flushAckMsg is a member's snapshot answering a proposal: per old-view
@@ -348,13 +381,17 @@ func parseFlushAck(b []byte) (*flushAckMsg, error) {
 	return m, nil
 }
 
-// decideMsg concludes a view change: the new membership, plus for every old
-// member the flush target (highest sequence anyone received) and the holder
-// to NACK for repair.
+// decideMsg concludes a view change: the new membership (survivors plus
+// joiners), plus for every old member the flush target (highest sequence
+// anyone received) and the holder to NACK for repair. Joiners skip the
+// repair phase: the flush targets instead become their stream cursors, so
+// they start receiving exactly where the old view's traffic — covered by the
+// database snapshot they transfer — ends.
 type decideMsg struct {
 	NewViewID uint32
 	Proposer  runtimeapi.NodeID
 	Members   []runtimeapi.NodeID
+	Joiners   []runtimeapi.NodeID
 	Targets   []flushTarget
 }
 
@@ -368,10 +405,8 @@ func (m *decideMsg) marshal(buf []byte) []byte {
 	buf = append(buf, kindDecide)
 	buf = binary.BigEndian.AppendUint32(buf, m.NewViewID)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Proposer))
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Members)))
-	for _, id := range m.Members {
-		buf = binary.BigEndian.AppendUint32(buf, uint32(id))
-	}
+	buf = appendNodeList(buf, m.Members)
+	buf = appendNodeList(buf, m.Joiners)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Targets)))
 	for _, t := range m.Targets {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(t.Member))
@@ -382,22 +417,24 @@ func (m *decideMsg) marshal(buf []byte) []byte {
 }
 
 func parseDecide(b []byte) (*decideMsg, error) {
-	if len(b) < 11 {
+	if len(b) < 9 {
 		return nil, errTruncated
 	}
 	m := &decideMsg{
 		NewViewID: binary.BigEndian.Uint32(b[1:5]),
 		Proposer:  runtimeapi.NodeID(binary.BigEndian.Uint32(b[5:9])),
 	}
-	n := int(binary.BigEndian.Uint16(b[9:11]))
-	if len(b) < 11+4*n+2 {
+	var err error
+	off := 9
+	if m.Members, off, err = parseNodeList(b, off); err != nil {
+		return nil, err
+	}
+	if m.Joiners, off, err = parseNodeList(b, off); err != nil {
+		return nil, err
+	}
+	if len(b) < off+2 {
 		return nil, errTruncated
 	}
-	m.Members = make([]runtimeapi.NodeID, n)
-	for i := 0; i < n; i++ {
-		m.Members[i] = runtimeapi.NodeID(binary.BigEndian.Uint32(b[11+4*i:]))
-	}
-	off := 11 + 4*n
 	nt := int(binary.BigEndian.Uint16(b[off : off+2]))
 	off += 2
 	if len(b) < off+16*nt {
@@ -413,6 +450,61 @@ func parseDecide(b []byte) (*decideMsg, error) {
 		}
 	}
 	return m, nil
+}
+
+// joinReqMsg is a recovering node's request to be admitted to the group. It
+// is multicast periodically until the node both installs a view containing
+// it and learns its catch-up sequence. Installed is the view the joiner has
+// installed so far: zero means a fresh incarnation that needs a view change
+// (even if the group still lists its dead predecessor as a member); nonzero
+// marks an admitted member still waiting for its joinSync, which the
+// sequencer answers by resending it.
+type joinReqMsg struct {
+	Node      runtimeapi.NodeID
+	Installed uint32
+}
+
+func (m *joinReqMsg) marshal(buf []byte) []byte {
+	buf = append(buf, kindJoinReq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Node))
+	return binary.BigEndian.AppendUint32(buf, m.Installed)
+}
+
+func parseJoinReq(b []byte) (*joinReqMsg, error) {
+	if len(b) < 9 {
+		return nil, errTruncated
+	}
+	return &joinReqMsg{
+		Node:      runtimeapi.NodeID(binary.BigEndian.Uint32(b[1:5])),
+		Installed: binary.BigEndian.Uint32(b[5:9]),
+	}, nil
+}
+
+// joinSyncMsg tells a joiner the total-order sequence it must catch up to:
+// every message ordered at or below JoinSeq is covered by the database
+// snapshot the joiner transfers from a donor; everything above it arrives
+// through normal deliveries. Only the sequencer sends it — it is the one
+// member guaranteed to have assigned (hence to know) the full old-view
+// order.
+type joinSyncMsg struct {
+	ViewID  uint32
+	JoinSeq uint64
+}
+
+func (m *joinSyncMsg) marshal(buf []byte) []byte {
+	buf = append(buf, kindJoinSync)
+	buf = binary.BigEndian.AppendUint32(buf, m.ViewID)
+	return binary.BigEndian.AppendUint64(buf, m.JoinSeq)
+}
+
+func parseJoinSync(b []byte) (*joinSyncMsg, error) {
+	if len(b) < 13 {
+		return nil, errTruncated
+	}
+	return &joinSyncMsg{
+		ViewID:  binary.BigEndian.Uint32(b[1:5]),
+		JoinSeq: binary.BigEndian.Uint64(b[5:13]),
+	}, nil
 }
 
 // installedMsg acknowledges that a member finished installing a view.
@@ -450,6 +542,10 @@ func kindName(k byte) string {
 		return "decide"
 	case kindInstalled:
 		return "installed"
+	case kindJoinReq:
+		return "joinreq"
+	case kindJoinSync:
+		return "joinsync"
 	default:
 		return fmt.Sprintf("kind(%d)", k)
 	}

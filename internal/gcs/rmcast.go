@@ -471,6 +471,69 @@ func (rm *relMcast) gcStable(p NodeID, upto uint64) {
 	}
 }
 
+// resetPeer re-initializes a peer's stream state for a fresh incarnation
+// admitted by a recovery join: buffered chunks of the dead incarnation are
+// recycled and the cursors restart at upto — the flush target covering the
+// old stream at survivors, or zero for the joiner's brand-new stream.
+func (rm *relMcast) resetPeer(p NodeID, upto uint64) {
+	ps := rm.peer(p)
+	for seq, m := range ps.recvBuf {
+		delete(ps.recvBuf, seq)
+		rm.recycleMsg(m)
+	}
+	ps.recvNext = upto + 1
+	ps.maxSeen = upto
+	ps.stableUpto = upto
+	ps.excluded = false
+	ps.repairTarget = p
+	ps.reasmActive = false
+	ps.reasm = ps.reasm[:0]
+	if ps.nackTimer != nil {
+		ps.nackTimer.Cancel()
+		ps.nackTimer = nil
+	}
+}
+
+// resetSelf restarts this node's own stream. Meaningful when a joiner is
+// readmitted a second time — its first admission decide was lost, a member
+// mistook its still-joining join requests for a fresh restart, and the
+// group reset its cursor for us to zero — so the local numbering must
+// restart too or every subsequent cast would be invisible to the group.
+// Unsent queued chunks are dropped: while joining/recovering the server is
+// down, so nothing application-level is in flight.
+func (rm *relMcast) resetSelf() {
+	rm.resetPeer(rm.s.cfg.Self, 0)
+	rm.sendBuf = make(map[uint64][]byte)
+	rm.sendBufBytes = 0
+	rm.sendSeq = 0
+	rm.stableSelf = 0
+	rm.outQ = rm.outQ[:0]
+}
+
+// releaseAll frees every receive- and send-side buffer at halt: the
+// remaining chunks would otherwise be pinned until a stability GC round this
+// stack will never run again. Nack timers are cancelled so they cannot
+// resurrect repair traffic.
+func (rm *relMcast) releaseAll() {
+	for _, ps := range rm.peers {
+		ps.recvBuf = nil
+		ps.reasm = nil
+		ps.reasmActive = false
+		if ps.nackTimer != nil {
+			ps.nackTimer.Cancel()
+			ps.nackTimer = nil
+		}
+	}
+	rm.sendBuf = nil
+	rm.sendBufBytes = 0
+	rm.outQ = nil
+	rm.freeMsgs = nil
+	if rm.rateTimer != nil {
+		rm.rateTimer.Cancel()
+		rm.rateTimer = nil
+	}
+}
+
 // excludePeer truncates a crashed member's stream beyond the flush target
 // and stops expecting traffic from it.
 func (rm *relMcast) excludePeer(p NodeID, upto uint64) {

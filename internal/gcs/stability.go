@@ -175,6 +175,18 @@ func (st *stability) resetForView() {
 	st.beginRound(1)
 }
 
+// resetPeer pins a member's stable horizon — to zero at survivors admitting
+// a fresh incarnation (its new stream restarts at 1; carrying the dead
+// incarnation's stability over would garbage-collect the new chunks before
+// delivery), or to the flush target at the joiner itself (everything below
+// is covered by its snapshot and must never be NACKed or buffered).
+func (st *stability) resetPeer(p NodeID, upto uint64) {
+	st.stable[p] = upto
+	if st.m != nil {
+		st.m[p] = upto
+	}
+}
+
 // stableSeq reports the known-stable prefix of p's stream (for tests and
 // introspection).
 func (st *stability) stableSeq(p NodeID) uint64 { return st.stable[p] }

@@ -61,6 +61,14 @@ func newTotalOrder(s *Stack) *totalOrder {
 
 // onAppData receives a complete (reassembled) application message from the
 // reliable layer, in per-sender FIFO order.
+//
+// While a view change is in flight (the reliable layer is frozen) the
+// sequencer must NOT assign: the flush targets were snapshotted from the
+// members' acks, so a chunk that arrives after the ack — say from the very
+// member being excluded — can lie beyond them. Assigning it would broadcast
+// an order for a body the other survivors repaired past and can never
+// obtain (the exclusion drops it), wedging their delivery forever.
+// Deferred messages are assigned at install, after the beyond-target purge.
 func (to *totalOrder) onAppData(sender NodeID, msgID, lastSeq uint64, data []byte) {
 	key := msgKey{sender: sender, msgID: msgID}
 	to.pending[key] = pendingMsg{data: data, lastSeq: lastSeq}
@@ -72,7 +80,7 @@ func (to *totalOrder) onAppData(sender NodeID, msgID, lastSeq uint64, data []byt
 		to.s.stats.Optimistic++
 		to.s.onOpt(OptDelivery{Sender: sender, MsgID: msgID, Payload: data})
 	}
-	if to.s.IsSequencer() && !to.assigned[key] {
+	if to.s.IsSequencer() && !to.assigned[key] && !to.s.rm.frozen {
 		to.assign(key)
 	}
 	to.tryDeliver()
@@ -118,6 +126,14 @@ func (to *totalOrder) onAssigns(assigns []seqAssign) {
 			// announcement makes the loopback trip, and its assignment
 			// marker is dropped at delivery), or already recorded:
 			// re-adding would leak order/assigned entries forever.
+			if a.Global <= to.nextDeliver && !to.assigned[key] {
+				// The global was passed over without a local delivery —
+				// a recovery catch-up cursor skipped it (the snapshot
+				// covers it). The body can never deliver here; drop it
+				// or the pending map would pin it for the whole run.
+				delete(to.pending, key)
+				delete(to.optIndex, key)
+			}
 			continue
 		}
 		to.order[a.Global] = key
@@ -130,8 +146,15 @@ func (to *totalOrder) onAssigns(assigns []seqAssign) {
 }
 
 // tryDeliver hands messages to the application in global sequence order,
-// whenever both the order assignment and the message body are present.
+// whenever both the order assignment and the message body are present. It
+// pauses while a view change is in flight: a delivery made mid-flush could
+// cover a message the installed view discards (view synchrony would break —
+// this member would have delivered something the others never can).
+// Installation resumes delivery.
 func (to *totalOrder) tryDeliver() {
+	if to.s.rm.frozen {
+		return
+	}
 	for {
 		key, ok := to.order[to.nextDeliver+1]
 		if !ok {
@@ -163,70 +186,121 @@ func (to *totalOrder) tryDeliver() {
 	}
 }
 
+// purgeSender drops unassigned pending messages of a sender beyond its flush
+// target: other members may not have them, so they can never be ordered. The
+// optimistic consumer is told so it can cancel speculative state. Used for
+// members excluded from the view and for fresh incarnations readmitted by a
+// recovery join (whose old-stream tail dies with the old incarnation).
+func (to *totalOrder) purgeSender(sender NodeID, upto uint64) {
+	for key, pm := range to.pending {
+		if key.sender != sender || to.assigned[key] || pm.lastSeq <= upto {
+			continue
+		}
+		delete(to.pending, key)
+		delete(to.optIndex, key)
+		if to.s.onOptDiscard != nil {
+			to.s.onOptDiscard(OptDelivery{Sender: key.sender, MsgID: key.msgID, Payload: pm.data})
+		}
+	}
+}
+
+// skipTo advances the delivery cursor to a recovery catch-up sequence: every
+// global at or below seq is covered by the database snapshot the joiner
+// transfers, so its local copy (if any arrived) is dropped, not delivered.
+func (to *totalOrder) skipTo(seq uint64) {
+	for g := to.nextDeliver + 1; g <= seq; g++ {
+		key, ok := to.order[g]
+		if !ok {
+			continue
+		}
+		delete(to.order, g)
+		delete(to.assigned, key)
+		delete(to.pending, key)
+		delete(to.optIndex, key)
+	}
+	if seq > to.nextDeliver {
+		to.nextDeliver = seq
+	}
+	if seq > to.maxAssigned {
+		to.maxAssigned = seq
+	}
+	to.tryDeliver()
+}
+
+// releaseAll drops ordering state and buffered message bodies at halt.
+func (to *totalOrder) releaseAll() {
+	to.order = nil
+	to.assigned = nil
+	to.pending = nil
+	to.optIndex = nil
+	to.batch = nil
+}
+
 // onInstall re-establishes total order across a view change. When the old
 // sequencer left the view, all members deterministically order the leftover
 // messages — those fully covered by the flush targets but never assigned —
 // and the new sequencer takes over numbering. Messages from excluded members
 // beyond the flush target are discarded identically everywhere.
+//
+// A joined-but-unsynced member (admitted by a recovery view change, catch-up
+// sequence not yet learned) must not take part in the renumbering: it missed
+// the old view's assignments, so its maxAssigned disagrees with the
+// survivors'. Its copy of the leftovers stays pending; they are covered by
+// the snapshot its donor exports (the donor delivers them before reaching
+// the joiner's catch-up sequence), and the skipTo at sync discards them.
 func (to *totalOrder) onInstall(oldSequencerGone bool, targets map[NodeID]uint64) {
-	if !oldSequencerGone {
+	if !to.s.joinSynced {
 		return
 	}
-	var leftovers []msgKey
-	for key, pm := range to.pending {
-		if to.assigned[key] {
-			continue
-		}
-		t, hadTarget := targets[key.sender]
-		inView := to.s.view.Contains(key.sender)
-		switch {
-		case hadTarget && pm.lastSeq <= t:
-			leftovers = append(leftovers, key)
-		case !inView:
-			// From an excluded member, beyond the flush target:
-			// other members may not have it. Drop, along with its
-			// optimistic-delivery bookkeeping — it will never
-			// finalize — and tell the optimistic consumer so it can
-			// cancel any speculative state.
-			delete(to.pending, key)
-			delete(to.optIndex, key)
-			if to.s.onOptDiscard != nil {
-				to.s.onOptDiscard(OptDelivery{Sender: key.sender, MsgID: key.msgID, Payload: pm.data})
+	if oldSequencerGone {
+		var leftovers []msgKey
+		for key, pm := range to.pending {
+			if to.assigned[key] {
+				continue
+			}
+			// Beyond-target messages of excluded or readmitted members
+			// were already purged by the installer (purgeSender); what
+			// remains from old-view members and is fully covered by a
+			// flush target is a leftover to renumber. Surviving members'
+			// messages beyond the target stay pending; the new sequencer
+			// assigns them below or on arrival.
+			if t, hadTarget := targets[key.sender]; hadTarget && pm.lastSeq <= t {
+				leftovers = append(leftovers, key)
 			}
 		}
-		// Messages from surviving members beyond the target stay
-		// pending; the new sequencer assigns them below or on arrival.
-	}
-	sort.Slice(leftovers, func(i, j int) bool {
-		if leftovers[i].sender != leftovers[j].sender {
-			return leftovers[i].sender < leftovers[j].sender
+		sortKeys(leftovers)
+		for _, key := range leftovers {
+			to.maxAssigned++
+			to.order[to.maxAssigned] = key
+			to.assigned[key] = true
 		}
-		return leftovers[i].msgID < leftovers[j].msgID
-	})
-	for _, key := range leftovers {
-		to.maxAssigned++
-		to.order[to.maxAssigned] = key
-		to.assigned[key] = true
+		to.nextGlobal = to.maxAssigned
 	}
-	to.nextGlobal = to.maxAssigned
 	if to.s.IsSequencer() {
-		// Take over numbering: assign surviving members' pending
-		// messages that nobody ordered, in deterministic order.
+		// Assign everything still unassigned from in-view senders, in
+		// deterministic order: the messages deferred while assignment was
+		// frozen mid-change, plus — after a sequencer replacement — the
+		// pending messages nobody ordered.
 		var rest []msgKey
 		for key := range to.pending {
 			if !to.assigned[key] && to.s.view.Contains(key.sender) {
 				rest = append(rest, key)
 			}
 		}
-		sort.Slice(rest, func(i, j int) bool {
-			if rest[i].sender != rest[j].sender {
-				return rest[i].sender < rest[j].sender
-			}
-			return rest[i].msgID < rest[j].msgID
-		})
+		sortKeys(rest)
 		for _, key := range rest {
 			to.assign(key)
 		}
 	}
 	to.tryDeliver()
+}
+
+// sortKeys orders message keys by (sender, msgID).
+func sortKeys(keys []msgKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].sender != keys[j].sender {
+			return keys[i].sender < keys[j].sender
+		}
+		return keys[i].msgID < keys[j].msgID
+	})
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/dbsm"
 	"repro/internal/gcs"
+	"repro/internal/recovery"
 	"repro/internal/runtimeapi"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -59,6 +60,11 @@ type Options struct {
 	// Certification remains global, so the safety property is untouched;
 	// only the write-back fan-out shrinks.
 	Replicates func(dbsm.TupleID) bool
+	// Recovering starts the replica in recovery mode: final deliveries are
+	// buffered (and speculation suppressed) until InstallSnapshot seeds
+	// the certifier and commit log from a donor and replays the buffered
+	// delta. Used for a site rejoining after a crash.
+	Recovering bool
 }
 
 func (o *Options) fill() {
@@ -97,6 +103,9 @@ type Stats struct {
 	// PreApplyWasted counts pre-writes whose transaction finally aborted:
 	// disk bandwidth spent on a wrong speculation.
 	PreApplyWasted int64
+	// DeltaApplied counts deliveries buffered during a recovery transfer
+	// and replayed at snapshot install (the delta catch-up cost).
+	DeltaApplied int64
 }
 
 // tentTxn is the replica-side state of one tentatively-delivered message.
@@ -139,7 +148,22 @@ type Replica struct {
 	recertified    int64
 	preApplied     int64
 	preApplyWasted int64
+	deltaApplied   int64
 	stopped        bool
+
+	// Recovery state: while recovering, final deliveries land in
+	// recoverBuf instead of being processed; lastGlobal tracks the highest
+	// total-order sequence processed (the donor-readiness condition).
+	recovering bool
+	recoverBuf []bufferedDelivery
+	lastGlobal uint64
+}
+
+// bufferedDelivery is one final delivery held back during a recovery
+// transfer.
+type bufferedDelivery struct {
+	global  uint64
+	payload []byte
 }
 
 // New builds the replica glue and installs its hooks on the stack and the
@@ -151,12 +175,13 @@ func New(rt runtimeapi.Runtime, stack *gcs.Stack, server *db.Server, opts Option
 		cert = dbsm.NewScanCertifier()
 	}
 	r := &Replica{
-		rt:     rt,
-		stack:  stack,
-		server: server,
-		cert:   cert,
-		site:   server.Site(),
-		opts:   opts,
+		rt:         rt,
+		stack:      stack,
+		server:     server,
+		cert:       cert,
+		site:       server.Site(),
+		opts:       opts,
+		recovering: opts.Recovering,
 	}
 	r.cert.Charge = func(items int) {
 		rt.Charge(sim.Time(items) * opts.CertCostPerItem)
@@ -221,12 +246,151 @@ func (r *Replica) Stats() Stats {
 		Recertified:    r.recertified,
 		PreApplied:     r.preApplied,
 		PreApplyWasted: r.preApplyWasted,
+		DeltaApplied:   r.deltaApplied,
 	}
 	if r.spec != nil {
 		s.Tentative = r.spec.Tentatives
 		s.Rollbacks = r.spec.Rollbacks
 	}
 	return s
+}
+
+// Recovering reports whether the replica is still buffering deliveries for
+// a pending snapshot install.
+func (r *Replica) Recovering() bool { return r.recovering }
+
+// LastGlobal reports the highest total-order sequence this replica has
+// processed — a donor must have passed the joiner's catch-up sequence
+// before its snapshot covers everything the joiner will never receive.
+func (r *Replica) LastGlobal() uint64 { return r.lastGlobal }
+
+// CertSeq reports the certifier's commit sequence.
+func (r *Replica) CertSeq() uint64 { return r.cert.Seq() }
+
+// ReadSectors implements recovery.Donor: the donor-side disk cost of
+// serving an exported snapshot's pages.
+func (r *Replica) ReadSectors(n int, done func()) {
+	r.server.Storage().ReadSectors(n, done)
+}
+
+// ExportSnapshot implements recovery.Donor: a deep snapshot of this
+// replica's replicated-database state. sinceApplied is the joiner's applied
+// horizon at crash; when the retained certification history still reaches
+// back that far, only the pages written since are shipped, otherwise the
+// whole written working set (every page the retained history knows about)
+// goes on the wire.
+func (r *Replica) ExportSnapshot(sinceApplied uint64) *recovery.Snapshot {
+	st := r.cert.ExportState()
+	if r.spec != nil {
+		// An optimistic donor may hold unconfirmed tentative commits in
+		// the shared certifier; a rollback after export would leave the
+		// joiner with phantom commits. Ship only the finalized prefix —
+		// the commit log and lastGlobal already cover exactly that.
+		histLen, seq := r.spec.Finalized()
+		for i := histLen; i < len(st.History); i++ {
+			st.History[i] = dbsm.CommitRecord{}
+		}
+		st.History = st.History[:histLen]
+		st.Seq = seq
+	}
+	snap := &recovery.Snapshot{
+		Donor:       r.site,
+		Global:      r.lastGlobal,
+		Cert:        st,
+		Commits:     append([]trace.CommitEntry(nil), r.commitLog.Entries()...),
+		LastApplied: r.server.LastApplied(),
+	}
+	full := sinceApplied < st.Pruned
+	pages := make(map[dbsm.TupleID]struct{})
+	for i := range st.History {
+		rec := &st.History[i]
+		if !full && rec.Seq <= sinceApplied {
+			continue
+		}
+		for _, id := range rec.WriteSet {
+			pages[id] = struct{}{}
+		}
+	}
+	snap.Pages = len(pages)
+	if snap.Pages == 0 {
+		snap.Pages = 1 // the log anchor page
+	}
+	snap.Bytes = st.WireSize() + 16*int64(len(snap.Commits)) + 4096*int64(snap.Pages)
+	return snap
+}
+
+// InstallSnapshot implements recovery.Joiner: restart the server, seed
+// certifier, commit log, and applied horizon from the donor's state, replay
+// the buffered delta, and leave recovery mode. The work runs as a real job
+// so its CPU cost lands on the recovering site; done fires afterwards.
+func (r *Replica) InstallSnapshot(snap *recovery.Snapshot, done func()) {
+	r.rt.StartJob(0, func() {
+		r.installSnapshot(snap)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+func (r *Replica) installSnapshot(snap *recovery.Snapshot) {
+	if r.stopped || !r.recovering {
+		return
+	}
+	r.server.Restart()
+	r.cert.ImportState(snap.Cert)
+	r.commitLog.Reset(snap.Commits)
+	r.server.RestoreApplied(snap.LastApplied)
+	if snap.Global > r.lastGlobal {
+		r.lastGlobal = snap.Global
+	}
+	// Delta catch-up: replay deliveries that were certified group-wide
+	// while the transfer was in flight. Buffered entries at or below the
+	// snapshot's horizon are already reflected in it. No tentative
+	// certification ever ran for these (speculation is suppressed while
+	// recovering), so the speculative queue is empty and Final certifies
+	// them directly against the imported state.
+	buf := r.recoverBuf
+	r.recoverBuf = nil
+	r.recovering = false
+	prev := snap.Global
+	for _, bd := range buf {
+		if bd.global <= snap.Global {
+			continue
+		}
+		if bd.global != prev+1 {
+			// The stack delivers gap-free, so a hole means deliveries
+			// the snapshot should have covered are missing (e.g. a
+			// transfer raced a readmission). Count each as a drop —
+			// CertDrops is never silent and fails the campaign verdict
+			// — instead of diverging quietly.
+			r.drops += int64(bd.global - prev - 1)
+		}
+		prev = bd.global
+		r.deltaApplied++
+		r.applyFinal(bd.global, bd.payload)
+	}
+}
+
+// applyFinal certifies and resolves one final delivery outside the
+// two-stage pipeline (recovery catch-up: no tentative state can exist).
+func (r *Replica) applyFinal(global uint64, payload []byte) {
+	tc, err := dbsm.Unmarshal(payload)
+	if err != nil {
+		r.drops++
+		return
+	}
+	r.chargeUnmarshal(len(payload))
+	r.delivered++
+	if global > r.lastGlobal {
+		r.lastGlobal = global
+	}
+	var out dbsm.Outcome
+	if r.spec != nil {
+		out, _ = r.spec.Final(tc)
+	} else {
+		out = r.cert.Certify(tc)
+	}
+	r.resolve(tc, out, false)
 }
 
 // replicaThunk is a pooled one-shot job: the closure handed to the runtime
@@ -306,7 +470,10 @@ func stageTentative(r *Replica, _ *db.Txn, payload []byte) { r.tentative(payload
 // speculatively, and act on the verdict while the sequencer's round is still
 // in flight.
 func (r *Replica) tentative(payload []byte) {
-	if r.stopped {
+	if r.stopped || r.recovering {
+		// While recovering there is nothing to speculate against: the
+		// certifier state is in transit. The final delivery is buffered
+		// and certified at install, so skipping here loses nothing.
 		return
 	}
 	tid, err := dbsm.PeekTID(payload)
@@ -348,8 +515,8 @@ func stageDiscard(r *Replica, _ *db.Txn, payload []byte) { r.discard(payload) }
 
 // discard cancels the speculation on one never-to-finalize message.
 func (r *Replica) discard(payload []byte) {
-	if r.stopped {
-		return
+	if r.stopped || r.recovering {
+		return // no speculation exists while recovering
 	}
 	tid, err := dbsm.PeekTID(payload)
 	if err != nil {
@@ -390,6 +557,16 @@ func (r *Replica) speculate(st *tentTxn) {
 func (r *Replica) onDeliver(d gcs.Delivery) {
 	if r.stopped {
 		return
+	}
+	if r.recovering {
+		// The snapshot is still in transit: hold the delivery for the
+		// delta catch-up. The payload aliases the wire buffer, which
+		// receivers may retain (zero-copy contract).
+		r.recoverBuf = append(r.recoverBuf, bufferedDelivery{global: d.Global, payload: d.Payload})
+		return
+	}
+	if d.Global > r.lastGlobal {
+		r.lastGlobal = d.Global
 	}
 	if r.spec != nil {
 		r.finalize(d)
@@ -468,8 +645,18 @@ func (r *Replica) resolve(tc *dbsm.TxnCert, out dbsm.Outcome, preApplied bool) {
 		r.commitLog.Append(out.Seq, tc.TID)
 	}
 	if tc.Site == r.site {
-		r.server.ResolveLocal(tc.TID, out.Commit, out.Seq)
-		return
+		if r.server.ResolveLocal(tc.TID, out.Commit, out.Seq) {
+			return
+		}
+		// Orphaned local transaction: the incarnation that submitted it
+		// crashed, so no pending-certification entry exists and nobody
+		// will write its data back locally. If the group committed it,
+		// install it like a remote write-set or this site's storage
+		// silently diverges from the replicas that applied it.
+		if !out.Commit {
+			return
+		}
+		preApplied = false
 	}
 	if !out.Commit {
 		return

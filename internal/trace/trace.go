@@ -56,6 +56,13 @@ func (l *CommitLog) Append(seq, tid uint64) {
 	l.entries = append(l.entries, CommitEntry{Seq: seq, TID: tid})
 }
 
+// Reset replaces the log with a snapshot-transferred sequence — a recovered
+// site restarts its log from the donor's, so the post-rejoin stream extends
+// a prefix shared with every survivor.
+func (l *CommitLog) Reset(entries []CommitEntry) {
+	l.entries = append(l.entries[:0], entries...)
+}
+
 // Entries returns the committed sequence.
 func (l *CommitLog) Entries() []CommitEntry { return l.entries }
 
