@@ -47,5 +47,12 @@
 // events/s); README.md's "Performance" section has the measurements and the
 // reproduction commands.
 //
+// These invariants — deterministic packages, zero-copy buffer ownership,
+// pool pairing, silent-drop accounting, allocation-free hot paths — are
+// enforced mechanically by the custom analyzer suite under internal/lint,
+// run in CI as cmd/analyze via `go vet -vettool` (README.md's "Static
+// analysis" section documents the rules and the //lint:<rule>-ok waiver
+// syntax).
+//
 // See README.md and the per-package documentation under internal/.
 package repro

@@ -1,0 +1,104 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want string
+	}{
+		{KindDivergence, "divergence"},
+		{KindReorder, "reorder"},
+		{KindLengthMismatch, "length-mismatch"},
+		{KindNonPrefix, "non-prefix"},
+		{Kind(0), "unknown"},
+		{Kind(99), "unknown"},
+	}
+	for _, c := range cases {
+		if got := c.kind.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", c.kind, got, c.want)
+		}
+	}
+}
+
+func TestViolationErrorFormat(t *testing.T) {
+	v := &Violation{
+		Kind:   KindDivergence,
+		Site:   3,
+		Ref:    1,
+		Pos:    17,
+		Detail: "committed (seq=18 tid=ff), reference committed (seq=18 tid=aa)",
+	}
+	got := v.Error()
+	for _, want := range []string{"check:", "divergence", "site 3", "site 1", "position 17", "tid=ff"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Error() = %q, missing %q", got, want)
+		}
+	}
+	var err error = v // Violation must satisfy error
+	if err.Error() != got {
+		t.Errorf("error interface renders differently: %q vs %q", err.Error(), got)
+	}
+}
+
+func TestLengthMismatchUsesSentinelPosition(t *testing.T) {
+	shared := []trace.CommitEntry{{Seq: 1, TID: 0xa}, {Seq: 2, TID: 0xb}}
+	v := Logs([]SiteLog{
+		{Site: 1, Operational: true, Entries: shared},
+		{Site: 2, Operational: true, Entries: shared[:1]},
+	})
+	if v == nil || v.Kind != KindLengthMismatch {
+		t.Fatalf("want length-mismatch, got %v", v)
+	}
+	if v.Pos != -1 {
+		t.Errorf("length mismatch Pos = %d, want -1 sentinel", v.Pos)
+	}
+	if !strings.Contains(v.Error(), "position -1") {
+		t.Errorf("Error() = %q, sentinel position not rendered", v.Error())
+	}
+}
+
+func TestRecoveredSiteNamedInDetail(t *testing.T) {
+	v := Logs([]SiteLog{
+		{Site: 1, Operational: true, Entries: []trace.CommitEntry{{Seq: 1, TID: 0xa}}},
+		{Site: 2, Operational: true, Recovered: true, Entries: []trace.CommitEntry{{Seq: 1, TID: 0xc}}},
+	})
+	if v == nil || v.Kind != KindDivergence {
+		t.Fatalf("want divergence, got %v", v)
+	}
+	if !strings.HasPrefix(v.Detail, "recovered site ") {
+		t.Errorf("Detail = %q, want recovered-site prefix", v.Detail)
+	}
+
+	v = Logs([]SiteLog{
+		{Site: 1, Operational: true, Entries: []trace.CommitEntry{{Seq: 1, TID: 0xa}}},
+		{Site: 2, Operational: true, Recovered: true, Entries: nil},
+	})
+	if v == nil || v.Kind != KindLengthMismatch {
+		t.Fatalf("want length-mismatch, got %v", v)
+	}
+	if !strings.HasPrefix(v.Detail, "recovered site ") {
+		t.Errorf("Detail = %q, want recovered-site prefix", v.Detail)
+	}
+}
+
+func TestNonPrefixDetailNamesBothHistories(t *testing.T) {
+	v := Logs([]SiteLog{
+		{Site: 1, Operational: true, Entries: []trace.CommitEntry{{Seq: 1, TID: 0xa}}},
+		{Site: 2, Operational: false, Entries: []trace.CommitEntry{{Seq: 1, TID: 0xa}, {Seq: 2, TID: 0xb}}},
+	})
+	if v == nil || v.Kind != KindNonPrefix {
+		t.Fatalf("want non-prefix, got %v", v)
+	}
+	if v.Pos != 1 {
+		t.Errorf("Pos = %d, want 1 (first position beyond the survivors)", v.Pos)
+	}
+	if !strings.Contains(v.Detail, "beyond the survivors") {
+		t.Errorf("Detail = %q, want beyond-the-survivors wording", v.Detail)
+	}
+}

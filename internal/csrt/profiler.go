@@ -101,6 +101,7 @@ func (p *WallProfiler) scale() float64 {
 // Begin implements Profiler.
 func (p *WallProfiler) Begin() {
 	p.acc = 0
+	//lint:simdeterminism-ok WallProfiler measures real host CPU, not simulation time
 	p.started = time.Now()
 	p.running = true
 }
@@ -112,6 +113,7 @@ func (p *WallProfiler) Charge(sim.Time) {}
 // Pause implements Profiler.
 func (p *WallProfiler) Pause() {
 	if p.running {
+		//lint:simdeterminism-ok WallProfiler measures real host CPU, not simulation time
 		p.acc += time.Since(p.started)
 		p.running = false
 	}
@@ -120,6 +122,7 @@ func (p *WallProfiler) Pause() {
 // Resume implements Profiler.
 func (p *WallProfiler) Resume() {
 	if !p.running {
+		//lint:simdeterminism-ok WallProfiler measures real host CPU, not simulation time
 		p.started = time.Now()
 		p.running = true
 	}
@@ -129,6 +132,7 @@ func (p *WallProfiler) Resume() {
 func (p *WallProfiler) Elapsed() sim.Time {
 	d := p.acc
 	if p.running {
+		//lint:simdeterminism-ok WallProfiler measures real host CPU, not simulation time
 		d += time.Since(p.started)
 	}
 	return sim.Time(float64(d) * p.scale())

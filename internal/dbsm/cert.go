@@ -67,9 +67,12 @@ func (t *TxnCert) Marshal() []byte {
 //
 // The returned slice aliases buf when it fits: the caller must finish using
 // (or copying) the encoding before reusing the scratch.
+//
+//hot:path
 func (t *TxnCert) MarshalTo(buf []byte) []byte {
 	n := t.MarshaledSize()
 	if cap(buf) < n {
+		//lint:hotalloc-ok capacity miss grows the caller's scratch once, then amortised free
 		buf = make([]byte, 0, n)
 	}
 	buf = buf[:0]
@@ -100,10 +103,13 @@ var errBadCert = errors.New("dbsm: malformed certification message")
 // so b may be reused or mutated afterwards. Length fields are validated
 // against len(b) before any offset arithmetic, so hostile values cannot
 // overflow the offset computations.
+//
+//hot:path
 func Unmarshal(b []byte) (*TxnCert, error) {
 	if len(b) < certHeader {
 		return nil, errBadCert
 	}
+	//lint:hotalloc-ok decode returns a fresh message by contract; one struct per decode
 	t := &TxnCert{
 		TID:           binary.BigEndian.Uint64(b[0:8]),
 		Site:          SiteID(binary.BigEndian.Uint32(b[8:12])),
@@ -122,6 +128,7 @@ func Unmarshal(b []byte) (*TxnCert, error) {
 		return nil, errBadCert
 	}
 	// Both sets share one backing array: a single allocation per decode.
+	//lint:hotalloc-ok deliberate single allocation shared by both item sets
 	ids := make(ItemSet, nr+nw)
 	for i := range ids {
 		ids[i] = TupleID(binary.BigEndian.Uint64(b[certHeader+8*i:]))
@@ -135,6 +142,8 @@ func Unmarshal(b []byte) (*TxnCert, error) {
 // message without decoding the item sets — the optimistic final-delivery fast
 // path, which already holds the fully decoded message from the tentative
 // stage and only needs the key to look it up.
+//
+//hot:path
 func PeekTID(b []byte) (uint64, error) {
 	if len(b) < certHeader {
 		return 0, errBadCert
@@ -251,6 +260,8 @@ func (c *Certifier) HistoryLen() int { return len(c.history) }
 // intersects the write-set of any committed transaction that executed
 // concurrently (certification sequence number greater than the
 // transaction's LastCommitted snapshot).
+//
+//hot:path
 func (c *Certifier) Certify(t *TxnCert) Outcome {
 	if t.LastCommitted < c.pruned && len(t.ReadSet) > 0 {
 		// Entries possibly concurrent with this transaction were
@@ -290,11 +301,21 @@ func (c *Certifier) Certify(t *TxnCert) Outcome {
 
 // certifyScan is the reference procedure: scan every retained write-set that
 // committed after the transaction's snapshot.
+//
+//hot:path
 func (c *Certifier) certifyScan(t *TxnCert) Outcome {
-	// Binary search for the first concurrent entry.
-	idx := sort.Search(len(c.history), func(i int) bool {
-		return c.history[i].seq > t.LastCommitted
-	})
+	// Binary search for the first concurrent entry. Open-coded: a
+	// sort.Search closure is a heap allocation per certification.
+	lo, hi := 0, len(c.history)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.history[mid].seq > t.LastCommitted {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	idx := lo
 	comparisons := 0
 	for i := idx; i < len(c.history); i++ {
 		e := &c.history[i]
@@ -315,6 +336,8 @@ func (c *Certifier) certifyScan(t *TxnCert) Outcome {
 
 // commit advances the sequence, records the write-set, and applies the
 // in-certify MaxHistory pruning.
+//
+//hot:path
 func (c *Certifier) commit(t *TxnCert) {
 	c.seq++
 	if len(t.WriteSet) == 0 {

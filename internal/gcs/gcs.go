@@ -507,6 +507,7 @@ func (s *Stack) transmit(wire []byte) {
 		if m == s.cfg.Self {
 			continue
 		}
+		//lint:bufown-ok exclusive branch with Multicast above; receivers share wire read-only per the zero-copy contract
 		_ = s.rt.Send(m, wire)
 	}
 }

@@ -51,6 +51,7 @@ type dataMsg struct {
 
 const dataHeader = 1 + 4 + 8 + 1 + 1 + 2
 
+//hot:path
 func (m *dataMsg) marshal(kind byte, buf []byte) []byte {
 	buf = append(buf, kind)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Sender))
@@ -63,6 +64,8 @@ func (m *dataMsg) marshal(kind byte, buf []byte) []byte {
 
 // parseDataInto decodes a stream chunk into a caller-provided (typically
 // pooled) struct. Data aliases b.
+//
+//hot:path
 func parseDataInto(m *dataMsg, b []byte) error {
 	if len(b) < dataHeader {
 		return errTruncated
@@ -214,8 +217,11 @@ type seqAssign struct {
 // marshalAssigns encodes a batch of assignments, appending to buf[:0] (the
 // sequencer passes its reusable scratch; the result aliases it when it
 // fits). The caller must finish using the encoding before reusing buf.
+//
+//hot:path
 func marshalAssigns(buf []byte, assigns []seqAssign) []byte {
 	if need := 2 + 20*len(assigns); cap(buf) < need {
+		//lint:hotalloc-ok capacity miss grows the sequencer's scratch once, then amortised free
 		buf = make([]byte, 0, need)
 	}
 	buf = buf[:0]
@@ -230,6 +236,8 @@ func marshalAssigns(buf []byte, assigns []seqAssign) []byte {
 
 // parseAssignsInto decodes an assignment batch, appending to buf[:0] (a
 // reusable scratch — the decoded batch is consumed synchronously).
+//
+//hot:path
 func parseAssignsInto(buf []seqAssign, b []byte) ([]seqAssign, error) {
 	if len(b) < 2 {
 		return nil, errTruncated

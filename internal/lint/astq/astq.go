@@ -1,0 +1,113 @@
+// Package astq holds the small AST/type query helpers shared by the
+// invariant analyzers.
+package astq
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the *types.Func a call invokes (package function or
+// method), or nil for builtins, conversions, and calls of function values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// CalleeName reports the bare name of the called function or method, or ""
+// when the callee is not a named function (e.g. a func value or builtin).
+// Unlike Callee it also covers calls that fail to resolve to a *types.Func.
+func CalleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// IsBuiltin reports whether the call invokes the named Go builtin.
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// RootIdent walks to the base identifier of a chain of selector, index,
+// slice, star, and paren expressions: the x in x.f[i].g. It returns nil
+// when the base is not a plain identifier (e.g. a call result).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// Obj resolves an identifier to its object via Uses or Defs.
+func Obj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// RecvPkgName reports the base name of the package that declares the
+// called method's receiver type (or the method itself for package
+// functions); "" when unresolvable.
+func RecvPkgName(info *types.Info, call *ast.CallExpr) string {
+	fn := Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Name()
+}
+
+// IsErrorType reports whether t is the built-in error interface.
+func IsErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// Terminates reports whether the statement unconditionally leaves the
+// enclosing block: return, branch (break/continue/goto), or a call to
+// panic or os.Exit.
+func Terminates(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			switch name := CalleeName(call); name {
+			case "panic", "Exit", "Fatal", "Fatalf":
+				return true
+			}
+		}
+	}
+	return false
+}

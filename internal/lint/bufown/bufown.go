@@ -1,0 +1,340 @@
+// Package bufown enforces the zero-copy wire-buffer ownership contract:
+// a []byte handed to the network via Send or Multicast (simnet.Network,
+// runtimeapi.Runtime) is owned by the network from that point on — every
+// receiver of a multicast and the sender's retransmission buffer may alias
+// the very same backing array. Reads are part of the contract (the
+// reliable layer re-reads retained chunks for retransmission); what the
+// contract forbids is mutation, so the analyzer flags, after the hand-off
+// in the same function:
+//
+//   - writes into the buffer (buf[i] = x, copy(buf, ...)),
+//   - growth that may write the shared backing array (append(buf, ...)),
+//   - reslicing the buffer back into a scratch role (buf = buf[:0]),
+//   - handing the same buffer to the network again from a second call
+//     site (a loop fanning one buffer out through one call site is fine
+//     — nobody mutated it in between).
+//
+// Reassigning the variable to a fresh buffer ends the taint.
+//
+// The analyzer also guards the pooled Packet refcount protocol inside
+// simnet: Packet.refs may only be decremented by the pool's release
+// method, and raising a reference must be followed by handing the packet
+// off, or the count can never drain back to the pool.
+//
+// Waive a line with //lint:bufown-ok <reason>.
+package bufown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/astq"
+	"repro/internal/lint/directive"
+)
+
+const name = "bufown"
+
+// Analyzer is the bufown pass.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "enforce zero-copy buffer ownership across Send/Multicast and the pooled Packet refcount protocol",
+	Run:  run,
+}
+
+// netPkgs are the packages whose Send/Multicast take buffer ownership.
+var netPkgs = map[string]bool{"simnet": true, "runtimeapi": true}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		sup := directive.ForRule(pass.Fset, file, name)
+		for _, pos := range sup.Bare() {
+			pass.Reportf(pos, "//lint:%s-ok directive requires a reason", name)
+		}
+		report := func(pos token.Pos, format string, args ...any) {
+			if !sup.Suppressed(pos) {
+				pass.Reportf(pos, format, args...)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkFunc(pass, report, fd)
+			return true
+		})
+	}
+	return nil
+}
+
+// send is one hand-off of a buffer variable to the network.
+type send struct {
+	pos  token.Pos
+	call *ast.CallExpr
+}
+
+func checkFunc(pass *analysis.Pass, report func(token.Pos, string, ...any), fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Pass 1: collect hand-offs and fresh reassignments per buffer object.
+	sends := make(map[types.Object][]send)
+	clears := make(map[types.Object][]token.Pos)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if obj := sentBuffer(info, n); obj != nil {
+				sends[obj] = append(sends[obj], send{pos: n.Pos(), call: n})
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := astq.Obj(info, id)
+				if obj == nil || !isByteSlice(obj.Type()) {
+					continue
+				}
+				if i < len(n.Rhs) && len(n.Rhs) == len(n.Lhs) && !mentions(info, n.Rhs[i], obj) {
+					clears[obj] = append(clears[obj], n.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	// tainted reports whether obj was handed off before pos with no fresh
+	// reassignment in between, returning the hand-off.
+	tainted := func(obj types.Object, pos token.Pos) (send, bool) {
+		for _, s := range sends[obj] {
+			if s.pos >= pos {
+				continue
+			}
+			cleared := false
+			for _, c := range clears[obj] {
+				if c > s.pos && c < pos {
+					cleared = true
+					break
+				}
+			}
+			if !cleared {
+				return s, true
+			}
+		}
+		return send{}, false
+	}
+
+	// Pass 2: find mutations and re-sends of tainted buffers.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				lhs = ast.Unparen(lhs)
+				if id, ok := lhs.(*ast.Ident); ok {
+					obj := astq.Obj(info, id)
+					if obj == nil || !isByteSlice(obj.Type()) {
+						continue
+					}
+					if i < len(n.Rhs) && len(n.Rhs) == len(n.Lhs) && mentions(info, n.Rhs[i], obj) {
+						if _, bad := tainted(obj, n.Pos()); bad {
+							report(n.Pos(), "buffer %q resliced for reuse after ownership passed to the network", id.Name)
+						}
+					}
+					continue
+				}
+				// Writes through the buffer: buf[i] = x.
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if root := astq.RootIdent(ix.X); root != nil {
+						obj := astq.Obj(info, root)
+						if obj != nil && isByteSlice(obj.Type()) {
+							if _, bad := tainted(obj, n.Pos()); bad {
+								report(n.Pos(), "write into buffer %q after ownership passed to the network", root.Name)
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if astq.IsBuiltin(info, n, "append") || astq.IsBuiltin(info, n, "copy") {
+				if len(n.Args) == 0 {
+					return true
+				}
+				if root := astq.RootIdent(n.Args[0]); root != nil {
+					obj := astq.Obj(info, root)
+					if obj != nil && isByteSlice(obj.Type()) {
+						if _, bad := tainted(obj, n.Pos()); bad {
+							report(n.Pos(), "%s may write buffer %q after ownership passed to the network", astq.CalleeName(n), root.Name)
+						}
+					}
+				}
+				return true
+			}
+			if obj := sentBuffer(info, n); obj != nil {
+				if s, bad := tainted(obj, n.Pos()); bad && s.call != n {
+					report(n.Pos(), "buffer re-sent after ownership already passed to the network at an earlier call")
+				}
+			}
+		}
+		return true
+	})
+
+	checkPacketRefs(pass, report, fd)
+}
+
+// sentBuffer reports the local buffer object a network hand-off consumes,
+// or nil when the call is not a Send/Multicast taking ownership.
+func sentBuffer(info *types.Info, call *ast.CallExpr) types.Object {
+	fn := astq.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || !netPkgs[fn.Pkg().Name()] {
+		return nil
+	}
+	if fn.Name() != "Send" && fn.Name() != "Multicast" {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		if !isByteSlice(sig.Params().At(i).Type()) {
+			continue
+		}
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if obj := astq.Obj(info, id); obj != nil && isByteSlice(obj.Type()) {
+				return obj
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// checkPacketRefs guards the pooled Packet refcount protocol.
+func checkPacketRefs(pass *analysis.Pass, report func(token.Pos, string, ...any), fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	type bump struct {
+		pos token.Pos
+		obj types.Object
+		id  string
+	}
+	var bumps []bump
+	flagDec := func(pos token.Pos) {
+		if fd.Name.Name != "release" {
+			report(pos, "Packet.refs decremented outside the pool's release method: the struct can never return to the pool")
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			sel, base := packetRefsField(info, n.X)
+			if sel == nil {
+				return true
+			}
+			if n.Tok == token.DEC {
+				flagDec(n.Pos())
+			} else if base != nil {
+				bumps = append(bumps, bump{pos: n.Pos(), obj: base, id: selString(sel)})
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				sel, base := packetRefsField(info, lhs)
+				if sel == nil {
+					continue
+				}
+				switch n.Tok {
+				case token.SUB_ASSIGN:
+					flagDec(n.Pos())
+				case token.ADD_ASSIGN:
+					if base != nil {
+						bumps = append(bumps, bump{pos: n.Pos(), obj: base, id: selString(sel)})
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, b := range bumps {
+		handed := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() <= b.pos {
+				return true
+			}
+			for _, arg := range call.Args {
+				if root := astq.RootIdent(arg); root != nil && astq.Obj(info, root) == b.obj {
+					handed = true
+					return false
+				}
+			}
+			return true
+		})
+		if !handed {
+			report(b.pos, "%s raised without a subsequent hand-off of the packet: the reference can never drain", b.id)
+		}
+	}
+}
+
+// packetRefsField matches a selector expression p.refs on a simnet Packet,
+// returning the selector and the root object holding the packet.
+func packetRefsField(info *types.Info, e ast.Expr) (*ast.SelectorExpr, types.Object) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "refs" {
+		return nil, nil
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return nil, nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Packet" {
+		return nil, nil
+	}
+	if pkg := named.Obj().Pkg(); pkg == nil || pkg.Name() != "simnet" {
+		return nil, nil
+	}
+	var base types.Object
+	if root := astq.RootIdent(sel.X); root != nil {
+		base = astq.Obj(info, root)
+	}
+	return sel, base
+}
+
+func selString(sel *ast.SelectorExpr) string {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id.Name + ".refs"
+	}
+	return "Packet.refs"
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// mentions reports whether expr references obj.
+func mentions(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && astq.Obj(info, id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

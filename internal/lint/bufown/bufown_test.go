@@ -1,0 +1,16 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/bufown"
+	"repro/internal/lint/linttest"
+)
+
+func TestCallerOwnership(t *testing.T) {
+	linttest.Run(t, bufown.Analyzer, "bufown")
+}
+
+func TestPacketRefcount(t *testing.T) {
+	linttest.Run(t, bufown.Analyzer, "simnet")
+}

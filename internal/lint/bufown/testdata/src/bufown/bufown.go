@@ -1,0 +1,63 @@
+// Package bufown exercises the caller-side ownership rules.
+package bufown
+
+import "simnet"
+
+func sendOnce(n *simnet.Network, dst simnet.NodeID) {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, 1, 2, 3)
+	n.Send(0, dst, buf, 0)
+}
+
+func writeAfterSend(n *simnet.Network, dst simnet.NodeID) {
+	buf := make([]byte, 8)
+	n.Send(0, dst, buf, 0)
+	buf[0] = 1 // want `write into buffer "buf" after ownership passed`
+}
+
+func appendAfterSend(n *simnet.Network, dst simnet.NodeID) []byte {
+	buf := make([]byte, 0, 8)
+	n.Send(0, dst, buf, 0)
+	return append(buf, 9) // want `append may write buffer "buf" after ownership passed`
+}
+
+func resliceAfterSend(n *simnet.Network, g simnet.Group) {
+	buf := make([]byte, 16)
+	n.Multicast(0, g, buf, 0)
+	buf = buf[:0] // want `buffer "buf" resliced for reuse after ownership passed`
+	_ = buf
+}
+
+func copyAfterSend(n *simnet.Network, dst simnet.NodeID, src []byte) {
+	buf := make([]byte, 16)
+	n.Send(0, dst, buf, 0)
+	copy(buf, src) // want `copy may write buffer "buf" after ownership passed`
+}
+
+func resendElsewhere(n *simnet.Network, a, b simnet.NodeID) {
+	buf := []byte{1}
+	n.Send(0, a, buf, 0)
+	n.Send(0, b, buf, 0) // want `buffer re-sent after ownership already passed`
+}
+
+func fanoutLoop(n *simnet.Network, dsts []simnet.NodeID) {
+	buf := []byte{1}
+	for _, d := range dsts {
+		n.Send(0, d, buf, 0) // one call site fanning out: fine
+	}
+}
+
+func freshAfterSend(n *simnet.Network, dst simnet.NodeID) {
+	buf := make([]byte, 8)
+	n.Send(0, dst, buf, 0)
+	buf = make([]byte, 8) // fresh buffer: taint ends
+	buf[0] = 1
+	n.Send(0, dst, buf, 0)
+}
+
+func waived(n *simnet.Network, dst simnet.NodeID) {
+	buf := make([]byte, 8)
+	n.Send(0, dst, buf, 0)
+	//lint:bufown-ok single-host loopback test helper, nothing retains the bytes
+	buf[0] = 1
+}

@@ -1,0 +1,46 @@
+// Package simnet is a miniature of the real network substrate, enough to
+// exercise the ownership and refcount rules.
+package simnet
+
+type NodeID int
+type Group int
+
+type Packet struct {
+	Data []byte
+	refs int32
+}
+
+type Network struct {
+	free []*Packet
+}
+
+func (n *Network) Send(src, dst NodeID, data []byte, delay int64) error { return nil }
+func (n *Network) Multicast(src NodeID, g Group, data []byte, delay int64) error {
+	return nil
+}
+
+func (n *Network) scheduleArrival(at int64, pkt *Packet) {}
+
+func (n *Network) release(pkt *Packet) {
+	pkt.refs-- // decrement inside release: fine
+	if pkt.refs <= 0 {
+		*pkt = Packet{}
+		n.free = append(n.free, pkt)
+	}
+}
+
+func (n *Network) fanout(members []NodeID, pkt *Packet) {
+	for range members {
+		pkt.refs++ // followed by a hand-off below: fine
+		n.scheduleArrival(0, pkt)
+	}
+	n.release(pkt)
+}
+
+func (n *Network) leakRef(pkt *Packet) {
+	pkt.refs++ // want `refs raised without a subsequent hand-off`
+}
+
+func (n *Network) stealRef(pkt *Packet) {
+	pkt.refs-- // want `refs decremented outside the pool's release method`
+}

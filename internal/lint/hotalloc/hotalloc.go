@@ -1,0 +1,265 @@
+// Package hotalloc keeps allocation out of the simulator's hot paths.
+//
+// Functions whose doc comment carries a //hot:path marker are the
+// per-event and per-packet code the benchmarks measure; a stray closure
+// or boxing conversion there turns into millions of heap objects per
+// campaign. Inside a marked function the analyzer reports:
+//
+//   - closures that are not immediately invoked (they escape),
+//   - make/new and heap composite literals (&T{...}, slice and map
+//     literals),
+//   - append that is not the amortised self-append idiom
+//     x = append(x, ...) / x = append(x[:k], ...),
+//   - string concatenation and string<->[]byte conversions,
+//   - interface boxing at call sites (a concrete value passed to an
+//     interface parameter, e.g. fmt.Sprintf("%d", n)).
+//
+// Error and panic branches are cold by definition and are skipped: a
+// block whose final statement panics or returns a non-nil error may
+// allocate freely.
+//
+// Waive a line with //lint:hotalloc-ok <reason>.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/astq"
+	"repro/internal/lint/directive"
+)
+
+const name = "hotalloc"
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "forbid allocation-introducing constructs in //hot:path functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		sup := directive.ForRule(pass.Fset, file, name)
+		for _, pos := range sup.Bare() {
+			pass.Reportf(pos, "//lint:%s-ok directive requires a reason", name)
+		}
+		report := func(pos token.Pos, format string, args ...any) {
+			if !sup.Suppressed(pos) {
+				pass.Reportf(pos, format, args...)
+			}
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !directive.IsHot(fd) {
+				continue
+			}
+			checkHot(pass, report, fd)
+		}
+	}
+	return nil
+}
+
+func checkHot(pass *analysis.Pass, report func(token.Pos, string, ...any), fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	sanctionedAppend := map[*ast.CallExpr]bool{}
+	invokedLit := map[*ast.FuncLit]bool{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			if isColdBlock(info, n) {
+				return false
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && astq.IsBuiltin(info, call, "append") && isSelfAppend(n.Lhs[len(n.Lhs)-1], call) {
+					sanctionedAppend[call] = true
+				}
+			}
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				invokedLit[lit] = true
+			}
+			checkCall(info, report, n, sanctionedAppend)
+		case *ast.FuncLit:
+			if !invokedLit[n] {
+				report(n.Pos(), "closure in hot path escapes to the heap")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "heap composite literal in hot path; take the value from a pool or free list")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates in hot path")
+			case *types.Map:
+				report(n.Pos(), "map literal allocates in hot path")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(info, n) && !isConstExpr(info, n) {
+				report(n.Pos(), "string concatenation allocates in hot path")
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags allocating builtins, string conversions, and interface
+// boxing at ordinary call sites.
+func checkCall(info *types.Info, report func(token.Pos, string, ...any), call *ast.CallExpr, sanctioned map[*ast.CallExpr]bool) {
+	switch {
+	case astq.IsBuiltin(info, call, "make"):
+		report(call.Pos(), "make allocates in hot path; reuse a pooled buffer")
+		return
+	case astq.IsBuiltin(info, call, "new"):
+		report(call.Pos(), "new allocates in hot path; reuse a pooled value")
+		return
+	case astq.IsBuiltin(info, call, "append"):
+		if !sanctioned[call] {
+			report(call.Pos(), "append outside the self-append idiom may allocate in hot path")
+		}
+		return
+	}
+	// Conversions: string([]byte) and []byte(string) copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type.Underlying()
+		src := info.TypeOf(call.Args[0])
+		if src != nil {
+			if isString(dst) && isByteSlice(src.Underlying()) {
+				report(call.Pos(), "[]byte to string conversion copies in hot path")
+				return
+			}
+			if isByteSlice(dst) && isString(src.Underlying()) && !isConstExpr(info, call.Args[0]) {
+				report(call.Pos(), "string to []byte conversion copies in hot path")
+				return
+			}
+		}
+		return
+	}
+	// Interface boxing: a concrete argument passed to an interface
+	// parameter forces a heap allocation for most values.
+	fn := astq.Callee(info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() && i == params.Len()-1 {
+				pt = params.At(params.Len() - 1).Type() // slice passed through
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at.Underlying()) {
+			continue
+		}
+		if tv, ok := info.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		report(arg.Pos(), "argument boxes %s into interface %s in hot path", at, pt)
+	}
+}
+
+// isColdBlock reports whether the block ends by panicking or by returning
+// a non-nil error, i.e. it is an error path the allocation budget does
+// not cover.
+func isColdBlock(info *types.Info, b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		return ok && astq.CalleeName(call) == "panic"
+	case *ast.ReturnStmt:
+		for _, res := range last.Results {
+			t := info.TypeOf(res)
+			if t == nil || !astq.IsErrorType(t) {
+				continue
+			}
+			if tv, ok := info.Types[res]; ok && tv.IsNil() {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// isSelfAppend reports whether dst and the append's first argument share
+// the same root object: x = append(x, ...) or x = append(x[:k], ...).
+func isSelfAppend(dst ast.Expr, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	src := ast.Unparen(call.Args[0])
+	if sl, ok := src.(*ast.SliceExpr); ok {
+		src = sl.X
+	}
+	d, s := astq.RootIdent(dst), astq.RootIdent(src)
+	return d != nil && s != nil && d.Name == s.Name && exprPath(dst) == exprPath(src)
+}
+
+// exprPath renders a selector chain like "k.events" for comparison.
+func exprPath(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.SliceExpr:
+		return exprPath(e.X)
+	}
+	return ""
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && isString(t.Underlying())
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/hotalloc"
+	"repro/internal/lint/linttest"
+)
+
+func TestHotPathAllocations(t *testing.T) {
+	linttest.Run(t, hotalloc.Analyzer, "hotalloc")
+}

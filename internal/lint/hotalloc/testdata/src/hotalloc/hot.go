@@ -1,0 +1,79 @@
+// Package hotalloc exercises the //hot:path allocation rules.
+package hotalloc
+
+import "errors"
+
+var errTruncated = errors.New("truncated")
+
+type ring struct {
+	buf   []byte
+	items []int
+	cb    func()
+}
+
+func sink(v any)                      {}
+func logf(fmtStr string, args ...any) { _ = fmtStr; _ = args }
+
+// Not annotated: allocations are fine here.
+func coldConstructor() *ring {
+	return &ring{buf: make([]byte, 64)}
+}
+
+// marshalInto is the steady-state encode step.
+//
+//hot:path
+func (r *ring) marshalInto(v byte) {
+	r.buf = append(r.buf, v) // self-append is the sanctioned idiom
+	r.buf = append(r.buf[:0], v)
+}
+
+// push exercises each forbidden construct.
+//
+//hot:path
+func (r *ring) push(n int, s string) {
+	r.cb = func() { r.items = nil } // want `closure in hot path escapes to the heap`
+	b := make([]byte, n)            // want `make allocates in hot path`
+	p := new(ring)                  // want `new allocates in hot path`
+	q := &ring{}                    // want `heap composite literal in hot path`
+	xs := []int{n}                  // want `slice literal allocates in hot path`
+	m := map[int]int{}              // want `map literal allocates in hot path`
+	other := append(r.items, n)     // want `append outside the self-append idiom`
+	t := s + "!"                    // want `string concatenation allocates in hot path`
+	u := string(r.buf)              // want `\[\]byte to string conversion copies in hot path`
+	w := []byte(s)                  // want `string to \[\]byte conversion copies in hot path`
+	sink(n)                         // want `argument boxes int into interface any in hot path`
+	logf("at %d", n)                // want `argument boxes int into interface any in hot path`
+	_, _, _, _, _, _, _, _, _ = b, p, q, xs, m, other, t, u, w
+}
+
+// decode's error branches are cold and may allocate.
+//
+//hot:path
+func (r *ring) decode(b []byte) (int, error) {
+	if len(b) < 4 {
+		head := string(b)
+		_ = head
+		return 0, errTruncated
+	}
+	if b[0] == 0xff {
+		bad := make([]byte, 8)
+		_ = bad
+		panic("poisoned frame")
+	}
+	return int(b[0]), nil
+}
+
+// run invokes its closure immediately, which stays on the stack.
+//
+//hot:path
+func (r *ring) run() {
+	func() { r.items = r.items[:0] }()
+}
+
+// waived allocation with a reason.
+//
+//hot:path
+func (r *ring) grow() {
+	//lint:hotalloc-ok amortised heap growth on pool miss
+	r.buf = append(make([]byte, 0, 2*cap(r.buf)), r.buf...)
+}

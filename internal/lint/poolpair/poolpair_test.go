@@ -1,0 +1,16 @@
+package poolpair_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/poolpair"
+)
+
+func TestGetPutPairing(t *testing.T) {
+	linttest.Run(t, poolpair.Analyzer, "poolpair")
+}
+
+func TestFreeListHygiene(t *testing.T) {
+	linttest.Run(t, poolpair.Analyzer, "freelist")
+}

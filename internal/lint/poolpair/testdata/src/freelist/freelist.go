@@ -1,0 +1,61 @@
+// Package freelist exercises the free-list pop/push hygiene rules.
+package freelist
+
+type job struct{ fn func() }
+
+type sched struct {
+	freeJobs  []*job  // popped with clear, pushed back: clean
+	freeDirty []*job  // popped without clearing the slot
+	freeDrain []*job  // popped but never refilled
+	freeIDs   []int32 // value elements need no clearing
+}
+
+func (s *sched) take() *job {
+	if n := len(s.freeJobs); n > 0 {
+		j := s.freeJobs[n-1]
+		s.freeJobs[n-1] = nil
+		s.freeJobs = s.freeJobs[:n-1]
+		return j
+	}
+	return &job{}
+}
+
+func (s *sched) give(j *job) {
+	s.freeJobs = append(s.freeJobs, j)
+}
+
+func (s *sched) takeDirty() *job {
+	if n := len(s.freeDirty); n > 0 {
+		j := s.freeDirty[n-1]
+		s.freeDirty = s.freeDirty[:n-1] // want `free-list pop without clearing the vacated slot`
+		return j
+	}
+	return &job{}
+}
+
+func (s *sched) giveDirty(j *job) {
+	s.freeDirty = append(s.freeDirty, j)
+}
+
+func (s *sched) takeDrain() *job {
+	if n := len(s.freeDrain); n > 0 {
+		j := s.freeDrain[n-1]
+		s.freeDrain[n-1] = nil
+		s.freeDrain = s.freeDrain[:n-1] // want `free list freeDrain is popped but never refilled`
+		return j
+	}
+	return &job{}
+}
+
+func (s *sched) takeID() int32 {
+	if n := len(s.freeIDs); n > 0 {
+		id := s.freeIDs[n-1]
+		s.freeIDs = s.freeIDs[:n-1]
+		return id
+	}
+	return 0
+}
+
+func (s *sched) giveID(id int32) {
+	s.freeIDs = append(s.freeIDs, id)
+}

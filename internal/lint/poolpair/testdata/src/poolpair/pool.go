@@ -1,0 +1,97 @@
+// Package poolpair exercises get/put pairing and free-list hygiene.
+package poolpair
+
+import "sync"
+
+type msg struct{ data []byte }
+
+type msgPool struct {
+	free []*msg
+}
+
+func (p *msgPool) newMsg() *msg      { return &msg{} }
+func (p *msgPool) recycleMsg(m *msg) {}
+
+type sink struct{ held *msg }
+
+func (s *sink) consume(m *msg) {}
+
+var global *msg
+
+// Balanced: the error path recycles, the success path hands off.
+func balanced(p *msgPool, s *sink, bad bool) {
+	m := p.newMsg()
+	if bad {
+		p.recycleMsg(m)
+		return
+	}
+	s.consume(m)
+}
+
+// The error path strands the message.
+func leakyReturn(p *msgPool, s *sink, bad bool) {
+	m := p.newMsg()
+	if bad {
+		return // want `return without releasing pooled value from newMsg`
+	}
+	s.consume(m)
+}
+
+// Falling off the end without any discharge.
+func leakyEnd(p *msgPool) {
+	m := p.newMsg()
+	_ = m.data
+} // want `function ends without releasing pooled value from newMsg`
+
+// Returning the pooled value passes ownership to the caller.
+func escapes(p *msgPool) *msg {
+	m := p.newMsg()
+	return m
+}
+
+// A deferred recycle discharges every path.
+func deferred(p *msgPool, bad bool) {
+	m := p.newMsg()
+	defer p.recycleMsg(m)
+	if bad {
+		return
+	}
+	_ = m.data
+}
+
+// Storing into a package-level variable defeats the pool.
+func globals(p *msgPool) {
+	m := p.newMsg()
+	global = m // want `pooled value from newMsg stored into package-level "global"`
+}
+
+// sync.Pool Get/Put through a type assertion.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func syncPoolLeak(bad bool) {
+	b := bufPool.Get().(*[]byte)
+	if bad {
+		return // want `return without releasing pooled value from Get`
+	}
+	bufPool.Put(b)
+}
+
+// Get on a non-sync.Pool type is not a pool get.
+type registry struct{}
+
+func (r *registry) Get() *msg { return nil }
+
+func notAPool(r *registry) {
+	m := r.Get()
+	_ = m
+}
+
+// Waived with a reason.
+func waived(p *msgPool, bad bool) {
+	m := p.newMsg()
+	if bad {
+		//lint:poolpair-ok shutdown path, the whole pool is dropped next
+		return
+	}
+	p.recycleMsg(m)
+}

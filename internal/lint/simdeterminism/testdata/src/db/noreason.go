@@ -1,0 +1,10 @@
+// Package db exercises the bare-directive rule: a suppression without a
+// reason is itself a violation (reported at the directive, so the
+// expectation lives on the preceding line via the suppressed statement).
+package db
+
+import "time"
+
+func bare() {
+	time.Sleep(1) //lint:simdeterminism-ok
+}

@@ -1,0 +1,13 @@
+// Package other is outside the deterministic set: nothing is reported.
+package other
+
+import "time"
+
+func wallclock(m map[int]int) int64 {
+	var last int
+	for _, v := range m {
+		last = v
+	}
+	go func() {}()
+	return time.Now().UnixNano() + int64(last)
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+type kernel struct{ now int64 }
+
+func (k *kernel) Schedule(d int64, fn func()) {}
+
+func clocks() time.Duration {
+	t := time.Now()              // want `time.Now in deterministic package`
+	time.Sleep(time.Millisecond) // want `time.Sleep in deterministic package`
+	_ = time.Since(t)            // want `time.Since in deterministic package`
+	d := 5 * time.Millisecond    // duration arithmetic is fine
+	//lint:simdeterminism-ok startup banner timestamp never feeds the simulation
+	_ = time.Now()
+	return d
+}
+
+func randoms(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // explicit seeding is fine
+	n := r.Intn(10)                     // method on seeded generator is fine
+	n += rand.Intn(10)                  // want `global math/rand source \(rand.Intn\)`
+	rand.Shuffle(3, func(i, j int) {})  // want `global math/rand source \(rand.Shuffle\)`
+	return n
+}
+
+func spawn() {
+	go func() {}() // want `raw goroutine in deterministic package`
+}
+
+func mapRanges(k *kernel, m map[int]int, ch chan int) ([]int, int) {
+	var keys []int
+	sum := 0
+	for key := range m {
+		keys = append(keys, key) // collect idiom: fine
+		sum += m[key]            // integer accumulation: fine
+	}
+	out := make(map[int]int, len(m))
+	for key, v := range m {
+		out[key] = v * 2 // keyed by loop key: fine
+	}
+	for key, v := range m {
+		local := v * 2
+		_ = local
+		out[v] = key // want `order-sensitive write through outer state`
+	}
+	var last int
+	for _, v := range m {
+		last = v // want `order-sensitive write to "last"`
+	}
+	for _, v := range m {
+		ch <- v // want `channel send inside range over map`
+	}
+	for key := range m {
+		k.Schedule(int64(key), func() {}) // want `Schedule call inside range over map`
+	}
+	for key := range m {
+		delete(m, key) // delete by loop key: fine
+	}
+	for key := range m {
+		delete(out, key+1) // want `delete with a non-loop key`
+	}
+	var total float64
+	for _, v := range m {
+		total += float64(v) // want `order-sensitive write to "total"`
+	}
+	for _, v := range m { //lint:simdeterminism-ok single-element map by construction
+		last = v
+	}
+	_ = total
+	_ = last
+	return keys, sum
+}

@@ -1,0 +1,12 @@
+package statcount_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/statcount"
+)
+
+func TestSilentDropAccounting(t *testing.T) {
+	linttest.Run(t, statcount.Analyzer, "statcount")
+}

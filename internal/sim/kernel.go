@@ -96,17 +96,23 @@ func (k *Kernel) Pending() int { return k.live }
 // priority, returning an ID usable with Cancel. Negative delays are an
 // error: scheduling into the past would break causality, so Schedule panics,
 // as this always indicates a bug in the calling model.
+//
+//hot:path
 func (k *Kernel) Schedule(delay Time, fn func()) EventID {
 	return k.SchedulePri(delay, PriorityNormal, fn)
 }
 
 // ScheduleAt is Schedule with an absolute timestamp, which must not precede
 // the current time.
+//
+//hot:path
 func (k *Kernel) ScheduleAt(at Time, fn func()) EventID {
 	return k.SchedulePriAt(at, PriorityNormal, fn)
 }
 
 // SchedulePri is Schedule with an explicit priority band.
+//
+//hot:path
 func (k *Kernel) SchedulePri(delay Time, pri Priority, fn func()) EventID {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
@@ -115,6 +121,8 @@ func (k *Kernel) SchedulePri(delay Time, pri Priority, fn func()) EventID {
 }
 
 // SchedulePriAt is ScheduleAt with an explicit priority band.
+//
+//hot:path
 func (k *Kernel) SchedulePriAt(at Time, pri Priority, fn func()) EventID {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, k.now))
@@ -147,7 +155,10 @@ func (k *Kernel) SchedulePriAt(at Time, pri Priority, fn func()) EventID {
 // tie-break), so the dispatch order is identical whatever the arity.
 
 // push appends ev and restores the heap invariant (sift up).
+//
+//hot:path
 func (k *Kernel) push(ev event) {
+	//lint:hotalloc-ok amortised heap growth; the backing array is reused across pops
 	h := append(k.events, ev)
 	i := len(h) - 1
 	for i > 0 {
@@ -164,6 +175,8 @@ func (k *Kernel) push(ev event) {
 
 // pop removes and returns the heap minimum (sift down). The heap must be
 // non-empty.
+//
+//hot:path
 func (k *Kernel) pop() event {
 	h := k.events
 	top := h[0]
@@ -214,6 +227,8 @@ func (k *Kernel) vacate(slot uint32) {
 // Cancellation is lazy: the slot is freed immediately but the heap node
 // stays queued until popped, where the generation mismatch discards it —
 // keeping Cancel O(1) with no heap surgery.
+//
+//hot:path
 func (k *Kernel) Cancel(id EventID) bool {
 	slot := uint32(id >> 32)
 	gen := uint32(id)
@@ -236,6 +251,8 @@ func (k *Kernel) stale(ev event) bool {
 
 // Step dispatches the next pending event, if any, and reports whether one
 // was dispatched.
+//
+//hot:path
 func (k *Kernel) Step() bool {
 	for len(k.events) > 0 {
 		ev := k.pop()

@@ -342,6 +342,8 @@ type arrival struct {
 }
 
 // scheduleArrival schedules pkt's reception at dst at the given instant.
+//
+//hot:path
 func (n *Network) scheduleArrival(at sim.Time, dst *Host, pkt *Packet) {
 	var a *arrival
 	if ln := len(n.freeArr); ln > 0 {
@@ -349,6 +351,7 @@ func (n *Network) scheduleArrival(at sim.Time, dst *Host, pkt *Packet) {
 		n.freeArr[ln-1] = nil
 		n.freeArr = n.freeArr[:ln-1]
 	} else {
+		//lint:hotalloc-ok pool miss; the thunk joins the free list after it fires
 		a = &arrival{n: n}
 		a.fire = a.run
 	}
@@ -376,6 +379,8 @@ type transmission struct {
 }
 
 // scheduleTransmission queues pkt's injection after delay.
+//
+//hot:path
 func (n *Network) scheduleTransmission(delay sim.Time, src, dst *Host, members []NodeID, pkt *Packet) {
 	var tx *transmission
 	if ln := len(n.freeTx); ln > 0 {
@@ -383,6 +388,7 @@ func (n *Network) scheduleTransmission(delay sim.Time, src, dst *Host, members [
 		n.freeTx[ln-1] = nil
 		n.freeTx = n.freeTx[:ln-1]
 	} else {
+		//lint:hotalloc-ok pool miss; the thunk joins the free list after it fires
 		tx = &transmission{n: n}
 		tx.fire = tx.run
 	}
@@ -403,6 +409,8 @@ func (tx *transmission) run() {
 
 // newPacket takes a Packet from the free list (or allocates one) with a
 // single reference held by the in-flight transmission.
+//
+//hot:path
 func (n *Network) newPacket() *Packet {
 	if ln := len(n.free); ln > 0 {
 		pkt := n.free[ln-1]
@@ -410,11 +418,14 @@ func (n *Network) newPacket() *Packet {
 		n.free = n.free[:ln-1]
 		return pkt
 	}
+	//lint:hotalloc-ok pool miss; the struct joins the free list on release
 	return &Packet{}
 }
 
 // release drops one reference; the last reference returns the struct (not
 // its Data, which receivers may retain) to the pool.
+//
+//hot:path
 func (n *Network) release(pkt *Packet) {
 	pkt.refs--
 	if pkt.refs <= 0 {
@@ -428,6 +439,8 @@ func (n *Network) release(pkt *Packet) {
 // caller must not modify the buffer after the call (the paper's zero-copy
 // wire path — receivers parse, and may retain, the very bytes the sender
 // built).
+//
+//hot:path
 func (n *Network) Send(src, dst NodeID, data []byte, delay sim.Time) error {
 	hs, ok := n.hosts[src]
 	if !ok {
@@ -449,6 +462,8 @@ func (n *Network) Send(src, dst NodeID, data []byte, delay sim.Time) error {
 // reached: wide-area dissemination falls back to unicast at the protocol
 // layer, as in the paper's prototype. As with Send, data is handed off and
 // must not be modified by the caller afterwards; all receivers share it.
+//
+//hot:path
 func (n *Network) Multicast(src NodeID, g Group, data []byte, delay sim.Time) error {
 	hs, ok := n.hosts[src]
 	if !ok {
@@ -515,6 +530,8 @@ func (n *Network) transmit(src, dst *Host, pkt *Packet) {
 // transmitMulticast performs one wire transmission reaching all same-LAN
 // group members. Every receiver holds a reference on the shared packet; the
 // injection reference is dropped once the arrivals are scheduled.
+//
+//hot:path
 func (n *Network) transmitMulticast(src *Host, members []NodeID, pkt *Packet) {
 	if src.down {
 		n.release(pkt)
@@ -539,6 +556,8 @@ func (n *Network) transmitMulticast(src *Host, members []NodeID, pkt *Packet) {
 
 // lanTransmit serializes a frame burst on the shared medium and returns the
 // arrival instant at same-segment receivers.
+//
+//hot:path
 func (n *Network) lanTransmit(l *LAN, wire int) sim.Time {
 	start := max(n.k.Now(), l.busyUntil)
 	end := start + l.txTime(wire)
@@ -552,6 +571,8 @@ func (n *Network) lanTransmit(l *LAN, wire int) sim.Time {
 // dropped on the way out. Drop, cut, and receive accounting is identical
 // with and without a tracer attached — only the trace records themselves
 // are conditional.
+//
+//hot:path
 func (n *Network) arrive(dst *Host, pkt *Packet) {
 	defer n.release(pkt)
 	if dst.down {
