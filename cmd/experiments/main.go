@@ -14,6 +14,9 @@
 //	           split, misprediction rate, rollbacks (extension)
 //	recovery   terminal crash vs crash-and-rejoin: downtime, recovery
 //	           duration, snapshot transfer, delta catch-up (extension)
+//	overload   offered-load sweep past saturation: committed throughput,
+//	           rejections, retries, queue/backlog peaks — graceful
+//	           degradation vs collapse (extension)
 //	all     everything above
 //
 // Every grid point runs -reps independent replications (derived seeds) and
@@ -44,7 +47,7 @@ func main() {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig3|fig4|fig5|fig6|table1|fig7|table2|protocols|recovery|all")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig3|fig4|fig5|fig6|table1|fig7|table2|protocols|recovery|overload|all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -96,11 +99,13 @@ func main() {
 		err = h.protocols()
 	case "recovery":
 		err = h.recovery()
+	case "overload":
+		err = h.overload()
 	case "all":
 		steps := []func() error{
 			h.fig3, h.fig4,
 			func() error { return h.fig5and6(true, true) },
-			h.table1, h.fig7, h.table2, h.protocols, h.recovery,
+			h.table1, h.fig7, h.table2, h.protocols, h.recovery, h.overload,
 		}
 		for _, step := range steps {
 			if err = step(); err != nil {

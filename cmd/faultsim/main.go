@@ -40,6 +40,7 @@ func main() {
 	replay := fs.Int64("replay", 0, "re-run the single campaign schedule with this seed")
 	list := fs.Bool("list", false, "print the resolved fault matrix or campaign schedule and exit without running")
 	rejoin := fs.Bool("rejoin", false, "force every campaign schedule to include a crash-and-rejoin")
+	overload := fs.Bool("overload", false, "force every campaign schedule to include saturation and a slow-node gray failure")
 	short := fs.Bool("short", false, "smoke mode for CI: small transaction counts, clients, and seeds")
 	protoFlag := fs.String("protocol", "both", "termination variant under test: conservative, optimistic, or both")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -71,8 +72,13 @@ func main() {
 		Clients:    *clients,
 		TotalTxns:  *txns,
 		MaxSimTime: 20 * sim.Minute,
+		// Overload protection on: saturation and slow-node rows must
+		// degrade gracefully (bounded queues, explicit rejections) rather
+		// than thrash, and every other row must stay safe with the
+		// admission machinery in the loop.
+		Admission: core.DefaultAdmissionConfig(),
 	}
-	params := campaign.Params{Sites: *sites, Rejoin: *rejoin}
+	params := campaign.Params{Sites: *sites, Rejoin: *rejoin, Overload: *overload}
 	if *short {
 		// Shorter runs need faults that land while traffic still flows.
 		params.Horizon = 15 * sim.Second
@@ -107,6 +113,9 @@ func main() {
 		repro := fmt.Sprintf("faultsim -sites %d -clients %d -txns %d", *sites, *clients, *txns)
 		if *short {
 			repro = "faultsim -short -sites " + fmt.Sprint(*sites)
+		}
+		if *overload {
+			repro += " -overload"
 		}
 		repro += " -protocol " + string(p)
 
@@ -167,6 +176,19 @@ func matrix() []struct {
 			Loss:     faults.Loss{Kind: faults.LossRandom, Rate: 0.05},
 			Crashes:  []faults.Crash{{Site: 2, At: 20 * sim.Second}},
 			Recovers: []faults.Recover{{Site: 2, At: 35 * sim.Second}},
+		}},
+		{"saturation x2 @15s (sustained)", faults.Config{
+			Saturation: faults.Saturation{Factor: 2, At: 15 * sim.Second},
+		}},
+		{"slow-node x10 non-seq @15s", faults.Config{
+			SlowNodes: []faults.SlowNode{{Site: 3, Factor: 10, At: 15 * sim.Second}},
+		}},
+		{"slow-node x10 sequencer @15s", faults.Config{
+			SlowNodes: []faults.SlowNode{{Site: 1, Factor: 10, At: 15 * sim.Second}},
+		}},
+		{"saturation x2 + slow-node x10", faults.Config{
+			Saturation: faults.Saturation{Factor: 2, At: 15 * sim.Second},
+			SlowNodes:  []faults.SlowNode{{Site: 3, Factor: 10, At: 15 * sim.Second}},
 		}},
 	}
 }
@@ -286,6 +308,10 @@ func verdictOf(pt expr.Point) (string, string) {
 			detail += fmt.Sprintf(" recoveries=%d recovery=%.0fms transfer=%.0fKB delta=%d lag=%d",
 				r.Recoveries, r.MeanRecoveryMS, float64(r.TransferBytes)/1024,
 				r.DeltaApplied, maxRejoinLag(r))
+		}
+		if r.Rejected > 0 || r.Retries > 0 {
+			detail += fmt.Sprintf(" rejected=%d retries=%d backlogpeak=%d queuepeak=%dKB",
+				r.Rejected, r.Retries, r.BacklogPeak, r.GCS.QueuePeakBytes/1024)
 		}
 		return "SAFE", detail
 	}

@@ -36,6 +36,20 @@
 // post-rejoin commit lag surface through core.Results/Aggregate, the
 // faultsim verdict lines, and cmd/experiments's "recovery" table.
 //
+// Overload is a first-class faultload: the group communication layer bounds
+// its transmit queue and gates transmission on per-destination credits, the
+// replica turns backlog into hysteresis backpressure, and the database
+// refuses past-capacity work with an explicit Rejected outcome that clients
+// retry idempotently (same TID, deterministic jittered backoff). Two fault
+// kinds drive it — think-time saturation and the never-suspected slow-node
+// gray failure — forced into every campaign schedule by `faultsim
+// -overload`, swept by cmd/experiments's "overload" table (graceful
+// degradation vs collapse at 2x), and pinned by the overload benchmarks.
+// The sweep's faultload exposed a non-uniform sequencer delivery; the
+// sequencer now holds self-assigned globals until a majority of the view
+// acks the ordering announcement (README.md's "Overload and flow control"
+// section has the details).
+//
 // The simulation critical path is engineered to allocate nothing in steady
 // state: certification runs against an inverted last-writer index
 // (O(|ReadSet|) per transaction, differential-tested against the paper's

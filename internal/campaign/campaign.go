@@ -38,11 +38,14 @@ const (
 	KindCrash      = "crash"
 	KindRejoin     = "crash-rejoin"
 	KindPartition  = "partition"
+	KindSaturation = "saturation"
+	KindSlowNode   = "slow-node"
 )
 
 // Kinds lists every fault kind a campaign can inject, in report order.
 func Kinds() []string {
-	return []string{KindDrift, KindLatency, KindLossRandom, KindLossBursty, KindCrash, KindRejoin, KindPartition}
+	return []string{KindDrift, KindLatency, KindLossRandom, KindLossBursty,
+		KindCrash, KindRejoin, KindPartition, KindSaturation, KindSlowNode}
 }
 
 // Params bounds the schedule space.
@@ -61,6 +64,11 @@ type Params struct {
 	// exercised on every push). Without it, crashes recover with
 	// probability 0.6 each.
 	Rejoin bool
+	// Overload forces every schedule to contain both overload faults —
+	// sustained saturation and a slow-node gray failure — so overload
+	// campaigns stress the flow-control and admission machinery on every
+	// schedule. Without it, each is drawn with probability 0.25.
+	Overload bool
 }
 
 func (p *Params) fill() {
@@ -135,6 +143,22 @@ func (s Schedule) Describe() string {
 			fmt.Fprintf(&b, "    partition sites %v at %v, heal at %v\n", pt.Sites, pt.At, pt.Heal)
 		} else {
 			fmt.Fprintf(&b, "    partition sites %v at %v (no heal)\n", pt.Sites, pt.At)
+		}
+	}
+	if f.Saturation.Active() {
+		if f.Saturation.Until != 0 {
+			fmt.Fprintf(&b, "    saturation x%.1f at %v, until %v\n",
+				f.Saturation.Factor, f.Saturation.At, f.Saturation.Until)
+		} else {
+			fmt.Fprintf(&b, "    saturation x%.1f at %v (sustained)\n",
+				f.Saturation.Factor, f.Saturation.At)
+		}
+	}
+	for _, sn := range f.SlowNodes {
+		if sn.Until != 0 {
+			fmt.Fprintf(&b, "    slow-node site %d x%.0f at %v, until %v\n", sn.Site, sn.Factor, sn.At, sn.Until)
+		} else {
+			fmt.Fprintf(&b, "    slow-node site %d x%.0f at %v (sustained)\n", sn.Site, sn.Factor, sn.At)
 		}
 	}
 	if b.Len() == 0 {
@@ -252,6 +276,36 @@ func New(seed int64, p Params) Schedule {
 		if rejoined {
 			s.Kinds = append(s.Kinds, KindRejoin)
 		}
+	}
+
+	// Overload faults compose freely with everything above: saturation is
+	// global (think-time compression at every client) and a slow node
+	// degrades without crashing, so neither consumes quorum budget.
+	if p.Overload || g.Bool(0.25) {
+		sat := faults.Saturation{
+			Factor: 1.5 + 1.5*g.Float64(),
+			At:     g.UniformDur(5*sim.Second, p.Horizon/2),
+		}
+		if p.Overload {
+			sat.Factor = 2 // the issue's canonical 2x offered load
+		}
+		if g.Bool(0.5) {
+			sat.Until = sat.At + g.UniformDur(10*sim.Second, 20*sim.Second)
+		}
+		f.Saturation = sat
+		s.Kinds = append(s.Kinds, KindSaturation)
+	}
+	if p.Overload || g.Bool(0.25) {
+		sn := faults.SlowNode{
+			Site:   int32(1 + g.Intn(p.Sites)),
+			Factor: 10, // the issue's canonical gray failure: x10 degradation
+			At:     g.UniformDur(5*sim.Second, p.Horizon/2),
+		}
+		if g.Bool(0.4) {
+			sn.Until = sn.At + g.UniformDur(10*sim.Second, 20*sim.Second)
+		}
+		f.SlowNodes = []faults.SlowNode{sn}
+		s.Kinds = append(s.Kinds, KindSlowNode)
 	}
 
 	// Never emit a fault-free schedule: a campaign run must stress

@@ -40,6 +40,10 @@ const (
 	// prefix of the survivors' — it either committed a transaction the
 	// survivors ordered differently, or committed beyond them.
 	KindNonPrefix
+	// KindDuplicate: one site committed the same transaction identifier
+	// twice — the idempotent-resubmission guarantee broke (a rejected
+	// transaction that was retried must commit at most once).
+	KindDuplicate
 )
 
 // String names the violation kind.
@@ -53,6 +57,8 @@ func (k Kind) String() string {
 		return "length-mismatch"
 	case KindNonPrefix:
 		return "non-prefix"
+	case KindDuplicate:
+		return "double-commit"
 	default:
 		return "unknown"
 	}
@@ -100,6 +106,15 @@ func Logs(sites []SiteLog) *Violation {
 	ordered := make([]SiteLog, len(sites))
 	copy(ordered, sites)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Site < ordered[j].Site })
+
+	// Per-site duplicate scan first: a double commit poisons every other
+	// comparison (the same TID at two positions can make two divergent logs
+	// look like a permutation), so it is reported with its own kind.
+	for i := range ordered {
+		if v := findDuplicate(&ordered[i]); v != nil {
+			return v
+		}
+	}
 
 	var ref *SiteLog
 	for i := range ordered {
@@ -164,6 +179,25 @@ func compare(s, ref *SiteLog) *Violation {
 			Detail: fmt.Sprintf("stopped site committed %d transactions, beyond the survivors' %d",
 				len(s.Entries), len(ref.Entries)),
 		}
+	}
+	return nil
+}
+
+// findDuplicate scans one site's log for a transaction committed twice.
+// Retried submissions make this reachable in principle: the client resubmits
+// the same TID after a rejection, and both the original and the resubmission
+// must never certify. The scan turns that bug into a first-class verdict.
+func findDuplicate(s *SiteLog) *Violation {
+	seen := make(map[uint64]int, len(s.Entries))
+	for i, e := range s.Entries {
+		if first, dup := seen[e.TID]; dup {
+			return &Violation{
+				Kind: KindDuplicate, Site: s.Site, Ref: s.Site, Pos: i,
+				Detail: fmt.Sprintf("tid=%x committed at position %d and again at position %d",
+					e.TID, first, i),
+			}
+		}
+		seen[e.TID] = i
 	}
 	return nil
 }

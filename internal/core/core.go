@@ -86,6 +86,12 @@ type Config struct {
 	Faults faults.Config
 	// ReadSetThreshold upgrades large read-sets to table locks.
 	ReadSetThreshold int
+	// Admission enables the overload-protection machinery: a per-site
+	// active-transaction cap, replica backlog watermarks that gate
+	// admission, and client retry with exponential backoff after explicit
+	// rejections. Nil runs without admission control (rejections never
+	// happen and overload degrades the old way, by thrashing).
+	Admission *AdmissionConfig
 	// ScanCertifier runs certification with the reference history-scan
 	// procedure instead of the default inverted last-writer index (same
 	// verdicts, O(concurrent-history × read-set) cost per transaction).
@@ -110,6 +116,38 @@ type Config struct {
 	DrainTime sim.Time
 	// CollectTxnLog records every transaction in Results.TxnLog.
 	CollectTxnLog bool
+}
+
+// AdmissionConfig tunes the overload-protection machinery.
+type AdmissionConfig struct {
+	// MaxActivePerSite caps concurrently-active transactions per server; a
+	// Submit that would exceed it is rejected outright. 0 disables the cap.
+	MaxActivePerSite int
+	// BacklogHigh and BacklogLow are the replica termination-backlog
+	// watermarks: admission closes when the backlog reaches BacklogHigh and
+	// reopens when it drains to BacklogLow (hysteresis — the gate never
+	// oscillates under constant load). BacklogHigh 0 disables the gate.
+	BacklogHigh int
+	BacklogLow  int
+	// Retry governs client resubmission after rejections; the zero value
+	// makes every rejection final.
+	Retry tpcc.RetryPolicy
+}
+
+// DefaultAdmissionConfig returns the tuning the fault campaigns run with:
+// 64 active transactions per site, backlog watermarks 96/32, and up to 4
+// attempts with 50ms-to-2s exponential backoff.
+func DefaultAdmissionConfig() *AdmissionConfig {
+	return &AdmissionConfig{
+		MaxActivePerSite: 64,
+		BacklogHigh:      96,
+		BacklogLow:       32,
+		Retry: tpcc.RetryPolicy{
+			MaxAttempts: 4,
+			BaseBackoff: 50 * sim.Millisecond,
+			MaxBackoff:  2 * sim.Second,
+		},
+	}
 }
 
 func (c *Config) fill() {
@@ -275,6 +313,9 @@ func New(cfg Config) (*Model, error) {
 			storage := db.NewStorage(m.k, cfg.Storage, m.rng.Fork(fmt.Sprintf("disk-%d", id)))
 			server := db.NewServer(m.k, dbsm.SiteID(id), cpus, storage)
 			server.ReadSetThreshold = cfg.ReadSetThreshold
+			if cfg.Admission != nil {
+				server.MaxActive = cfg.Admission.MaxActivePerSite
+			}
 			site.Server = server
 			site.Gen = tpcc.NewGenerator(dbsm.SiteID(id), warehouses, cfg.Calibration,
 				m.rng.Fork(fmt.Sprintf("gen-%d", id)))
@@ -408,6 +449,37 @@ func New(cfg Config) (*Model, error) {
 		}
 	}
 
+	// Overload faults. Saturation compresses every client's think time (the
+	// clients are built below; the closures fire only once the kernel runs).
+	if sat := cfg.Faults.Saturation; sat.Active() {
+		if sat.Until != 0 && sat.Until <= sat.At {
+			return nil, fmt.Errorf("core: saturation ends at %v, not after its start %v", sat.Until, sat.At)
+		}
+		factor := sat.Factor
+		m.k.ScheduleAt(sat.At, func() { m.setLoadFactor(factor) })
+		if sat.Until != 0 {
+			m.k.ScheduleAt(sat.Until, func() { m.setLoadFactor(1) })
+		}
+	}
+	for _, sn := range cfg.Faults.SlowNodes {
+		if sn.Factor <= 1 {
+			continue
+		}
+		idx := int(sn.Site) - 1
+		if idx < 0 || idx >= len(m.sites) {
+			return nil, fmt.Errorf("core: slow-node targets unknown site %d", sn.Site)
+		}
+		if sn.Until != 0 && sn.Until <= sn.At {
+			return nil, fmt.Errorf("core: slow-node ends at %v, not after its start %v", sn.Until, sn.At)
+		}
+		site := m.sites[idx]
+		factor := sn.Factor
+		m.k.ScheduleAt(sn.At, func() { m.setSlow(site, factor) })
+		if sn.Until != 0 {
+			m.k.ScheduleAt(sn.Until, func() { m.setSlow(site, 1) })
+		}
+	}
+
 	// Clients are assigned round-robin: the ten clients of one warehouse
 	// spread across sites, so hot-row conflicts that local locks would
 	// serialize on a single site surface as certification conflicts
@@ -430,6 +502,9 @@ func New(cfg Config) (*Model, error) {
 			Stop:   m.takeTxnSlot,
 			OnDone: m.onDone,
 		}
+		if cfg.Admission != nil {
+			cl.Retry = cfg.Admission.Retry
+		}
 		m.clients = append(m.clients, cl)
 		cl.Start(m.k, m.rng.Fork(fmt.Sprintf("client-%d", i)))
 	}
@@ -447,6 +522,27 @@ func (m *Model) Dedicated() *Site { return m.dedicated }
 
 // Network exposes the simulated network.
 func (m *Model) Network() *simnet.Network { return m.net }
+
+// setLoadFactor applies a saturation factor to every client.
+func (m *Model) setLoadFactor(f float64) {
+	for _, c := range m.clients {
+		c.SetLoadFactor(f)
+	}
+}
+
+// setSlow applies (factor > 1) or clears (factor <= 1) a gray-failure
+// degradation on one site: simulated CPU work, disk service time, and the
+// inbound link all slow down, while the protocol's real jobs — and with them
+// heartbeats and gossip — stay timely, so the failure detector never fires.
+func (m *Model) setSlow(s *Site, factor float64) {
+	s.CPUs.SetSimSlowdown(factor)
+	s.Server.Storage().SetSlowdown(factor)
+	var extra sim.Time
+	if factor > 1 {
+		extra = sim.Time((factor - 1) * float64(100*sim.Microsecond))
+	}
+	s.Host.SetExtraDelay(extra)
+}
 
 // takeTxnSlot reserves one transaction from the global budget; it reports
 // true (stop) when the budget is exhausted.
@@ -511,13 +607,17 @@ func (m *Model) buildStack(s *Site, joining bool) error {
 
 // buildReplica assembles a site's termination glue over the current stack.
 func (m *Model) buildReplica(s *Site, recovering bool) {
-	s.Replica = replica.New(s.RT, s.Stack, s.Server, replica.Options{
+	opts := replica.Options{
 		Optimistic:       m.cfg.Protocol == ProtocolOptimistic,
 		ReadSetThreshold: m.cfg.ReadSetThreshold,
 		ScanCertifier:    m.cfg.ScanCertifier,
 		Replicates:       replicatesFunc(int(s.ID)-1, m.cfg.Sites, m.cfg.ReplicationDegree),
 		Recovering:       recovering,
-	})
+	}
+	if ad := m.cfg.Admission; ad != nil {
+		opts.BacklogHigh, opts.BacklogLow = ad.BacklogHigh, ad.BacklogLow
+	}
+	s.Replica = replica.New(s.RT, s.Stack, s.Server, opts)
 }
 
 // crash stops a site completely, capturing its crash horizon (applied
@@ -639,14 +739,22 @@ func (m *Model) quiesced() bool {
 	if m.issued < m.cfg.TotalTxns {
 		return false
 	}
+	for _, c := range m.clients {
+		// A backoff timer holds an unsubmitted retry: the run must stay
+		// open for the resubmission, or the retried transaction would be
+		// cut off mid-flight.
+		if c.RetryPending() {
+			return false
+		}
+	}
 	live := int64(0)
 	for _, s := range m.sites {
 		if s.Life.State() == recovery.StateRecovering || m.pendingRecover[s] {
 			return false
 		}
 		if s.operational() {
-			sub, com, ab := s.Server.Totals()
-			live += sub - com - ab
+			sub, com, ab, rej := s.Server.Totals()
+			live += sub - com - ab - rej
 		}
 	}
 	return live == 0

@@ -24,6 +24,9 @@ type ClassResult struct {
 	AbortLock int64
 	AbortCert int64
 	AbortUser int64
+	// Rejected counts admission-control refusals (not aborts: the
+	// transaction never executed, and the client was invited to retry).
+	Rejected int64
 	// AbortRatePct is aborted/completed in percent.
 	AbortRatePct float64
 	// MeanLatencyMS is the average committed latency.
@@ -42,10 +45,14 @@ type SiteResult struct {
 	Recovered bool
 	// Partitioned reports the site spent part of the run isolated in a
 	// partition minority; its log is held to the prefix condition.
-	Partitioned   bool
-	Submitted     int64
-	Committed     int64
-	Aborted       int64
+	Partitioned bool
+	Submitted   int64
+	Committed   int64
+	Aborted     int64
+	// Rejected counts admission-control refusals at this site; BacklogPeak
+	// is the deepest termination backlog its replica ever reached.
+	Rejected      int64
+	BacklogPeak   int64
 	CPUUtilPct    float64 // all work
 	CPUSimUtilPct float64 // transaction processing
 	CPURealUtil   float64 // protocol (real) jobs — Figure 7(c)
@@ -75,6 +82,16 @@ type Results struct {
 	Submitted int64
 	Committed int64
 	Aborted   int64
+	// Overload counters. Rejected sums explicit admission refusals (server
+	// side); Retries and GiveUps sum client resubmissions and abandoned
+	// transactions; RetryLat samples first-submit-to-final-outcome latency
+	// (ms) of transactions that needed at least one retry; BacklogPeak is
+	// the deepest replica termination backlog across sites.
+	Rejected    int64
+	Retries     int64
+	GiveUps     int64
+	RetryLat    *metrics.Sample
+	BacklogPeak int64
 	// TPM is committed transactions per minute — Figure 5(a).
 	TPM float64
 	// MeanLatencyMS and P95LatencyMS summarize committed latency —
@@ -159,6 +176,7 @@ func (m *Model) results() *Results {
 		LatUpdate:     &metrics.Sample{},
 		CertLat:       &metrics.Sample{},
 		CertDecideLat: &metrics.Sample{},
+		RetryLat:      &metrics.Sample{},
 		TxnLog:        &m.txnLog,
 		Events:        m.k.Executed(),
 	}
@@ -173,7 +191,7 @@ func (m *Model) results() *Results {
 	liveSites := 0
 	now := m.k.Now()
 	for _, s := range m.sites {
-		sub, com, ab := s.Server.Totals()
+		sub, com, ab, rej := s.Server.Totals()
 		life := s.Life
 		sr := SiteResult{
 			Site:          s.ID,
@@ -184,6 +202,7 @@ func (m *Model) results() *Results {
 			Submitted:     sub,
 			Committed:     com,
 			Aborted:       ab,
+			Rejected:      rej,
 			RemoteApplied: s.Server.RemoteApplied(),
 			DowntimeMS:    life.Downtime(now).Millis(),
 			RecoveryMS:    life.RecoveryTime(now).Millis(),
@@ -216,10 +235,15 @@ func (m *Model) results() *Results {
 		r.PreApplyWasted += repStats.PreApplyWasted
 		r.DeltaApplied += repStats.DeltaApplied
 		sr.DeltaApplied = repStats.DeltaApplied
+		sr.BacklogPeak = repStats.BacklogPeak
+		if repStats.BacklogPeak > r.BacklogPeak {
+			r.BacklogPeak = repStats.BacklogPeak
+		}
 		r.Sites = append(r.Sites, sr)
 		r.Submitted += sub
 		r.Committed += com
 		r.Aborted += ab
+		r.Rejected += rej
 		if s.operational() {
 			liveSites++
 			r.CPUUtilPct += sr.CPUUtilPct
@@ -249,6 +273,13 @@ func (m *Model) results() *Results {
 		}
 		accumulateGCS(&r.GCS, gcsStats)
 	}
+	for _, c := range m.clients {
+		r.Retries += c.Retries()
+		r.GiveUps += c.GiveUps()
+		for _, v := range c.RetryLat().Values() {
+			r.RetryLat.Add(v)
+		}
+	}
 	r.RejoinViolations = m.rejoinViolations
 	r.RejoinErr = m.rejoinViolation
 	if liveSites > 0 {
@@ -268,6 +299,12 @@ func (m *Model) results() *Results {
 		r.GCS.Gossips += st.Gossips
 		r.GCS.Blocked += st.Blocked
 		r.GCS.BlockedTime += st.BlockedTime
+		r.GCS.CreditStalls += st.CreditStalls
+		r.GCS.AssignDeferred += st.AssignDeferred
+		r.GCS.FlowRejected += st.FlowRejected
+		if st.QueuePeakBytes > r.GCS.QueuePeakBytes {
+			r.GCS.QueuePeakBytes = st.QueuePeakBytes
+		}
 	}
 	if duration > 0 {
 		r.TPM = float64(r.Committed) / (duration.Seconds() / 60)
@@ -326,6 +363,7 @@ func accumulateGCS(dst *gcs.Stats, s gcs.Stats) {
 	dst.Sent += s.Sent
 	dst.Retransmits += s.Retransmits
 	dst.Nacks += s.Nacks
+	dst.AssignAcks += s.AssignAcks
 	dst.Gossips += s.Gossips
 	dst.GossipsRecv += s.GossipsRecv
 	dst.Delivered += s.Delivered
@@ -338,6 +376,13 @@ func accumulateGCS(dst *gcs.Stats, s gcs.Stats) {
 	dst.QuorumLosses += s.QuorumLosses
 	dst.JoinRequests += s.JoinRequests
 	dst.Joins += s.Joins
+	dst.CreditStalls += s.CreditStalls
+	dst.AssignDeferred += s.AssignDeferred
+	dst.FlowRejected += s.FlowRejected
+	// Peak gauges fold with max, not sum.
+	if s.QueuePeakBytes > dst.QueuePeakBytes {
+		dst.QueuePeakBytes = s.QueuePeakBytes
+	}
 }
 
 // accumulateReplica folds one replica's counters into an accumulator.
@@ -350,6 +395,11 @@ func accumulateReplica(dst *replica.Stats, s replica.Stats) {
 	dst.PreApplied += s.PreApplied
 	dst.PreApplyWasted += s.PreApplyWasted
 	dst.DeltaApplied += s.DeltaApplied
+	dst.MulticastRefused += s.MulticastRefused
+	dst.Backpressure += s.Backpressure
+	if s.BacklogPeak > dst.BacklogPeak {
+		dst.BacklogPeak = s.BacklogPeak
+	}
 }
 
 func collectClasses(s *Site, agg map[string]*ClassResult, lat map[string]*metrics.Sample) {
@@ -365,6 +415,7 @@ func collectClasses(s *Site, agg map[string]*ClassResult, lat map[string]*metric
 		cr.AbortLock += cs.AbortLock
 		cr.AbortCert += cs.AbortCert
 		cr.AbortUser += cs.AbortUser
+		cr.Rejected += cs.Rejected
 		for _, v := range cs.Lat.Values() {
 			lat[name].Add(v)
 		}
@@ -382,6 +433,14 @@ func (r *Results) Summary() string {
 	if r.Recoveries > 0 {
 		fmt.Fprintf(&b, " recoveries=%d recovery=%.0fms transfer=%.0fKB delta=%d",
 			r.Recoveries, r.MeanRecoveryMS, float64(r.TransferBytes)/1024, r.DeltaApplied)
+	}
+	if r.Rejected > 0 || r.Retries > 0 {
+		fmt.Fprintf(&b, " rejected=%d retries=%d giveups=%d backlogpeak=%d",
+			r.Rejected, r.Retries, r.GiveUps, r.BacklogPeak)
+	}
+	if r.GCS.CreditStalls > 0 || r.GCS.FlowRejected > 0 || r.GCS.AssignDeferred > 0 {
+		fmt.Fprintf(&b, " creditstalls=%d flowrejected=%d assigndeferred=%d queuepeak=%dKB",
+			r.GCS.CreditStalls, r.GCS.FlowRejected, r.GCS.AssignDeferred, r.GCS.QueuePeakBytes/1024)
 	}
 	if r.CertDrops > 0 || r.GCS.ParseErrors > 0 {
 		fmt.Fprintf(&b, " DROPS(cert=%d parse=%d)", r.CertDrops, r.GCS.ParseErrors)
@@ -444,6 +503,14 @@ type Aggregate struct {
 	GCSNacks       Stat
 	GCSBlocked     Stat
 	GCSBlockedMS   Stat
+	// Overload detail: admission rejections, client retries, flow-control
+	// refusals and credit stalls, and the peak queue/backlog gauges.
+	Rejected     Stat
+	Retries      Stat
+	CreditStalls Stat
+	FlowRejected Stat
+	BacklogPeak  Stat
+	QueuePeakKB  Stat
 	// Protocol-comparison detail: certification-decision latency, the
 	// optimistic pipeline's mismatch accounting, and the drop counters
 	// that must stay zero.
@@ -516,6 +583,12 @@ func AggregateRuns(runs []*Results) *Aggregate {
 	a.GCSNacks = col(func(r *Results) float64 { return float64(r.GCS.Nacks) })
 	a.GCSBlocked = col(func(r *Results) float64 { return float64(r.GCS.Blocked) })
 	a.GCSBlockedMS = col(func(r *Results) float64 { return r.GCS.BlockedTime.Seconds() * 1e3 })
+	a.Rejected = col(func(r *Results) float64 { return float64(r.Rejected) })
+	a.Retries = col(func(r *Results) float64 { return float64(r.Retries) })
+	a.CreditStalls = col(func(r *Results) float64 { return float64(r.GCS.CreditStalls) })
+	a.FlowRejected = col(func(r *Results) float64 { return float64(r.GCS.FlowRejected) })
+	a.BacklogPeak = col(func(r *Results) float64 { return float64(r.BacklogPeak) })
+	a.QueuePeakKB = col(func(r *Results) float64 { return float64(r.GCS.QueuePeakBytes) / 1024 })
 	a.MeanCertDecideMS = col(func(r *Results) float64 { return r.MeanCertDecideMS })
 	a.Rollbacks = col(func(r *Results) float64 { return float64(r.Rollbacks) })
 	a.Recertified = col(func(r *Results) float64 { return float64(r.Recertified) })

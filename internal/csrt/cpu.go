@@ -222,6 +222,10 @@ func (c *CPU) complete(j *Job) {
 type CPUSet struct {
 	cpus []*CPU
 	next int
+	// simFactor scales simulated-job durations (gray-failure degradation:
+	// transaction processing crawls while the protocol's real jobs — and
+	// with them heartbeats — stay timely, so the site is never suspected).
+	simFactor float64
 }
 
 // NewCPUSet creates n CPUs attached to the kernel.
@@ -254,11 +258,20 @@ func (s *CPUSet) SubmitSim(dur sim.Time, done func()) {
 
 // SubmitSimClass is SubmitSim with an explicit accounting class.
 func (s *CPUSet) SubmitSimClass(class string, dur sim.Time, done func()) {
+	if s.simFactor > 1 {
+		dur = sim.Time(float64(dur) * s.simFactor)
+	}
 	cpu := s.pick()
 	j := cpu.newJob()
 	j.Dur, j.Done, j.Class = dur, done, class
 	cpu.Submit(j)
 }
+
+// SetSimSlowdown scales every subsequent simulated job's duration by factor
+// (gray failure: a degraded site processes transactions factor times slower
+// while real protocol jobs run at full speed). factor <= 1 restores normal
+// speed.
+func (s *CPUSet) SetSimSlowdown(factor float64) { s.simFactor = factor }
 
 // SubmitReal schedules a real job on CPU 0.
 func (s *CPUSet) SubmitReal(fn func(), done func()) {

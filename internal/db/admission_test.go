@@ -1,0 +1,120 @@
+package db
+
+import (
+	"testing"
+
+	"repro/internal/dbsm"
+	"repro/internal/sim"
+)
+
+// TestMaxActiveCapRejects pins the admission cap: with MaxActive 1, a second
+// concurrent submission is refused with the Rejected outcome — immediately,
+// without executing — while the first commits untouched.
+func TestMaxActiveCapRejects(t *testing.T) {
+	k, s := newTestServer(t, 1)
+	s.MaxActive = 1
+	t1 := simpleTxn(1, "w", []dbsm.TupleID{dbsm.MakeTupleID(1, 1)}, 10*sim.Millisecond)
+	t2 := simpleTxn(2, "w", []dbsm.TupleID{dbsm.MakeTupleID(1, 2)}, 10*sim.Millisecond)
+	var o1, o2 Outcome
+	var rejectedAt sim.Time
+	t1.Done = func(_ *Txn, o Outcome) { o1 = o }
+	t2.Done = func(_ *Txn, o Outcome) { o2 = o; rejectedAt = k.Now() }
+	s.Submit(t1)
+	k.Schedule(sim.Millisecond, func() { s.Submit(t2) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if o1 != Committed {
+		t.Fatalf("admitted transaction outcome = %v", o1)
+	}
+	if o2 != Rejected {
+		t.Fatalf("over-cap transaction outcome = %v, want Rejected", o2)
+	}
+	if rejectedAt != sim.Millisecond {
+		t.Fatalf("rejection at %v, want immediate (1ms)", rejectedAt)
+	}
+	// Rejections are counted on both sides of the ledger: Submitted and
+	// Rejected, never Aborted — live accounting stays uniform.
+	cs := s.Class("w")
+	if cs.Submitted != 2 || cs.Rejected != 1 || cs.Committed != 1 {
+		t.Fatalf("class stats: %+v", cs)
+	}
+	if s.ActiveCount() != 0 {
+		t.Fatalf("active count = %d after drain", s.ActiveCount())
+	}
+}
+
+// TestBackpressureGateRejects pins the replica-driven gate: while set, every
+// submission is refused; once cleared, admission resumes; a restart clears a
+// stale gate.
+func TestBackpressureGateRejects(t *testing.T) {
+	k, s := newTestServer(t, 1)
+	s.SetBackpressure(true)
+	t1 := simpleTxn(1, "w", []dbsm.TupleID{dbsm.MakeTupleID(1, 1)}, 5*sim.Millisecond)
+	t2 := simpleTxn(2, "w", []dbsm.TupleID{dbsm.MakeTupleID(1, 2)}, 5*sim.Millisecond)
+	var o1, o2 Outcome
+	t1.Done = func(_ *Txn, o Outcome) { o1 = o }
+	t2.Done = func(_ *Txn, o Outcome) { o2 = o }
+	s.Submit(t1)
+	k.Schedule(sim.Millisecond, func() {
+		s.SetBackpressure(false)
+		s.Submit(t2)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if o1 != Rejected {
+		t.Fatalf("gated transaction outcome = %v, want Rejected", o1)
+	}
+	if o2 != Committed {
+		t.Fatalf("post-release transaction outcome = %v, want Committed", o2)
+	}
+	s.SetBackpressure(true)
+	s.Crash()
+	s.Restart()
+	if s.Backpressured() {
+		t.Fatal("restart kept a stale backpressure gate")
+	}
+}
+
+// TestDuplicateSubmitRefused pins idempotent resubmission at the server: a
+// second instance of a TID still in flight is refused, so a retried
+// transaction can never execute — let alone commit — twice.
+func TestDuplicateSubmitRefused(t *testing.T) {
+	k, s := newTestServer(t, 1)
+	orig := simpleTxn(7, "w", []dbsm.TupleID{dbsm.MakeTupleID(1, 1)}, 20*sim.Millisecond)
+	dup := simpleTxn(7, "w", []dbsm.TupleID{dbsm.MakeTupleID(1, 1)}, 20*sim.Millisecond)
+	var oOrig, oDup Outcome
+	commits := 0
+	orig.Done = func(_ *Txn, o Outcome) {
+		oOrig = o
+		if o == Committed {
+			commits++
+		}
+	}
+	dup.Done = func(_ *Txn, o Outcome) {
+		oDup = o
+		if o == Committed {
+			commits++
+		}
+	}
+	s.Submit(orig)
+	k.Schedule(sim.Millisecond, func() { s.Submit(dup) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if oOrig != Committed {
+		t.Fatalf("original outcome = %v", oOrig)
+	}
+	if oDup != Rejected {
+		t.Fatalf("duplicate outcome = %v, want Rejected", oDup)
+	}
+	if commits != 1 {
+		t.Fatalf("TID 7 committed %d times", commits)
+	}
+	// The duplicate's rejection must not have torn down the original's
+	// active entry (the finish path deletes by identity, not by TID).
+	if s.Class("w").Committed != 1 || s.Class("w").Rejected != 1 {
+		t.Fatalf("class stats: %+v", s.Class("w"))
+	}
+}

@@ -18,6 +18,11 @@ type ClassStats struct {
 	AbortCert  int64
 	AbortUser  int64
 	AbortCrash int64
+	// Rejected counts explicit admission-control refusals. A rejection is
+	// not an abort: the transaction never conflicted with anything, the
+	// server just declined to take it on — so it stays out of Aborted()
+	// and the abort-rate figures.
+	Rejected int64
 	// Lat holds committed-transaction latencies in milliseconds.
 	Lat metrics.Sample
 }
@@ -47,6 +52,15 @@ type Server struct {
 	// ReadSetThreshold upgrades large read-sets to table locks before
 	// certification (0 disables).
 	ReadSetThreshold int
+
+	// MaxActive caps concurrently-active transactions: a Submit that would
+	// exceed it is rejected outright (admission control). 0 disables the
+	// cap. Bounding concurrency below the thrash point is what keeps
+	// committed throughput up when the offered load passes saturation.
+	MaxActive int
+	// backpressured gates admission from below: the replica asserts it
+	// while its termination backlog sits above the high watermark.
+	backpressured bool
 
 	// SectorFilter, if set, maps a committed write-set to the number of
 	// sectors written locally. Partial replication installs a filter
@@ -174,6 +188,9 @@ func (s *Server) Restart() {
 	s.lm = NewLockManager()
 	s.wireLockHooks()
 	s.pendingCert = make(map[uint64]*Txn)
+	// The backpressure assertion belonged to the dead incarnation's
+	// replica; the rebuilt one starts with an empty backlog.
+	s.backpressured = false
 	// Resolve in-flight transactions in TID order so restart is
 	// deterministic regardless of map iteration.
 	tids := make([]uint64, 0, len(s.active))
@@ -225,15 +242,28 @@ func (s *Server) EachClass(fn func(name string, cs *ClassStats)) {
 	}
 }
 
-// Totals sums class counters.
-func (s *Server) Totals() (submitted, committed, aborted int64) {
+// Totals sums class counters. Every submitted transaction resolves into
+// exactly one of committed, aborted, or rejected.
+func (s *Server) Totals() (submitted, committed, aborted, rejected int64) {
 	for _, cs := range s.classes {
 		submitted += cs.Submitted
 		committed += cs.Committed
 		aborted += cs.Aborted()
+		rejected += cs.Rejected
 	}
 	return
 }
+
+// SetBackpressure gates admission from the replication layer: while set,
+// every new submission is rejected. The replica toggles it as its
+// termination backlog crosses the high/low watermarks.
+func (s *Server) SetBackpressure(on bool) { s.backpressured = on }
+
+// Backpressured reports the admission gate state (tests, introspection).
+func (s *Server) Backpressured() bool { return s.backpressured }
+
+// ActiveCount reports in-flight transactions (tests, introspection).
+func (s *Server) ActiveCount() int { return len(s.active) }
 
 // Submit starts a transaction: take the snapshot, acquire all write locks
 // atomically, then execute.
@@ -244,6 +274,25 @@ func (s *Server) Submit(t *Txn) {
 		// AbortCrash; without a recovery event it stays blocked forever.
 		t.server = s
 		s.blockedSubmits = append(s.blockedSubmits, t)
+		return
+	}
+	if _, dup := s.active[t.TID]; dup {
+		// Duplicate resubmission race: the same TID is still in flight. The
+		// original decides the transaction's fate; the duplicate is refused
+		// so it can never execute (and commit) twice.
+		t.server = s
+		t.SubmitAt = s.k.Now()
+		s.Class(t.Class).Submitted++
+		s.finish(t, Rejected)
+		return
+	}
+	if s.backpressured || (s.MaxActive > 0 && len(s.active) >= s.MaxActive) {
+		// Admission control: explicit rejection instead of joining an
+		// already-thrashing pipeline. The client backs off and retries.
+		t.server = s
+		t.SubmitAt = s.k.Now()
+		s.Class(t.Class).Submitted++
+		s.finish(t, Rejected)
 		return
 	}
 	t.server = s
@@ -391,6 +440,26 @@ func (s *Server) ResolveLocal(tid uint64, commit bool, seq uint64) bool {
 	return true
 }
 
+// RejectPending turns a pending-certification transaction back into an
+// explicit rejection — the replica calls it when the replication stack's
+// bounded transmit queue refused the termination multicast. The transaction
+// never entered the group-wide certification stream, so dropping it is safe:
+// locks release and the client sees Rejected, exactly as if admission had
+// refused it up front.
+func (s *Server) RejectPending(tid uint64) {
+	t, ok := s.pendingCert[tid]
+	if !ok || s.down {
+		return
+	}
+	delete(s.pendingCert, tid)
+	if t.finished {
+		return
+	}
+	t.aborted = true
+	s.lm.ReleaseAbort(t)
+	s.finish(t, Rejected)
+}
+
 // NoteApplied advances the local snapshot horizon without installing
 // anything — used by partial replication when a certified transaction wrote
 // no locally-stored rows.
@@ -498,7 +567,11 @@ func (s *Server) finish(t *Txn, outcome Outcome) {
 	}
 	t.finished = true
 	t.EndAt = s.k.Now()
-	delete(s.active, t.TID)
+	// Identity-checked removal: a rejected duplicate shares the TID of the
+	// still-active original and must not evict its entry.
+	if cur, ok := s.active[t.TID]; ok && cur == t {
+		delete(s.active, t.TID)
+	}
 	cs := s.Class(t.Class)
 	switch outcome {
 	case Committed:
@@ -519,6 +592,8 @@ func (s *Server) finish(t *Txn, outcome Outcome) {
 		cs.AbortUser++
 	case AbortCrash:
 		cs.AbortCrash++
+	case Rejected:
+		cs.Rejected++
 	}
 	if t.Done != nil {
 		t.Done(t, outcome)

@@ -220,6 +220,17 @@ func (s *Storage) dispatch() {
 	}
 }
 
+// SetSlowdown scales the per-sector service time by factor (gray-failure
+// degradation: the device still works, just slower). factor <= 1 restores
+// the configured latency.
+func (s *Storage) SetSlowdown(factor float64) {
+	lat := s.cfg.Latency()
+	if factor > 1 {
+		lat = sim.Time(float64(lat) * factor)
+	}
+	s.lat = lat
+}
+
 // QueueLen reports currently queued sector operations.
 func (s *Storage) QueueLen() int { return len(s.queue) - s.qhead }
 

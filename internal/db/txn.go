@@ -41,6 +41,12 @@ const (
 	AbortCert
 	AbortUser
 	AbortCrash
+	// Rejected is an explicit admission-control refusal: the server (or the
+	// replication stack beneath it) was overloaded and declined the
+	// transaction without executing it to completion. Unlike the aborts it
+	// carries a retry invitation — the client may resubmit the same
+	// transaction (same TID) after a backoff.
+	Rejected
 )
 
 func (o Outcome) String() string {
@@ -55,6 +61,8 @@ func (o Outcome) String() string {
 		return "abort-user"
 	case AbortCrash:
 		return "abort-crash"
+	case Rejected:
+		return "rejected"
 	default:
 		return "unknown"
 	}
@@ -127,3 +135,24 @@ func (t *Txn) CertInfo(site dbsm.SiteID, readSetThreshold int) *dbsm.TxnCert {
 
 // Latency reports submit-to-outcome latency (valid after completion).
 func (t *Txn) Latency() sim.Time { return t.EndAt - t.SubmitAt }
+
+// ResetForRetry clears the per-attempt execution state so the same
+// transaction instance — same TID, same operation script, same sets — can be
+// resubmitted after a rejection. Identity surviving the retry is what makes
+// resubmission idempotent: a duplicate of an already-active TID is refused at
+// admission, and the off-line checker verifies no TID ever commits twice.
+func (t *Txn) ResetForRetry() {
+	t.opIdx = 0
+	t.aborted = false
+	t.certified = false
+	t.decided = false
+	t.finished = false
+	t.holding = false
+	t.server = nil
+	t.stepFn = nil
+	t.SubmitAt = 0
+	t.LocksAt = 0
+	t.CommitReqAt = 0
+	t.EndAt = 0
+	t.Snapshot = 0
+}

@@ -85,6 +85,44 @@ type Partition struct {
 	Heal sim.Time
 }
 
+// Saturation raises the offered load above capacity between two instants:
+// every client's think time divides by Factor, so the same closed population
+// submits as if it were Factor times more eager. This is the overload fault
+// the admission-control and flow-control machinery must degrade gracefully
+// under — bounded queues, explicit rejections, throughput near peak —
+// instead of collapsing.
+type Saturation struct {
+	// Factor multiplies the offered load; values <= 1 are inert.
+	Factor float64
+	// At is the instant saturation begins.
+	At sim.Time
+	// Until is the instant load returns to nominal; zero means the
+	// saturation lasts for the rest of the run.
+	Until sim.Time
+}
+
+// Active reports whether the saturation injects anything.
+func (s Saturation) Active() bool { return s.Factor > 1 }
+
+// SlowNode degrades one site into a gray failure between two instants: its
+// simulated CPU work, disk service time, and inbound link all slow by
+// Factor, while the protocol's real jobs — and with them heartbeats and
+// gossip — stay timely, so the failure detector never suspects it. The slow
+// site lags (and throttles its senders through flow-control credits) but the
+// system must keep committing with zero safety violations.
+type SlowNode struct {
+	// Site is the degraded site number.
+	Site int32
+	// Factor is the degradation multiplier (the issue's canonical gray
+	// failure is x10); values <= 1 are inert.
+	Factor float64
+	// At is the instant degradation begins.
+	At sim.Time
+	// Until is the instant the site returns to full speed; zero means it
+	// stays degraded for the rest of the run.
+	Until sim.Time
+}
+
 // Config is a complete fault load for one run.
 type Config struct {
 	// ClockDriftRate postpones scheduled events by the factor (1+rate)
@@ -106,12 +144,17 @@ type Config struct {
 	Recovers []Recover
 	// Partitions cut the network between scheduled instants.
 	Partitions []Partition
+	// Saturation drives the offered load above capacity.
+	Saturation Saturation
+	// SlowNodes degrade sites into gray failures.
+	SlowNodes []SlowNode
 }
 
 // Any reports whether the configuration injects any fault.
 func (c Config) Any() bool {
 	return c.ClockDriftRate != 0 || c.SchedLatencyMean != 0 ||
-		c.Loss.Kind != LossNone || len(c.Crashes) > 0 || len(c.Partitions) > 0
+		c.Loss.Kind != LossNone || len(c.Crashes) > 0 || len(c.Partitions) > 0 ||
+		c.Saturation.Active() || len(c.SlowNodes) > 0
 }
 
 // RecoverOf returns the recovery scheduled for a site, or nil.

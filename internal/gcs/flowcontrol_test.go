@@ -1,0 +1,234 @@
+package gcs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestCreditGateTable drives the credit-window state machine through its
+// transitions: exhaustion blocks, acknowledgements replenish monotonically,
+// a zero limit disables the gate, and forget/reset clear cursor state.
+func TestCreditGateTable(t *testing.T) {
+	tests := []struct {
+		name  string
+		limit uint64
+		setup func(cg *creditGate)
+		dst   NodeID
+		seq   uint64
+		want  bool
+	}{
+		{name: "fresh gate allows within limit", limit: 4, dst: 2, seq: 4, want: true},
+		{name: "fresh gate blocks beyond limit", limit: 4, dst: 2, seq: 5, want: false},
+		{name: "ack advances the window", limit: 4, dst: 2, seq: 10,
+			setup: func(cg *creditGate) { cg.ack(2, 6) }, want: true},
+		{name: "window edge is inclusive", limit: 4, dst: 2, seq: 10,
+			setup: func(cg *creditGate) { cg.ack(2, 5) }, want: false},
+		{name: "stale ack does not regress", limit: 4, dst: 2, seq: 10,
+			setup: func(cg *creditGate) { cg.ack(2, 6); cg.ack(2, 3) }, want: true},
+		{name: "zero limit is unlimited", limit: 0, dst: 2, seq: 1 << 40, want: true},
+		{name: "forget drops the cursor", limit: 4, dst: 2, seq: 10,
+			setup: func(cg *creditGate) { cg.ack(2, 6); cg.forget(2) }, want: false},
+		{name: "reset drops every cursor", limit: 4, dst: 3, seq: 10,
+			setup: func(cg *creditGate) { cg.ack(2, 6); cg.ack(3, 8); cg.reset() }, want: false},
+		{name: "cursors are per destination", limit: 4, dst: 3, seq: 10,
+			setup: func(cg *creditGate) { cg.ack(2, 100) }, want: false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cg := newCreditGate(tc.limit)
+			if tc.setup != nil {
+				tc.setup(cg)
+			}
+			if got := cg.allows(tc.dst, tc.seq); got != tc.want {
+				t.Fatalf("allows(%d, %d) = %v, want %v", tc.dst, tc.seq, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCreditGateMonotone pins the merge semantics ack relies on: the return
+// value reports exactly the advances, and the cursor never moves backwards
+// however acknowledgements are reordered in flight.
+func TestCreditGateMonotone(t *testing.T) {
+	cg := newCreditGate(8)
+	steps := []struct {
+		seq  uint64
+		want bool
+	}{{5, true}, {5, false}, {3, false}, {9, true}, {1, false}, {9, false}, {10, true}}
+	for i, s := range steps {
+		if got := cg.ack(7, s.seq); got != s.want {
+			t.Fatalf("step %d: ack(7, %d) = %v, want %v", i, s.seq, got, s.want)
+		}
+	}
+	if got := cg.ackedSeq(7); got != 10 {
+		t.Fatalf("ackedSeq = %d, want 10", got)
+	}
+}
+
+// TestCreditGateReplenishDeterministic verifies the drain-side property the
+// cluster tests rely on: every acknowledgement advance unblocks exactly the
+// same span of sequence numbers, run after run.
+func TestCreditGateReplenishDeterministic(t *testing.T) {
+	for run := 0; run < 2; run++ {
+		cg := newCreditGate(2)
+		var unblocked []uint64
+		next := uint64(1)
+		for ackTo := uint64(0); ackTo <= 10; ackTo += 2 {
+			cg.ack(2, ackTo)
+			for cg.allows(2, next) {
+				unblocked = append(unblocked, next)
+				next++
+			}
+		}
+		if len(unblocked) != 12 || unblocked[0] != 1 || unblocked[11] != 12 {
+			t.Fatalf("run %d: unblocked %v, want exactly 1..12", run, unblocked)
+		}
+	}
+}
+
+// TestCreditGateHotPathAllocs pins the per-chunk gate operations at zero
+// allocations on a warm map: they run once per transmitted chunk and once
+// per gossip horizon merge.
+func TestCreditGateHotPathAllocs(t *testing.T) {
+	cg := newCreditGate(192)
+	cg.ack(2, 1)
+	cg.ack(3, 1)
+	seq := uint64(2)
+	if n := testing.AllocsPerRun(100, func() {
+		cg.ack(2, seq)
+		cg.ack(3, seq)
+		seq++
+	}); n != 0 {
+		t.Fatalf("ack allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		cg.allows(2, seq)
+		cg.allows(3, seq+200)
+	}); n != 0 {
+		t.Fatalf("allows allocates %v per run, want 0", n)
+	}
+}
+
+// TestCreditOKAllocs pins the full per-chunk admission check — a walk over
+// the live view consulting every destination's cursor — at zero allocations
+// against a real three-member stack.
+func TestCreditOKAllocs(t *testing.T) {
+	c := newCluster(t, 3, 11, nil)
+	c.castAt(10*sim.Millisecond, 1, []byte("warm"))
+	c.run(2 * sim.Second)
+	rm := c.stacks[1].rm
+	if n := testing.AllocsPerRun(100, func() {
+		rm.creditOK(rm.sendSeq + 1)
+	}); n != 0 {
+		t.Fatalf("creditOK allocates %v per run, want 0", n)
+	}
+}
+
+// TestCreditWindowThrottlesSender shrinks the credit window to two chunks
+// and pushes a forty-message burst through it: the sender must stall
+// (CreditStalls > 0) yet replenishment from stability gossip must drain the
+// whole burst — total order intact, no deadlock.
+func TestCreditWindowThrottlesSender(t *testing.T) {
+	c := newCluster(t, 3, 21, func(cfg *Config) {
+		cfg.CreditsPerDest = 2
+		cfg.MaxQueuedBytes = -1 // isolate the credit gate from the queue bound
+	})
+	for i := 0; i < 40; i++ {
+		c.castAt(sim.Second, 2, []byte{byte(i)})
+	}
+	c.run(30 * sim.Second)
+	c.checkAgreement(nodes(3), 40)
+	if st := c.stacks[2].Stats(); st.CreditStalls == 0 {
+		t.Fatal("a 2-chunk credit window absorbed a 40-message burst without a single stall")
+	}
+}
+
+// TestCreditDisabledNoStalls is the control for the throttle test: with the
+// gate disabled the identical burst records no credit stalls.
+func TestCreditDisabledNoStalls(t *testing.T) {
+	c := newCluster(t, 3, 21, func(cfg *Config) {
+		cfg.CreditsPerDest = -1
+		cfg.MaxQueuedBytes = -1
+	})
+	for i := 0; i < 40; i++ {
+		c.castAt(sim.Second, 2, []byte{byte(i)})
+	}
+	c.run(30 * sim.Second)
+	c.checkAgreement(nodes(3), 40)
+	if st := c.stacks[2].Stats(); st.CreditStalls != 0 {
+		t.Fatalf("disabled credit gate recorded %d stalls", st.CreditStalls)
+	}
+}
+
+// burstOutcome submits a burst of large payloads at one instant and reports
+// how many Multicast accepted and refused, plus the sender's final stats.
+func burstOutcome(t *testing.T, tweak func(*Config), msgs, size int) (accepted, refused int, st Stats, c *cluster) {
+	t.Helper()
+	c = newCluster(t, 3, 31, tweak)
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	c.k.ScheduleAt(sim.Second, func() {
+		c.rts[1].CPUs().SubmitReal(func() {
+			for i := 0; i < msgs; i++ {
+				if c.stacks[1].Multicast(payload) {
+					accepted++
+				} else {
+					refused++
+				}
+			}
+		}, nil)
+	})
+	c.run(60 * sim.Second)
+	st = c.stacks[1].Stats()
+	return accepted, refused, st, c
+}
+
+// TestTransmitQueueBound is the regression test for the unbounded transmit
+// queue: before the bound existed, a burst arriving faster than flow control
+// drains simply piled up in the unsent queue without limit. The first half
+// reproduces that baseline (bound disabled: every message accepted, queue
+// peak past a mebibyte); the second half pins the fix (queue peak bounded,
+// overflow refused and counted, everything accepted still delivered
+// everywhere in total order).
+func TestTransmitQueueBound(t *testing.T) {
+	const (
+		msgs = 300
+		size = 8 << 10
+	)
+
+	// Baseline: bound disabled — the queue grows without limit.
+	accepted, refused, st, _ := burstOutcome(t, func(cfg *Config) {
+		cfg.MaxQueuedBytes = -1
+	}, msgs, size)
+	if refused != 0 || accepted != msgs {
+		t.Fatalf("unbounded queue refused %d of %d messages", refused, msgs)
+	}
+	if st.FlowRejected != 0 {
+		t.Fatalf("unbounded queue counted %d FlowRejected", st.FlowRejected)
+	}
+	if st.QueuePeakBytes <= 1<<20 {
+		t.Fatalf("baseline queue peak %d bytes never exceeded the 1 MiB the bound would impose — burst too small to regress", st.QueuePeakBytes)
+	}
+
+	// Fix: default bound — refusals surface, the peak stays bounded, and
+	// every accepted message still reaches every member.
+	accepted, refused, st, c := burstOutcome(t, nil, msgs, size)
+	if refused == 0 {
+		t.Fatal("bounded queue accepted the whole burst; expected refusals")
+	}
+	if accepted+refused != msgs {
+		t.Fatalf("accepted %d + refused %d != %d", accepted, refused, msgs)
+	}
+	if st.FlowRejected != int64(refused) {
+		t.Fatalf("FlowRejected = %d, Multicast refused %d", st.FlowRejected, refused)
+	}
+	// The bound checks payload bytes against the queue before appending;
+	// chunk wire headers may push the recorded peak slightly past the limit.
+	if lim := int64(1<<20 + size); st.QueuePeakBytes > lim {
+		t.Fatalf("queue peak %d bytes exceeds bound %d", st.QueuePeakBytes, lim)
+	}
+	c.checkAgreement(nodes(3), accepted)
+}

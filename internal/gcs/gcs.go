@@ -54,6 +54,26 @@ type Config struct {
 	// RateBps is the first-phase rate-based flow control in bytes/s.
 	// Defaults to 6 MB/s (about half of Ethernet-100).
 	RateBps int64
+	// MaxQueuedBytes bounds the unsent transmit queue: a Multicast whose
+	// payload would push the queued-but-unsent bytes past this limit is
+	// refused (Multicast returns false, Stats.FlowRejected counts it)
+	// instead of growing the queue without bound. 0 selects the default
+	// (1 MiB); negative disables the bound (the pre-flow-control
+	// behaviour, kept for regression baselines).
+	MaxQueuedBytes int
+	// CreditsPerDest is the per-destination credit window in chunks:
+	// transmission stalls once any live destination lags this far behind
+	// the send cursor (its acknowledgement is learned from stability
+	// gossip horizons). 0 selects the default (192, inside the stability
+	// Window so healthy receivers never bind); negative disables credits.
+	CreditsPerDest int
+	// AssignWindow caps the sequencer's assigned-but-undelivered span:
+	// when nextGlobal runs this far ahead of local delivery, further
+	// assignments are deferred until delivery catches up, throttling the
+	// total-order pipeline instead of buffering unbounded order state at
+	// every member. 0 selects the default (1024); negative disables the
+	// throttle.
+	AssignWindow int
 	// NackDelay is how long a receiver waits on a gap before requesting
 	// repair. Defaults to 2ms.
 	NackDelay sim.Time
@@ -101,6 +121,15 @@ func (c *Config) fill() {
 	}
 	if c.RateBps == 0 {
 		c.RateBps = 6_000_000
+	}
+	if c.MaxQueuedBytes == 0 {
+		c.MaxQueuedBytes = 1 << 20
+	}
+	if c.CreditsPerDest == 0 {
+		c.CreditsPerDest = 192
+	}
+	if c.AssignWindow == 0 {
+		c.AssignWindow = 1024
 	}
 	if c.NackDelay == 0 {
 		c.NackDelay = 20 * sim.Millisecond
@@ -180,6 +209,7 @@ type Stats struct {
 	Sent        int64 // data chunks first-transmitted
 	Retransmits int64 // chunks retransmitted on NACK
 	Nacks       int64 // NACKs sent
+	AssignAcks  int64 // assignment acks sent (uniform sequencer delivery)
 	Gossips     int64 // gossip messages sent
 	GossipsRecv int64 // gossip messages received and accepted
 	Delivered   int64 // app messages delivered in total order
@@ -193,7 +223,21 @@ type Stats struct {
 	ParseErrors int64
 	Blocked     int64 // times a cast had to queue on flow control
 	BlockedTime sim.Time
-	ViewChanges int64
+	// CreditStalls counts transmission episodes blocked on an exhausted
+	// per-destination credit window (a lagging receiver throttling the
+	// sender).
+	CreditStalls int64
+	// AssignDeferred counts sequencer assignments deferred because the
+	// assigned-but-undelivered span hit AssignWindow.
+	AssignDeferred int64
+	// FlowRejected counts Multicasts refused because the unsent transmit
+	// queue was at MaxQueuedBytes. Every refusal is reported to the
+	// caller (Multicast returns false); this counter keeps refusals
+	// visible in campaign reports.
+	FlowRejected int64
+	// QueuePeakBytes is the high-water mark of the unsent transmit queue.
+	QueuePeakBytes int64
+	ViewChanges    int64
 	// QuorumLosses counts wedges under the primary-component rule: the
 	// member found itself unable to reach a majority of its view and
 	// halted rather than risk minority progress.
@@ -380,12 +424,22 @@ func (s *Stack) BufferedBytes() int {
 // Multicast submits an application payload for atomic (totally ordered)
 // multicast to the group, including self-delivery. It never blocks the
 // caller: when flow control forbids transmission the message is queued and
-// sent when buffer share, window, or tokens free up.
-func (s *Stack) Multicast(payload []byte) {
+// sent when buffer share, window, or tokens free up. The queue itself is
+// bounded: when MaxQueuedBytes of unsent payload are already waiting the
+// message is refused and Multicast returns false — the backpressure signal
+// the admission layer turns into an explicit client rejection. A stopped
+// stack still swallows the payload silently (returns true): a halted
+// member's messages are lost by definition, not refused.
+func (s *Stack) Multicast(payload []byte) bool {
 	if s.stopped {
-		return
+		return true
+	}
+	if lim := s.cfg.MaxQueuedBytes; lim > 0 && s.rm.outQBytes+len(payload) > lim {
+		s.stats.FlowRejected++
+		return false
 	}
 	s.rm.cast(payloadApp, payload)
+	return true
 }
 
 // receive is the runtime datagram upcall: the single entry point of all
@@ -442,7 +496,7 @@ func (s *Stack) receive(src NodeID, data []byte) {
 			return
 		}
 		s.stats.GossipsRecv++
-		s.stab.onGossip(&s.stab.gossipScratch)
+		s.stab.onGossip(src, &s.stab.gossipScratch)
 	case kindHeartbeat:
 		// heard() above is all a heartbeat is for.
 	case kindPropose:
@@ -487,6 +541,19 @@ func (s *Stack) receive(src NodeID, data []byte) {
 			return
 		}
 		s.memb.onJoinSync(m)
+	case kindAssignAck:
+		m, err := parseAssignAck(data)
+		if err != nil {
+			s.stats.ParseErrors++
+			return
+		}
+		if m.ViewID != s.view.ID {
+			return // stale view: the gossip fallback re-carries the cursor
+		}
+		if s.rm.creditAck(src, m.Seq) {
+			s.to.advanceAnnounceSafe()
+			s.rm.drain()
+		}
 	default:
 		// Unknown message kind: equally a wire-format regression.
 		s.stats.ParseErrors++

@@ -21,6 +21,7 @@ const (
 	kindInstalled                 // view change: member finished install
 	kindJoinReq                   // recovery: a restarted node asks to be admitted
 	kindJoinSync                  // recovery: sequencer tells a joiner its catch-up sequence
+	kindAssignAck                 // receiver acks the sequencer's stream (uniform delivery)
 )
 
 // Payload kinds carried inside data chunks.
@@ -515,6 +516,36 @@ func parseJoinSync(b []byte) (*joinSyncMsg, error) {
 	}, nil
 }
 
+// assignAckMsg is a receiver's positive acknowledgement of the sequencer's
+// stream, sent whenever an ordering announcement is processed: Seq is the
+// receiver's contiguous prefix of the sequencer's stream, which doubles as
+// its credit cursor. The sequencer gates delivery of its self-assigned
+// globals on a majority of these (uniform delivery); stability gossip
+// horizons carry the same cursor as the slow-path fallback, so a lost ack
+// costs at most one gossip period.
+type assignAckMsg struct {
+	ViewID uint32
+	Seq    uint64
+}
+
+const assignAckLen = 1 + 4 + 8
+
+func (m *assignAckMsg) marshal(buf []byte) []byte {
+	buf = append(buf, kindAssignAck)
+	buf = binary.BigEndian.AppendUint32(buf, m.ViewID)
+	return binary.BigEndian.AppendUint64(buf, m.Seq)
+}
+
+func parseAssignAck(b []byte) (*assignAckMsg, error) {
+	if len(b) < assignAckLen {
+		return nil, errTruncated
+	}
+	return &assignAckMsg{
+		ViewID: binary.BigEndian.Uint32(b[1:5]),
+		Seq:    binary.BigEndian.Uint64(b[5:13]),
+	}, nil
+}
+
 // installedMsg acknowledges that a member finished installing a view.
 type installedMsg struct{ NewViewID uint32 }
 
@@ -554,6 +585,8 @@ func kindName(k byte) string {
 		return "joinreq"
 	case kindJoinSync:
 		return "joinsync"
+	case kindAssignAck:
+		return "assignack"
 	default:
 		return fmt.Sprintf("kind(%d)", k)
 	}

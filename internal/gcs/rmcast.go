@@ -20,9 +20,16 @@ type relMcast struct {
 	sendBufBytes int
 	stableSelf   uint64 // my stream is stable up to here (GC'd)
 	outQ         []outChunk
+	outQBytes    int // wire bytes queued but unsent (bounded by MaxQueuedBytes)
 	frozen       bool
 	blockedAt    sim.Time
 	blocked      bool
+
+	// Credit-based flow control: per-destination acknowledgement cursors
+	// learned from stability gossip horizons. creditBlocked marks an
+	// in-progress credit-stall episode.
+	credits       *creditGate
+	creditBlocked bool
 
 	// Rate-based flow control (phase one).
 	tokens     float64
@@ -63,11 +70,16 @@ type peerState struct {
 }
 
 func newRelMcast(s *Stack) *relMcast {
+	creditLimit := uint64(0) // negative CreditsPerDest: gate disabled
+	if s.cfg.CreditsPerDest > 0 {
+		creditLimit = uint64(s.cfg.CreditsPerDest)
+	}
 	rm := &relMcast{
 		s:       s,
 		sendBuf: make(map[uint64][]byte),
 		peers:   make(map[NodeID]*peerState),
 		tokens:  float64(s.cfg.MaxPacket * 2),
+		credits: newCreditGate(creditLimit),
 	}
 	for _, m := range s.cfg.Members {
 		rm.peers[m] = &peerState{id: m, recvNext: 1, repairTarget: m}
@@ -160,6 +172,10 @@ func (rm *relMcast) cast(payloadKind byte, payload []byte) {
 		}
 		wire := m.marshal(kindData, make([]byte, 0, dataHeader+hi-lo))
 		rm.outQ = append(rm.outQ, outChunk{seq: m.Seq, wire: wire})
+		rm.outQBytes += len(wire)
+	}
+	if int64(rm.outQBytes) > rm.s.stats.QueuePeakBytes {
+		rm.s.stats.QueuePeakBytes = int64(rm.outQBytes)
 	}
 	rm.drain()
 }
@@ -180,6 +196,11 @@ func (rm *relMcast) drain() {
 			rm.noteBlocked()
 			return // wait for stability to free share/window
 		}
+		if !rm.creditOK(c.seq) {
+			rm.noteBlocked()
+			rm.noteCreditStall()
+			return // wait for gossip to advance the lagging destination
+		}
 		if rm.tokens < float64(size) {
 			rm.noteBlocked()
 			rm.scheduleRateTimer(size)
@@ -187,6 +208,7 @@ func (rm *relMcast) drain() {
 		}
 		rm.tokens -= float64(size)
 		rm.outQ = rm.outQ[1:]
+		rm.outQBytes -= size
 		rm.sendBuf[c.seq] = c.wire
 		rm.sendBufBytes += size
 		rm.s.stats.Sent++
@@ -219,6 +241,7 @@ func (rm *relMcast) clearBlocked() {
 		rm.blocked = false
 		rm.s.stats.BlockedTime += rm.s.rt.Now() - rm.blockedAt
 	}
+	rm.creditBlocked = false
 }
 
 func (rm *relMcast) refillTokens() {
@@ -449,7 +472,26 @@ func (rm *relMcast) complete(sender NodeID, msgID, lastSeq uint64, payloadKind b
 		}
 		rm.s.to.assignScratch = assigns
 		rm.s.to.onAssigns(assigns)
+		if sender != rm.s.cfg.Self {
+			rm.sendAssignAck(sender, lastSeq)
+		}
 	}
+}
+
+// sendAssignAck tells the sequencer how far this member contiguously holds
+// its stream, unblocking the sequencer's uniform-delivery gate (and its
+// credit window) without waiting for the next stability gossip. upto is the
+// announcement's own last chunk: the FIFO cursor has not advanced past the
+// message being handed up yet, so contiguous() alone would leave the latest
+// batch un-acked.
+func (rm *relMcast) sendAssignAck(sequencer NodeID, upto uint64) {
+	if c := rm.contiguous(sequencer); c > upto {
+		upto = c
+	}
+	ack := assignAckMsg{ViewID: rm.s.view.ID, Seq: upto}
+	rm.s.rt.Charge(rm.s.cfg.Costs.msgCost(assignAckLen))
+	rm.s.stats.AssignAcks++
+	rm.s.transmitTo(sequencer, ack.marshal(make([]byte, 0, assignAckLen)))
 }
 
 // gcStable discards buffered messages of p's stream up to seq, releasing
@@ -494,6 +536,13 @@ func (rm *relMcast) resetPeer(p NodeID, upto uint64) {
 	ps.stableUpto = upto
 	ps.excluded = false
 	ps.repairTarget = p
+	if p != rm.s.cfg.Self {
+		// Seed the fresh incarnation's credit cursor at my stable prefix:
+		// its join targets cover at least everything stable, so this is a
+		// safe lower bound of the ack its first gossip will carry —
+		// without it a rejoin would stall the sender for a gossip period.
+		rm.credits.ack(p, rm.stableSelf)
+	}
 	ps.reasmActive = false
 	ps.reasm = ps.reasm[:0]
 	if ps.nackTimer != nil {
@@ -516,6 +565,10 @@ func (rm *relMcast) resetSelf() {
 	rm.sendSeq = 0
 	rm.stableSelf = 0
 	rm.outQ = rm.outQ[:0]
+	rm.outQBytes = 0
+	// The new stream renumbers from 1: every old acknowledgement cursor
+	// would grant far too much credit against it.
+	rm.credits.reset()
 }
 
 // releaseAll frees every receive- and send-side buffer at halt: the
@@ -535,6 +588,7 @@ func (rm *relMcast) releaseAll() {
 	rm.sendBuf = nil
 	rm.sendBufBytes = 0
 	rm.outQ = nil
+	rm.outQBytes = 0
 	rm.freeMsgs = nil
 	if rm.rateTimer != nil {
 		rm.rateTimer.Cancel()
@@ -547,6 +601,7 @@ func (rm *relMcast) releaseAll() {
 func (rm *relMcast) excludePeer(p NodeID, upto uint64) {
 	ps := rm.peer(p)
 	ps.excluded = true
+	rm.credits.forget(p) // excluded members never gate; drop the cursor
 	for seq := upto + 1; seq <= ps.maxSeen; seq++ {
 		if m, ok := ps.recvBuf[seq]; ok {
 			delete(ps.recvBuf, seq)

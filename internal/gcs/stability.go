@@ -99,11 +99,19 @@ func (st *stability) tick() {
 }
 
 // onGossip merges a peer's round state.
-func (st *stability) onGossip(g *gossipMsg) {
+func (st *stability) onGossip(src NodeID, g *gossipMsg) {
 	if g.ViewID != st.s.view.ID || len(g.M) != len(st.s.view.Members) {
 		return
 	}
 	st.s.rt.Charge(st.s.cfg.Costs.PerGossip)
+	// Credit replenishment: g.H[my rank] is src's contiguous prefix of my
+	// own stream — its acknowledgement cursor for the sender-side credit
+	// gate. An advance may release chunks blocked on src's credit.
+	creditAdvanced := false
+	if src != st.s.cfg.Self && len(g.H) == len(st.s.view.Members) &&
+		st.s.rank >= 0 && st.s.rank < len(g.H) {
+		creditAdvanced = st.s.rm.creditAck(src, g.H[st.s.rank])
+	}
 	// Stability knowledge is monotone: always merge S.
 	advanced := false
 	for i, p := range st.s.view.Members {
@@ -159,6 +167,13 @@ func (st *stability) onGossip(g *gossipMsg) {
 	}
 	if advanced {
 		st.gcAdvance()
+	}
+	if creditAdvanced {
+		// The horizon is also the uniform-delivery ack fallback: a lost
+		// assign-ack delays the sequencer's delivery by at most one gossip
+		// period.
+		st.s.to.advanceAnnounceSafe()
+		st.s.rm.drain()
 	}
 }
 

@@ -19,11 +19,31 @@ type totalOrder struct {
 	assigned    map[msgKey]bool
 	pending     map[msgKey]pendingMsg
 
+	// deferred holds messages the sequencer declined to assign because the
+	// assigned-but-undelivered span hit AssignWindow; they are assigned in
+	// arrival order as delivery catches up.
+	deferred []msgKey
+
 	// Optimistic delivery bookkeeping: arrival positions, compared with
 	// the final order to count mispredictions.
 	optSeq     uint64
 	optIndex   map[msgKey]uint64
 	lastOptFin uint64
+
+	// Uniform delivery at the sequencer: a sequencer that delivered a
+	// self-assigned global and then crashed before any survivor received
+	// the announcement would leave a committed suffix the survivors
+	// renumber differently (a non-prefix divergence). So self-assigned
+	// globals deliver only once their announcement batch is held by a
+	// majority of the view — the sequencer plus enough ack cursors at or
+	// past the batch's last stream chunk. Non-sequencer members stay
+	// prompt: a delivery there implies the announcement already reached
+	// two members (itself and the sequencer), the majority for n<=3; for
+	// n>=5 a simultaneous crash of a non-sequencer deliverer and the
+	// sequencer remains a (documented) non-uniform window.
+	announceSafe      uint64 // self-assigned globals <= this are majority-held
+	selfAssignedFloor uint64 // globals <= this predate this sequencer stint
+	unacked           []announceBatch
 
 	batch          []seqAssign
 	batchScheduled bool
@@ -45,6 +65,14 @@ type msgKey struct {
 type pendingMsg struct {
 	data    []byte
 	lastSeq uint64 // sequence number of the message's last chunk
+}
+
+// announceBatch tracks one multicast assignment batch awaiting majority
+// acknowledgement: delivery of self-assigned globals up to maxGlobal is held
+// until the sequencer's stream is acked through lastSeq by a majority.
+type announceBatch struct {
+	lastSeq   uint64 // last stream chunk of the batch's cast
+	maxGlobal uint64 // highest global the batch announces
 }
 
 func newTotalOrder(s *Stack) *totalOrder {
@@ -81,9 +109,62 @@ func (to *totalOrder) onAppData(sender NodeID, msgID, lastSeq uint64, data []byt
 		to.s.onOpt(OptDelivery{Sender: sender, MsgID: msgID, Payload: data})
 	}
 	if to.s.IsSequencer() && !to.assigned[key] && !to.s.rm.frozen {
-		to.assign(key)
+		if to.assignWindowFull() {
+			// Assign-window throttle: delivery has fallen AssignWindow
+			// behind assignment, so issuing more numbers would only grow
+			// every member's order buffers. Defer until delivery catches
+			// up (drainDeferred, below).
+			to.deferred = append(to.deferred, key)
+			to.s.stats.AssignDeferred++
+		} else {
+			to.assign(key)
+		}
 	}
 	to.tryDeliver()
+}
+
+// assignWindowFull reports whether the sequencer's assigned-but-undelivered
+// span has reached the configured window (negative AssignWindow disables the
+// throttle).
+func (to *totalOrder) assignWindowFull() bool {
+	w := to.s.cfg.AssignWindow
+	return w > 0 && to.nextGlobal >= to.nextDeliver+uint64(w)
+}
+
+// drainDeferred assigns deferred messages while the window has room. Runs
+// after every delivery advance; a member that lost the sequencer role drops
+// its backlog (the new sequencer orders those messages on arrival or at
+// install).
+func (to *totalOrder) drainDeferred() {
+	if len(to.deferred) == 0 {
+		return
+	}
+	if !to.s.IsSequencer() {
+		to.deferred = to.deferred[:0]
+		return
+	}
+	if to.s.rm.frozen {
+		return
+	}
+	n := 0
+	for i := 0; i < len(to.deferred); i++ {
+		key := to.deferred[i]
+		if to.assigned[key] {
+			continue // ordered at install while we weren't looking
+		}
+		if _, ok := to.pending[key]; !ok {
+			continue // purged with an excluded sender
+		}
+		if !to.s.view.Contains(key.sender) {
+			continue
+		}
+		if to.assignWindowFull() {
+			n += copy(to.deferred[n:], to.deferred[i:])
+			break
+		}
+		to.assign(key)
+	}
+	to.deferred = to.deferred[:n]
 }
 
 // assign issues the next global sequence number and batches the
@@ -111,10 +192,65 @@ func (to *totalOrder) flushBatch() {
 	if len(to.batch) == 0 || to.s.stopped {
 		return
 	}
+	maxGlobal := to.batch[len(to.batch)-1].Global
 	payload := marshalAssigns(to.scratch, to.batch)
 	to.scratch = payload
 	to.batch = to.batch[:0]
 	to.s.rm.cast(payloadSeq, payload)
+	// cast advanced sendSeq past every chunk of this announcement; the
+	// batch's globals stay undeliverable here until a majority acks them.
+	to.unacked = append(to.unacked, announceBatch{lastSeq: to.s.rm.sendSeq, maxGlobal: maxGlobal})
+	to.advanceAnnounceSafe() // a single-member majority is already held
+}
+
+// advanceAnnounceSafe pops announcement batches that reached a majority and
+// releases the self-assigned globals they cover. Driven by assign-acks, by
+// gossip horizon advances (the fallback ack channel), and by flushBatch
+// itself (a one-member view needs no remote ack).
+func (to *totalOrder) advanceAnnounceSafe() {
+	if len(to.unacked) == 0 {
+		return
+	}
+	if !to.s.IsSequencer() {
+		// Lost the role in a view change; the install path re-anchored the
+		// floor and the new sequencer re-announces anything unordered.
+		to.unacked = to.unacked[:0]
+		return
+	}
+	advanced := false
+	for len(to.unacked) > 0 {
+		b := to.unacked[0]
+		if !to.majorityHolds(b.lastSeq) {
+			break
+		}
+		if b.maxGlobal > to.announceSafe {
+			to.announceSafe = b.maxGlobal
+		}
+		to.unacked = to.unacked[1:]
+		advanced = true
+	}
+	if advanced {
+		to.tryDeliver()
+	}
+}
+
+// majorityHolds reports whether a majority of the current view (counting
+// self) has acknowledged the sequencer's stream through lastSeq.
+func (to *totalOrder) majorityHolds(lastSeq uint64) bool {
+	need := len(to.s.view.Members)/2 + 1
+	have := 1 // self: own chunks are held at send time
+	for _, p := range to.s.view.Members {
+		if p == to.s.cfg.Self {
+			continue
+		}
+		if to.s.rm.credits.ackedSeq(p) >= lastSeq {
+			have++
+			if have >= need {
+				return true
+			}
+		}
+	}
+	return have >= need
 }
 
 // onAssigns records ordering announcements from the sequencer.
@@ -158,11 +294,15 @@ func (to *totalOrder) tryDeliver() {
 	for {
 		key, ok := to.order[to.nextDeliver+1]
 		if !ok {
-			return
+			break
 		}
 		pm, have := to.pending[key]
 		if !have {
-			return
+			break
+		}
+		g := to.nextDeliver + 1
+		if to.s.IsSequencer() && g > to.selfAssignedFloor && g > to.announceSafe {
+			break // uniform delivery: wait for a majority to hold the announcement
 		}
 		to.nextDeliver++
 		delete(to.pending, key)
@@ -184,6 +324,7 @@ func (to *totalOrder) tryDeliver() {
 		}
 		to.s.deliver(Delivery{Global: to.nextDeliver, Sender: key.sender, Payload: pm.data})
 	}
+	to.drainDeferred()
 }
 
 // purgeSender drops unassigned pending messages of a sender beyond its flush
@@ -234,6 +375,8 @@ func (to *totalOrder) releaseAll() {
 	to.pending = nil
 	to.optIndex = nil
 	to.batch = nil
+	to.deferred = nil
+	to.unacked = nil
 }
 
 // onInstall re-establishes total order across a view change. When the old
@@ -275,6 +418,13 @@ func (to *totalOrder) onInstall(oldSequencerGone bool, targets map[NodeID]uint64
 			to.assigned[key] = true
 		}
 		to.nextGlobal = to.maxAssigned
+		// Everything renumbered here (and everything the old sequencer
+		// announced) is flush-guaranteed at every survivor, so the new
+		// sequencer's uniformity gate restarts above it. Old unacked
+		// batches are void — their announcer is gone.
+		to.selfAssignedFloor = to.maxAssigned
+		to.announceSafe = to.maxAssigned
+		to.unacked = to.unacked[:0]
 	}
 	if to.s.IsSequencer() {
 		// Assign everything still unassigned from in-view senders, in

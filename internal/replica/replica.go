@@ -65,6 +65,13 @@ type Options struct {
 	// the certifier and commit log from a donor and replays the buffered
 	// delta. Used for a site rejoining after a crash.
 	Recovering bool
+	// BacklogHigh/BacklogLow are the hysteresis watermarks over this
+	// replica's in-flight termination backlog (multicast but unresolved
+	// local transactions). Crossing High asserts backpressure on the
+	// server's admission gate; the signal releases once the backlog
+	// drains to Low. BacklogHigh == 0 disables the gauge.
+	BacklogHigh int
+	BacklogLow  int
 }
 
 func (o *Options) fill() {
@@ -106,6 +113,15 @@ type Stats struct {
 	// DeltaApplied counts deliveries buffered during a recovery transfer
 	// and replayed at snapshot install (the delta catch-up cost).
 	DeltaApplied int64
+	// MulticastRefused counts terminations the stack's bounded transmit
+	// queue refused; each one surfaced as an explicit client rejection.
+	MulticastRefused int64
+	// Backpressure counts times the termination backlog crossed the high
+	// watermark and engaged the server's admission gate.
+	Backpressure int64
+	// BacklogPeak is the high-water mark of the in-flight termination
+	// backlog.
+	BacklogPeak int64
 }
 
 // tentTxn is the replica-side state of one tentatively-delivered message.
@@ -141,6 +157,11 @@ type Replica struct {
 	// freeThunks recycles the one-shot job closures handed to the
 	// runtime's scheduler (terminate / tentative / discard stages).
 	freeThunks []*replicaThunk
+
+	// backlog gauges in-flight terminations (multicast but unresolved);
+	// refused counts terminations the bounded transmit queue turned away.
+	backlog Watermark
+	refused int64
 
 	commitLog      trace.CommitLog
 	delivered      int64
@@ -182,6 +203,7 @@ func New(rt runtimeapi.Runtime, stack *gcs.Stack, server *db.Server, opts Option
 		site:       server.Site(),
 		opts:       opts,
 		recovering: opts.Recovering,
+		backlog:    Watermark{High: opts.BacklogHigh, Low: opts.BacklogLow},
 	}
 	r.cert.Charge = func(items int) {
 		rt.Charge(sim.Time(items) * opts.CertCostPerItem)
@@ -241,12 +263,15 @@ func (r *Replica) Drops() int64 { return r.drops }
 // Stats reports the replica's termination counters.
 func (r *Replica) Stats() Stats {
 	s := Stats{
-		Delivered:      r.delivered,
-		Drops:          r.drops,
-		Recertified:    r.recertified,
-		PreApplied:     r.preApplied,
-		PreApplyWasted: r.preApplyWasted,
-		DeltaApplied:   r.deltaApplied,
+		Delivered:        r.delivered,
+		Drops:            r.drops,
+		Recertified:      r.recertified,
+		PreApplied:       r.preApplied,
+		PreApplyWasted:   r.preApplyWasted,
+		DeltaApplied:     r.deltaApplied,
+		MulticastRefused: r.refused,
+		Backpressure:     r.backlog.Engages(),
+		BacklogPeak:      int64(r.backlog.Peak()),
 	}
 	if r.spec != nil {
 		s.Tentative = r.spec.Tentatives
@@ -445,7 +470,17 @@ func stageTerminate(r *Replica, t *db.Txn, _ []byte) {
 	wire := tc.MarshalTo(r.scratch)
 	r.scratch = wire
 	r.rt.Charge(sim.Time(r.opts.MarshalCostPerByte * float64(len(wire))))
-	r.stack.Multicast(wire)
+	if !r.stack.Multicast(wire) {
+		// The bounded transmit queue is full: refuse the termination
+		// instead of queueing without bound. The server turns this into an
+		// explicit rejection the client can retry.
+		r.refused++
+		r.server.RejectPending(t.TID)
+		return
+	}
+	if r.backlog.Add(1) {
+		r.server.SetBackpressure(r.backlog.Engaged())
+	}
 }
 
 // chargeUnmarshal accounts the CPU cost of decoding a payload.
@@ -651,6 +686,13 @@ func (r *Replica) resolve(tc *dbsm.TxnCert, out dbsm.Outcome, preApplied bool) {
 	}
 	if tc.Site == r.site {
 		if r.server.ResolveLocal(tc.TID, out.Commit, out.Seq) {
+			// One in-flight termination resolved: drain the backlog gauge.
+			// Orphans (below) never counted an increment — their increment
+			// belonged to a previous incarnation's gauge — so only this
+			// path decrements.
+			if r.backlog.Add(-1) {
+				r.server.SetBackpressure(r.backlog.Engaged())
+			}
 			return
 		}
 		// Orphaned local transaction: the incarnation that submitted it

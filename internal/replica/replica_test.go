@@ -251,24 +251,18 @@ func TestOptimisticPipelineFaultFree(t *testing.T) {
 		if st.Rollbacks != 0 {
 			t.Fatalf("site %d rollbacks = %d on a fault-free LAN", i+1, st.Rollbacks)
 		}
-		if s.stack.IsSequencer() {
-			// The sequencer assigns the total order in the very job
-			// that receives the data: final delivery wins the race
-			// with the tentative stage every time, so it never
-			// speculates.
-			if st.Tentative != 0 {
-				t.Fatalf("sequencer speculated %d times", st.Tentative)
-			}
-		} else {
-			// Followers tentatively certify every delivery and
-			// pre-apply every remote commit (full replication).
-			if st.Tentative != st.Delivered {
-				t.Fatalf("site %d: %d tentative certifications for %d deliveries",
-					i+1, st.Tentative, st.Delivered)
-			}
-			if st.PreApplied == 0 {
-				t.Fatalf("site %d never pre-applied a remote write-set", i+1)
-			}
+		// Every site — the sequencer included — tentatively certifies
+		// every delivery and pre-applies remote commits. The sequencer
+		// used to finalize in the very job that received the data, but
+		// uniform delivery holds its final stage until a majority acks
+		// the ordering announcement, so its tentative stage now wins
+		// the race like everyone else's.
+		if st.Tentative != st.Delivered {
+			t.Fatalf("site %d: %d tentative certifications for %d deliveries",
+				i+1, st.Tentative, st.Delivered)
+		}
+		if st.PreApplied == 0 {
+			t.Fatalf("site %d never pre-applied a remote write-set", i+1)
 		}
 		logs[dbsm.SiteID(i+1)] = s.rep.CommitLog()
 		op[dbsm.SiteID(i+1)] = true

@@ -1,0 +1,53 @@
+package replica
+
+// Watermark is a high/low hysteresis gauge over an integer depth (the
+// replica's in-flight termination backlog): it engages when the depth
+// reaches High and releases only once the depth has drained back to Low.
+// The dead band between the two levels keeps the signal from oscillating on
+// a constant load sitting near either threshold — a property the overload
+// unit tests pin. High == 0 disables the gauge (it never engages).
+type Watermark struct {
+	High int
+	Low  int
+
+	depth   int
+	engaged bool
+	engages int64
+	peak    int
+}
+
+// Add moves the depth by delta and reports whether the engagement state
+// toggled (the caller then propagates the new state as backpressure). The
+// depth is clamped at zero: a stray decrement must not bank credit against
+// future increments.
+func (w *Watermark) Add(delta int) bool {
+	w.depth += delta
+	if w.depth < 0 {
+		w.depth = 0
+	}
+	if w.depth > w.peak {
+		w.peak = w.depth
+	}
+	switch {
+	case !w.engaged && w.High > 0 && w.depth >= w.High:
+		w.engaged = true
+		w.engages++
+		return true
+	case w.engaged && w.depth <= w.Low:
+		w.engaged = false
+		return true
+	}
+	return false
+}
+
+// Depth reports the current depth.
+func (w *Watermark) Depth() int { return w.depth }
+
+// Engaged reports whether the gauge is above the hysteresis band.
+func (w *Watermark) Engaged() bool { return w.engaged }
+
+// Engages reports how many times the gauge engaged.
+func (w *Watermark) Engages() int64 { return w.engages }
+
+// Peak reports the highest depth observed.
+func (w *Watermark) Peak() int { return w.peak }

@@ -1,0 +1,121 @@
+package replica
+
+import "testing"
+
+// TestWatermarkTable drives the hysteresis gauge through its transitions:
+// engage at High, release only at Low, nothing in the dead band, disabled
+// when High == 0, and clamping at zero depth.
+func TestWatermarkTable(t *testing.T) {
+	tests := []struct {
+		name        string
+		high, low   int
+		deltas      []int
+		wantToggles []bool
+		wantEngaged bool
+		wantDepth   int
+	}{
+		{
+			name: "engages at high", high: 3, low: 1,
+			deltas:      []int{1, 1, 1},
+			wantToggles: []bool{false, false, true},
+			wantEngaged: true, wantDepth: 3,
+		},
+		{
+			name: "stays engaged inside the dead band", high: 3, low: 1,
+			deltas:      []int{3, -1},
+			wantToggles: []bool{true, false},
+			wantEngaged: true, wantDepth: 2,
+		},
+		{
+			name: "releases at low", high: 3, low: 1,
+			deltas:      []int{3, -1, -1},
+			wantToggles: []bool{true, false, true},
+			wantEngaged: false, wantDepth: 1,
+		},
+		{
+			name: "does not re-engage while engaged", high: 3, low: 1,
+			deltas:      []int{3, 2, 1},
+			wantToggles: []bool{true, false, false},
+			wantEngaged: true, wantDepth: 6,
+		},
+		{
+			name: "re-engages after a full drain cycle", high: 3, low: 1,
+			deltas:      []int{3, -2, 2},
+			wantToggles: []bool{true, true, true},
+			wantEngaged: true, wantDepth: 3,
+		},
+		{
+			name: "high zero disables", high: 0, low: 0,
+			deltas:      []int{10, 10},
+			wantToggles: []bool{false, false},
+			wantEngaged: false, wantDepth: 20,
+		},
+		{
+			name: "clamps at zero", high: 3, low: 1,
+			deltas:      []int{-5, 3},
+			wantToggles: []bool{false, true},
+			wantEngaged: true, wantDepth: 3,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			w := Watermark{High: tc.high, Low: tc.low}
+			for i, d := range tc.deltas {
+				if got := w.Add(d); got != tc.wantToggles[i] {
+					t.Fatalf("step %d: Add(%d) toggled %v, want %v", i, d, got, tc.wantToggles[i])
+				}
+			}
+			if w.Engaged() != tc.wantEngaged {
+				t.Fatalf("Engaged = %v, want %v", w.Engaged(), tc.wantEngaged)
+			}
+			if w.Depth() != tc.wantDepth {
+				t.Fatalf("Depth = %d, want %d", w.Depth(), tc.wantDepth)
+			}
+		})
+	}
+}
+
+// TestWatermarkNoOscillation pins the point of the dead band: a constant
+// load hovering at either threshold toggles the signal at most once, not on
+// every step. Without hysteresis (High == Low) the same load would flap
+// engage/release on each +1/-1 pair.
+func TestWatermarkNoOscillation(t *testing.T) {
+	w := Watermark{High: 10, Low: 4}
+	for i := 0; i < 10; i++ {
+		w.Add(1)
+	}
+	if !w.Engaged() || w.Engages() != 1 {
+		t.Fatalf("after ramp: engaged=%v engages=%d", w.Engaged(), w.Engages())
+	}
+	// Load oscillates around High: depth 10 <-> 9, above Low throughout.
+	toggles := 0
+	for i := 0; i < 1000; i++ {
+		if w.Add(-1) {
+			toggles++
+		}
+		if w.Add(1) {
+			toggles++
+		}
+	}
+	if toggles != 0 {
+		t.Fatalf("constant load near High toggled backpressure %d times", toggles)
+	}
+	if w.Engages() != 1 {
+		t.Fatalf("engages = %d, want 1", w.Engages())
+	}
+	if w.Peak() != 10 {
+		t.Fatalf("peak = %d, want 10", w.Peak())
+	}
+}
+
+// TestWatermarkAddAllocs pins the per-termination accounting at zero
+// allocations: Add runs on every submit and every completed termination.
+func TestWatermarkAddAllocs(t *testing.T) {
+	w := Watermark{High: 96, Low: 32}
+	if n := testing.AllocsPerRun(100, func() {
+		w.Add(1)
+		w.Add(-1)
+	}); n != 0 {
+		t.Fatalf("Add allocates %v per run, want 0", n)
+	}
+}

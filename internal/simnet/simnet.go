@@ -152,6 +152,9 @@ type Host struct {
 	loss    LossModel
 	rng     *sim.RNG
 	down    bool
+	// extraDelay is added to every inbound packet's arrival instant —
+	// gray-failure link degradation: the host is reachable, just slow.
+	extraDelay sim.Time
 
 	sent     metrics.ByteMeter
 	received metrics.ByteMeter
@@ -171,6 +174,16 @@ func (h *Host) SetLoss(m LossModel) { h.loss = m }
 // SetDown marks the host crashed (true) or operational (false). A down host
 // silently drops all traffic.
 func (h *Host) SetDown(down bool) { h.down = down }
+
+// SetExtraDelay adds d to every subsequent inbound packet's arrival instant
+// (gray-failure link degradation; 0 restores normal timing). Unlike loss or
+// a partition the traffic still arrives, so failure detectors stay quiet.
+func (h *Host) SetExtraDelay(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	h.extraDelay = d
+}
 
 // Down reports crash status.
 func (h *Host) Down() bool { return h.down }
@@ -356,7 +369,7 @@ func (n *Network) scheduleArrival(at sim.Time, dst *Host, pkt *Packet) {
 		a.fire = a.run
 	}
 	a.dst, a.pkt = dst, pkt
-	n.k.ScheduleAt(at, a.fire)
+	n.k.ScheduleAt(at+dst.extraDelay, a.fire)
 }
 
 func (a *arrival) run() {

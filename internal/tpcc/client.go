@@ -2,6 +2,7 @@ package tpcc
 
 import (
 	"repro/internal/db"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -18,10 +19,15 @@ type Client struct {
 	Gen *Generator
 	// Think is the mean think time.
 	Think sim.Time
+	// Retry governs resubmission after explicit admission rejections; the
+	// zero value disables retry (a rejection is final, like an abort).
+	Retry RetryPolicy
 	// Stop, if set, is consulted before issuing: returning true ends the
 	// client's stream (used to bound runs at N transactions).
 	Stop func() bool
-	// OnDone observes every completed transaction.
+	// OnDone observes every finally-completed transaction — fired once per
+	// transaction, after any retries have resolved, never between a
+	// rejection and its resubmission.
 	OnDone func(c *Client, t *db.Txn, o db.Outcome)
 
 	k       *sim.Kernel
@@ -29,6 +35,19 @@ type Client struct {
 	homeWH  int
 	issued  int64
 	stopped bool
+
+	// loadFactor > 1 compresses think times by that factor (sustained
+	// saturation: the same closed population offers load as if it were
+	// loadFactor times more eager).
+	loadFactor float64
+
+	retries  int64
+	giveUps  int64
+	retryLat metrics.Sample
+
+	// retryPending marks a scheduled backoff whose resubmission has not
+	// fired yet; quiescence detection must hold the run open for it.
+	retryPending bool
 }
 
 // Start begins the client's request stream. The first transaction is
@@ -41,8 +60,37 @@ func (c *Client) Start(k *sim.Kernel, rng *sim.RNG) {
 	k.Schedule(rng.UniformDur(0, c.Think), c.issue)
 }
 
-// Issued reports how many transactions this client has submitted.
+// Issued reports how many transactions this client has submitted (retries of
+// a rejected transaction do not count again).
 func (c *Client) Issued() int64 { return c.issued }
+
+// Retries reports resubmissions after rejections.
+func (c *Client) Retries() int64 { return c.retries }
+
+// GiveUps reports transactions abandoned after exhausting MaxAttempts.
+func (c *Client) GiveUps() int64 { return c.giveUps }
+
+// RetryLat exposes the first-submit-to-final-outcome latency sample (ms) of
+// transactions that needed at least one retry.
+func (c *Client) RetryLat() *metrics.Sample { return &c.retryLat }
+
+// RetryPending reports whether a backoff timer holds an unsubmitted retry.
+func (c *Client) RetryPending() bool { return c.retryPending }
+
+// SetLoadFactor scales the offered load: think times divide by f (f <= 1
+// restores nominal load). The think-time draw itself is unchanged, so the
+// RNG stream — and with it every other random decision — is identical across
+// load factors.
+func (c *Client) SetLoadFactor(f float64) { c.loadFactor = f }
+
+// thinkDur draws the next think pause, compressed under saturation.
+func (c *Client) thinkDur() sim.Time {
+	d := c.rng.ExpDur(c.Think)
+	if c.loadFactor > 1 {
+		d = sim.Time(float64(d) / c.loadFactor)
+	}
+	return d
+}
 
 func (c *Client) issue() {
 	if c.stopped || (c.Stop != nil && c.Stop()) {
@@ -50,14 +98,41 @@ func (c *Client) issue() {
 		return
 	}
 	t := c.Gen.Next(c.homeWH)
+	c.issued++
+	c.submit(t, 1, c.k.Now())
+}
+
+// submit runs one attempt of a transaction. A rejection within the retry
+// budget schedules a backoff and resubmits the same instance (same TID —
+// idempotent resubmission); every other outcome is final.
+func (c *Client) submit(t *db.Txn, attempt int, firstAt sim.Time) {
 	t.Done = func(t *db.Txn, o db.Outcome) {
+		if o == db.Rejected && attempt < c.Retry.MaxAttempts && !c.stopped {
+			c.retries++
+			c.retryPending = true
+			c.k.Schedule(c.Retry.Backoff(attempt, c.rng), func() {
+				c.retryPending = false
+				if c.stopped {
+					return
+				}
+				t.ResetForRetry()
+				c.submit(t, attempt+1, firstAt)
+			})
+			return
+		}
+		if o == db.Rejected && c.Retry.Enabled() && attempt >= c.Retry.MaxAttempts {
+			c.giveUps++
+		}
+		if attempt > 1 {
+			c.retryLat.Add((c.k.Now() - firstAt).Millis())
+		}
 		if c.OnDone != nil {
 			c.OnDone(c, t, o)
 		}
 		// Think, then issue the next request. Aborted transactions
-		// are not resubmitted (Section 5.1).
-		c.k.Schedule(c.rng.ExpDur(c.Think), c.issue)
+		// are not resubmitted (Section 5.1); rejected ones were handled
+		// above.
+		c.k.Schedule(c.thinkDur(), c.issue)
 	}
-	c.issued++
 	c.Server.Submit(t)
 }
