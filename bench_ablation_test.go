@@ -13,13 +13,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/faults"
 	"repro/internal/gcs"
 )
-
-func lossy() faults.Config {
-	return faults.Config{Loss: faults.Loss{Kind: faults.LossRandom, Rate: 0.05}}
-}
 
 func BenchmarkAblationBufferSmall(b *testing.B) {
 	cfg := core.Config{

@@ -1,10 +1,99 @@
 package repro
 
+// Shared benchmark plumbing. Every bench in this package builds a
+// core.Config, runs the model once per iteration, and attaches custom
+// metrics via b.ReportMetric; the construct-run-verify loop, the common
+// reporters, and the micro-benchmark network fixture live here so the
+// per-table bench files hold only their configurations and the series the
+// corresponding figure plots.
+
 import (
+	"testing"
+
+	"repro/internal/core"
 	"repro/internal/csrt"
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
+
+// benchModel constructs and runs one model, failing the benchmark on a
+// construction error, a run error, or a safety violation.
+func benchModel(b *testing.B, cfg core.Config) *core.Results {
+	b.Helper()
+	m, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := m.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if r.SafetyErr != nil {
+		b.Fatalf("safety: %v", r.SafetyErr)
+	}
+	return r
+}
+
+// requireNoDrops fails the benchmark if any certification payload was
+// dropped or failed to parse: the protocol benches treat either as a
+// correctness regression, not a performance data point.
+func requireNoDrops(r *core.Results, b *testing.B) {
+	b.Helper()
+	if r.CertDrops != 0 || r.GCS.ParseErrors != 0 {
+		b.Fatalf("payload drops: cert=%d parse=%d", r.CertDrops, r.GCS.ParseErrors)
+	}
+}
+
+// benchRun executes one model configuration per iteration and reports the
+// headline metrics.
+func benchRun(b *testing.B, cfg core.Config, metric func(*core.Results, *testing.B)) {
+	b.Helper()
+	if cfg.TotalTxns == 0 {
+		cfg.TotalTxns = 1000
+	}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(42 + i)
+		r := benchModel(b, cfg)
+		if i == 0 {
+			metric(r, b)
+			b.ReportMetric(float64(r.Events)/(b.Elapsed().Seconds()+1e-9), "events/s")
+		}
+	}
+}
+
+func reportPerf(r *core.Results, b *testing.B) {
+	b.ReportMetric(r.TPM, "tpm")
+	b.ReportMetric(r.MeanLatencyMS, "lat-ms")
+	b.ReportMetric(r.AbortRatePct, "abort-%")
+}
+
+func reportUsage(r *core.Results, b *testing.B) {
+	b.ReportMetric(r.CPUUtilPct, "cpu-%")
+	b.ReportMetric(r.DiskUtilPct, "disk-%")
+	b.ReportMetric(r.NetKBps, "net-KB/s")
+}
+
+// classAbort returns the abort rate of one transaction class, 0 if the run
+// recorded none of it.
+func classAbort(r *core.Results, name string) float64 {
+	for _, c := range r.Classes {
+		if c.Name == name {
+			return c.AbortRatePct
+		}
+	}
+	return 0
+}
+
+// lossy is the 5% random-loss fault load several ablations and fault benches
+// run under.
+func lossy() faults.Config {
+	return faults.Config{Loss: faults.Loss{Kind: faults.LossRandom, Rate: 0.05}}
+}
+
+type benchNet struct {
+	rt1, rt2 *csrt.Runtime
+}
 
 // newSimNetPair wires two hosts with runtimes on one simulated LAN, the
 // minimal topology for protocol micro-benchmarks.

@@ -39,20 +39,8 @@ func benchHotpath(b *testing.B, cfg core.Config) {
 	var tpm float64
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(42 + i)
-		m, err := core.New(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		r, err := m.Run()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if r.SafetyErr != nil {
-			b.Fatalf("safety: %v", r.SafetyErr)
-		}
-		if r.CertDrops != 0 || r.GCS.ParseErrors != 0 {
-			b.Fatalf("payload drops: cert=%d parse=%d", r.CertDrops, r.GCS.ParseErrors)
-		}
+		r := benchModel(b, cfg)
+		requireNoDrops(r, b)
 		events += r.Events
 		tpm = r.TPM
 	}

@@ -22,9 +22,7 @@ func reportProtocol(r *core.Results, b *testing.B) {
 	b.ReportMetric(r.CertLat.Mean(), "cert-final-ms")
 	b.ReportMetric(float64(r.Rollbacks), "rollbacks")
 	b.ReportMetric(r.OptMispredictPct, "mispred-%")
-	if r.CertDrops != 0 || r.GCS.ParseErrors != 0 {
-		b.Fatalf("payload drops: cert=%d parse=%d", r.CertDrops, r.GCS.ParseErrors)
-	}
+	requireNoDrops(r, b)
 }
 
 func protocolCfg(p core.Protocol, loss faults.Loss) core.Config {

@@ -10,51 +10,11 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/csrt"
 	"repro/internal/dbsm"
 	"repro/internal/faults"
 	"repro/internal/gcs"
 	"repro/internal/sim"
 )
-
-// benchRun executes one model configuration per iteration and reports the
-// headline metrics.
-func benchRun(b *testing.B, cfg core.Config, metric func(*core.Results, *testing.B)) {
-	b.Helper()
-	if cfg.TotalTxns == 0 {
-		cfg.TotalTxns = 1000
-	}
-	for i := 0; i < b.N; i++ {
-		cfg.Seed = int64(42 + i)
-		m, err := core.New(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		r, err := m.Run()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if r.SafetyErr != nil {
-			b.Fatalf("safety: %v", r.SafetyErr)
-		}
-		if i == 0 {
-			metric(r, b)
-			b.ReportMetric(float64(r.Events)/float64(b.Elapsed().Seconds()+1e-9), "events/s")
-		}
-	}
-}
-
-func reportPerf(r *core.Results, b *testing.B) {
-	b.ReportMetric(r.TPM, "tpm")
-	b.ReportMetric(r.MeanLatencyMS, "lat-ms")
-	b.ReportMetric(r.AbortRatePct, "abort-%")
-}
-
-func reportUsage(r *core.Results, b *testing.B) {
-	b.ReportMetric(r.CPUUtilPct, "cpu-%")
-	b.ReportMetric(r.DiskUtilPct, "disk-%")
-	b.ReportMetric(r.NetKBps, "net-KB/s")
-}
 
 // --- Figure 3: CSRT validation micro-benchmark -----------------------------
 
@@ -255,19 +215,6 @@ func BenchmarkCertMarshalRoundTrip(b *testing.B) {
 }
 
 // --- helpers -----------------------------------------------------------------
-
-func classAbort(r *core.Results, name string) float64 {
-	for _, c := range r.Classes {
-		if c.Name == name {
-			return c.AbortRatePct
-		}
-	}
-	return 0
-}
-
-type benchNet struct {
-	rt1, rt2 *csrt.Runtime
-}
 
 func newBenchNet(k *sim.Kernel, rng *sim.RNG) *benchNet {
 	net := newSimNetPair(k, rng)

@@ -33,7 +33,8 @@ func main() {
 	seeds := fs.Int("seeds", 3, "seeds per fixed-matrix fault type")
 	txns := fs.Int("txns", 2000, "transactions per run")
 	clients := fs.Int("clients", 300, "clients per run")
-	sites := fs.Int("sites", 3, "replica count")
+	sites := fs.Int("sites", 3, "replica count (per group when -groups > 1)")
+	groups := fs.Int("groups", 1, "replication groups (partial replication); campaign mode only")
 	parallel := fs.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	nCampaign := fs.Int("campaign", 0, "run N randomized fault schedules instead of the fixed matrix")
 	baseSeed := fs.Int64("seed", 1, "campaign base seed (schedule i uses a seed derived from it)")
@@ -67,8 +68,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *groups > 1 && *nCampaign == 0 && *replay == 0 && !*list {
+		// The fixed matrix encodes single-group assumptions (rejoin rows,
+		// site numbering); group mode runs randomized campaigns only.
+		fmt.Fprintln(os.Stderr, "faultsim: -groups needs -campaign N (or -replay/-list)")
+		os.Exit(2)
+	}
 	base := core.Config{
 		Sites:      *sites,
+		Groups:     *groups,
 		Clients:    *clients,
 		TotalTxns:  *txns,
 		MaxSimTime: 20 * sim.Minute,
@@ -78,7 +86,10 @@ func main() {
 		// admission machinery in the loop.
 		Admission: core.DefaultAdmissionConfig(),
 	}
-	params := campaign.Params{Sites: *sites, Rejoin: *rejoin, Overload: *overload}
+	params := campaign.Params{Sites: *sites, Groups: *groups, Rejoin: *rejoin, Overload: *overload}
+	if *groups > 1 {
+		params.Rejoin = false // crash recovery is out of the group-mode scope
+	}
 	if *short {
 		// Shorter runs need faults that land while traffic still flows.
 		params.Horizon = 15 * sim.Second
@@ -113,6 +124,9 @@ func main() {
 		repro := fmt.Sprintf("faultsim -sites %d -clients %d -txns %d", *sites, *clients, *txns)
 		if *short {
 			repro = "faultsim -short -sites " + fmt.Sprint(*sites)
+		}
+		if *groups > 1 {
+			repro += fmt.Sprintf(" -groups %d", *groups)
 		}
 		if *overload {
 			repro += " -overload"
@@ -312,6 +326,10 @@ func verdictOf(pt expr.Point) (string, string) {
 		if r.Rejected > 0 || r.Retries > 0 {
 			detail += fmt.Sprintf(" rejected=%d retries=%d backlogpeak=%d queuepeak=%dKB",
 				r.Rejected, r.Retries, r.BacklogPeak, r.GCS.QueuePeakBytes/1024)
+		}
+		if r.Groups > 1 {
+			detail += fmt.Sprintf(" multigroup=%.1f%% xretries=%d xhandovers=%d",
+				r.MultiGroupPct, r.XRetries, r.XHandovers)
 		}
 		return "SAFE", detail
 	}

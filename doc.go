@@ -50,6 +50,21 @@
 // acks the ordering announcement (README.md's "Overload and flow control"
 // section has the details).
 //
+// Partial replication removes the full-replication wall the paper's Section
+// 5.2 measures: core.Config.Groups splits the sites into per-warehouse
+// replication groups, each with its own group-communication stack and total
+// order (internal/xgroup holds the placement arithmetic). Single-stripe
+// transactions commit through their group's order alone, so aggregate
+// throughput scales with the group count; transactions spanning stripes run
+// a cross-group commit round on top of the existing orders — home-ordered
+// prepare, relayed and re-ordered per group, one certification vote per
+// group, AND decision, with coordinator retransmits and crash handover.
+// internal/check extends the safety verdict across groups (atomicity plus
+// acyclic cross-group serialization), the campaign generator draws
+// group-targeted faults under `faultsim -groups`, and cmd/experiments's
+// "shard" table prints the scaling verdict (README.md's "Partial
+// replication" section has the protocol walk-through).
+//
 // The simulation critical path is engineered to allocate nothing in steady
 // state: certification runs against an inverted last-writer index
 // (O(|ReadSet|) per transaction, differential-tested against the paper's

@@ -40,12 +40,20 @@ const (
 	KindPartition  = "partition"
 	KindSaturation = "saturation"
 	KindSlowNode   = "slow-node"
+	// Group-mode (partial replication) structural kinds: a crash of one
+	// group's lowest member (its sequencer, and the handover anchor for
+	// cross-group rounds it coordinated), additional crashes scattered
+	// across groups, and a partition isolating a minority of one group.
+	KindCoordCrash     = "coordinator-crash"
+	KindGroupCrash     = "group-crash"
+	KindGroupPartition = "group-partition"
 )
 
 // Kinds lists every fault kind a campaign can inject, in report order.
 func Kinds() []string {
 	return []string{KindDrift, KindLatency, KindLossRandom, KindLossBursty,
-		KindCrash, KindRejoin, KindPartition, KindSaturation, KindSlowNode}
+		KindCrash, KindRejoin, KindPartition, KindSaturation, KindSlowNode,
+		KindCoordCrash, KindGroupCrash, KindGroupPartition}
 }
 
 // Params bounds the schedule space.
@@ -69,6 +77,12 @@ type Params struct {
 	// campaigns stress the flow-control and admission machinery on every
 	// schedule. Without it, each is drawn with probability 0.25.
 	Overload bool
+	// Groups targets a partial-replication model: Sites is then the
+	// per-group replica count and structural faults are drawn per group —
+	// the crash/partition budget is (Sites-1)/2 within each group, so every
+	// group keeps a strict majority. Rejoin is ignored (crash recovery is
+	// out of the group-mode scope). 0 or 1 generates classic schedules.
+	Groups int
 }
 
 func (p *Params) fill() {
@@ -172,6 +186,9 @@ func (s Schedule) Describe() string {
 // equal schedules on every machine.
 func New(seed int64, p Params) Schedule {
 	p.fill()
+	if p.Groups > 1 {
+		return newGrouped(seed, p)
+	}
 	g := sim.NewRNG(seed).Fork("campaign")
 	s := Schedule{Seed: seed}
 	f := &s.Faults

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/sim"
+	"repro/internal/xgroup"
 )
 
 func TestScheduleIsPureFunctionOfSeed(t *testing.T) {
@@ -87,13 +88,103 @@ func TestEveryKindAppearsAndSchedulesAreWellFormed(t *testing.T) {
 				t.Fatalf("sites=%d seed=%d: two loss models in one schedule", sites, s.Seed)
 			}
 		}
+		groupOnly := map[string]bool{
+			KindCoordCrash: true, KindGroupCrash: true, KindGroupPartition: true,
+		}
 		for _, k := range Kinds() {
+			if groupOnly[k] {
+				continue // drawn only by the group-mode generator, covered separately
+			}
 			if seenKind[k] == 0 {
 				t.Fatalf("sites=%d: kind %s never generated over 400 schedules", sites, k)
 			}
 		}
 		if healed == 0 {
 			t.Fatalf("sites=%d: no partition-and-heal schedule over 400 schedules", sites)
+		}
+	}
+}
+
+// TestGroupScheduleWellFormed sweeps the group-mode generator and checks
+// reproducibility, the per-group quorum budget, group-scoped structural
+// faults, and coverage of the group-only fault kinds.
+func TestGroupScheduleWellFormed(t *testing.T) {
+	const groups, sites = 3, 3
+	p := Params{Sites: sites, Groups: groups}
+	budget := (sites - 1) / 2
+	seenKind := map[string]int{}
+	for _, s := range Plan(7, 400, p) {
+		if !reflect.DeepEqual(s, New(s.Seed, p)) {
+			t.Fatalf("seed=%d: group schedule not reproducible from its seed", s.Seed)
+		}
+		if len(s.Kinds) == 0 || !s.Faults.Any() {
+			t.Fatalf("seed=%d: fault-free schedule", s.Seed)
+		}
+		for _, k := range s.Kinds {
+			seenKind[k]++
+		}
+		for _, classic := range []string{KindCrash, KindRejoin, KindPartition} {
+			if s.Has(classic) {
+				t.Fatalf("seed=%d: classic kind %s in a group schedule", s.Seed, classic)
+			}
+		}
+		if len(s.Faults.Recovers) != 0 {
+			t.Fatalf("seed=%d: rejoin drawn in group mode", s.Seed)
+		}
+		disabled := make([]int, groups+1)
+		crashed := map[int32]bool{}
+		for _, cr := range s.Faults.Crashes {
+			if int(cr.Site) < 1 || int(cr.Site) > groups*sites {
+				t.Fatalf("seed=%d: crash targets unknown site %d", s.Seed, cr.Site)
+			}
+			if crashed[cr.Site] {
+				t.Fatalf("seed=%d: site %d crashed twice", s.Seed, cr.Site)
+			}
+			crashed[cr.Site] = true
+			disabled[xgroup.GroupOfSite(int(cr.Site), sites)]++
+		}
+		if s.Has(KindCoordCrash) {
+			coord := false
+			for _, cr := range s.Faults.Crashes {
+				lo, _ := xgroup.GroupSites(xgroup.GroupOfSite(int(cr.Site), sites), sites)
+				if int(cr.Site) == lo {
+					coord = true
+				}
+			}
+			if !coord {
+				t.Fatalf("seed=%d: coordinator-crash kind without a lowest-member crash", s.Seed)
+			}
+		}
+		for _, pt := range s.Faults.Partitions {
+			g := 0
+			for _, id := range pt.Sites {
+				if crashed[id] {
+					t.Fatalf("seed=%d: site %d both crashed and partitioned", s.Seed, id)
+				}
+				ig := xgroup.GroupOfSite(int(id), sites)
+				if g == 0 {
+					g = ig
+				} else if ig != g {
+					t.Fatalf("seed=%d: partition spans groups %d and %d", s.Seed, g, ig)
+				}
+				disabled[ig]++
+			}
+			if pt.Heal != 0 && pt.Heal <= pt.At {
+				t.Fatalf("seed=%d: heal %v not after cut %v", s.Seed, pt.Heal, pt.At)
+			}
+		}
+		for g := 1; g <= groups; g++ {
+			if disabled[g] > budget {
+				t.Fatalf("seed=%d: group %d loses %d sites, past budget %d", s.Seed, g, disabled[g], budget)
+			}
+		}
+		if s.Has(KindLossRandom) && s.Has(KindLossBursty) {
+			t.Fatalf("seed=%d: two loss models in one schedule", s.Seed)
+		}
+	}
+	for _, k := range []string{KindCoordCrash, KindGroupCrash, KindGroupPartition} {
+		if seenKind[k] == 0 {
+			t.Fatalf("kind %s never generated over 400 schedules", k)
 		}
 	}
 }

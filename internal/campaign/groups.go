@@ -1,0 +1,170 @@
+package campaign
+
+import (
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/xgroup"
+)
+
+// newGrouped generates one schedule for a partial-replication model of
+// p.Groups groups × p.Sites sites. Timing, loss, and overload faults compose
+// exactly as in the classic generator (they are site- or network-scoped, not
+// group-scoped); structural faults are drawn per group against a per-group
+// quorum budget, so every group keeps a strict majority and the cross-group
+// commit round always has a surviving home member to hand rounds over to.
+func newGrouped(seed int64, p Params) Schedule {
+	g := sim.NewRNG(seed).Fork("campaign")
+	s := Schedule{Seed: seed}
+	f := &s.Faults
+	total := p.Groups * p.Sites
+	budget := (p.Sites - 1) / 2 // disabled sites tolerated per group
+
+	// Timing faults.
+	if g.Bool(0.35) {
+		f.ClockDriftRate = 0.01 + 0.09*g.Float64()
+		if g.Bool(0.5) {
+			f.ClockDriftSites = []int32{int32(1 + g.Intn(total))}
+		}
+		s.Kinds = append(s.Kinds, KindDrift)
+	}
+	if g.Bool(0.35) {
+		f.SchedLatencyMean = g.UniformDur(1*sim.Millisecond, 8*sim.Millisecond)
+		s.Kinds = append(s.Kinds, KindLatency)
+	}
+
+	// At most one loss model. Loss is the fault the cross-group relays care
+	// most about (relays are raw datagrams; only the coordinator's
+	// retransmit timer recovers them), so it is drawn more often than in
+	// the classic generator.
+	switch g.Intn(10) {
+	case 0, 1, 2, 3:
+		f.Loss = faults.Loss{Kind: faults.LossRandom, Rate: 0.01 + 0.09*g.Float64()}
+		s.Kinds = append(s.Kinds, KindLossRandom)
+	case 4, 5, 6:
+		f.Loss = faults.Loss{
+			Kind:      faults.LossBursty,
+			Rate:      0.01 + 0.07*g.Float64(),
+			MeanBurst: 3 + 5*g.Float64(),
+		}
+		s.Kinds = append(s.Kinds, KindLossBursty)
+	}
+
+	// Structural faults, per-group budget. used[g] counts disabled sites of
+	// group g; crashed marks sites taken by a crash.
+	used := make([]int, p.Groups+1)
+	crashed := map[int32]bool{}
+	crash := func(site int32, gr int) {
+		crashed[site] = true
+		used[gr]++
+		f.Crashes = append(f.Crashes, faults.Crash{
+			Site: site, At: g.UniformDur(5*sim.Second, p.Horizon),
+		})
+	}
+
+	// Coordinator crash: the lowest-numbered site of one group — the
+	// group's sequencer, and the home member whose in-flight cross-group
+	// rounds a survivor must take over. Onset is drawn across the horizon,
+	// so it statistically lands between a round's votes and its decision.
+	if budget > 0 && g.Bool(0.5) {
+		gr := 1 + g.Intn(p.Groups)
+		lo, _ := xgroup.GroupSites(gr, p.Sites)
+		crash(int32(lo), gr)
+		s.Kinds = append(s.Kinds, KindCoordCrash)
+	}
+
+	// Additional crashes scattered across groups within each group's
+	// remaining budget.
+	if g.Bool(0.45) {
+		any := false
+		for gr := 1; gr <= p.Groups; gr++ {
+			if used[gr] >= budget || !g.Bool(0.5) {
+				continue
+			}
+			lo, hi := xgroup.GroupSites(gr, p.Sites)
+			cands := make([]int32, 0, hi-lo+1)
+			for id := lo; id <= hi; id++ {
+				if !crashed[int32(id)] {
+					cands = append(cands, int32(id))
+				}
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			crash(cands[g.Intn(len(cands))], gr)
+			any = true
+		}
+		if any {
+			s.Kinds = append(s.Kinds, KindGroupCrash)
+		}
+	}
+	sort.Slice(f.Crashes, func(i, j int) bool { return f.Crashes[i].At < f.Crashes[j].At })
+
+	// Group partition: isolate a minority of one group that still has
+	// budget. Highest-numbered non-crashed members go to the minority side,
+	// keeping the group's (replacement) sequencer in the majority.
+	if g.Bool(0.4) {
+		gr := 1 + g.Intn(p.Groups)
+		for i := 0; i < p.Groups && used[gr] >= budget; i++ {
+			gr = gr%p.Groups + 1
+		}
+		if m := budget - used[gr]; m > 0 {
+			m = 1 + g.Intn(m)
+			lo, hi := xgroup.GroupSites(gr, p.Sites)
+			minority := make([]int32, 0, m)
+			for id := hi; id >= lo && len(minority) < m; id-- {
+				if !crashed[int32(id)] {
+					minority = append(minority, int32(id))
+				}
+			}
+			if len(minority) > 0 {
+				sort.Slice(minority, func(i, j int) bool { return minority[i] < minority[j] })
+				at := g.UniformDur(5*sim.Second, p.Horizon)
+				pt := faults.Partition{Sites: minority, At: at}
+				if g.Bool(0.75) {
+					pt.Heal = at + g.UniformDur(5*sim.Second, 20*sim.Second)
+				}
+				f.Partitions = []faults.Partition{pt}
+				used[gr] += len(minority)
+				s.Kinds = append(s.Kinds, KindGroupPartition)
+			}
+		}
+	}
+
+	// Overload faults, identical to the classic generator but drawing the
+	// slow node from the full site universe.
+	if p.Overload || g.Bool(0.25) {
+		sat := faults.Saturation{
+			Factor: 1.5 + 1.5*g.Float64(),
+			At:     g.UniformDur(5*sim.Second, p.Horizon/2),
+		}
+		if p.Overload {
+			sat.Factor = 2
+		}
+		if g.Bool(0.5) {
+			sat.Until = sat.At + g.UniformDur(10*sim.Second, 20*sim.Second)
+		}
+		f.Saturation = sat
+		s.Kinds = append(s.Kinds, KindSaturation)
+	}
+	if p.Overload || g.Bool(0.25) {
+		sn := faults.SlowNode{
+			Site:   int32(1 + g.Intn(total)),
+			Factor: 10,
+			At:     g.UniformDur(5*sim.Second, p.Horizon/2),
+		}
+		if g.Bool(0.4) {
+			sn.Until = sn.At + g.UniformDur(10*sim.Second, 20*sim.Second)
+		}
+		f.SlowNodes = []faults.SlowNode{sn}
+		s.Kinds = append(s.Kinds, KindSlowNode)
+	}
+
+	if !f.Any() {
+		f.Loss = faults.Loss{Kind: faults.LossRandom, Rate: 0.01 + 0.09*g.Float64()}
+		s.Kinds = append(s.Kinds, KindLossRandom)
+	}
+	sortKinds(s.Kinds)
+	return s
+}

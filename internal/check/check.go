@@ -44,6 +44,16 @@ const (
 	// twice — the idempotent-resubmission guarantee broke (a rejected
 	// transaction that was retried must commit at most once).
 	KindDuplicate
+	// KindAtomicity: under partial replication, two groups resolved the same
+	// cross-group transaction differently — one installed it as committed
+	// while another recorded an abort. The atomic-commit round must never
+	// let the per-group decisions diverge.
+	KindAtomicity
+	// KindCrossCycle: the per-group install orders of committed cross-group
+	// transactions form a cycle in the conflict serialization graph — the
+	// groups disagree on the relative order of conflicting transactions, so
+	// no single serial history explains the run.
+	KindCrossCycle
 )
 
 // String names the violation kind.
@@ -59,6 +69,10 @@ func (k Kind) String() string {
 		return "non-prefix"
 	case KindDuplicate:
 		return "double-commit"
+	case KindAtomicity:
+		return "atomicity"
+	case KindCrossCycle:
+		return "cross-group-cycle"
 	default:
 		return "unknown"
 	}
@@ -85,6 +99,10 @@ type Violation struct {
 	// Site is the offending site, Ref the reference (first operational)
 	// site it was compared against.
 	Site, Ref dbsm.SiteID
+	// Group is the replication group the violation was detected in (0 when
+	// the run used full replication or the violation spans groups; then Ref
+	// carries the second group for cross-group kinds).
+	Group int
 	// Pos is the first differing position, or -1 when only the lengths
 	// differ.
 	Pos int
@@ -94,6 +112,17 @@ type Violation struct {
 
 // Error renders the violation.
 func (v *Violation) Error() string {
+	switch v.Kind {
+	case KindAtomicity, KindCrossCycle:
+		// Cross-group kinds compare groups, not sites: Site/Ref hold the
+		// two canonical group ids whose records disagree.
+		return fmt.Sprintf("check: %s: group %d vs group %d at position %d: %s",
+			v.Kind, v.Site, v.Ref, v.Pos, v.Detail)
+	}
+	if v.Group != 0 {
+		return fmt.Sprintf("check: %s: group %d: site %d vs site %d at position %d: %s",
+			v.Kind, v.Group, v.Site, v.Ref, v.Pos, v.Detail)
+	}
 	return fmt.Sprintf("check: %s: site %d vs site %d at position %d: %s",
 		v.Kind, v.Site, v.Ref, v.Pos, v.Detail)
 }

@@ -1,0 +1,159 @@
+package check
+
+// Verdict-formatting and detection tests for the cross-group checker: the
+// partial-replication violation kinds must render the group pair (not a
+// site pair), group-scoped per-group violations must carry the group id,
+// and the two cross-group conditions must fire on minimal counterexamples.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dbsm"
+	"repro/internal/trace"
+)
+
+func TestCrossKindStrings(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want string
+	}{
+		{KindDuplicate, "double-commit"},
+		{KindAtomicity, "atomicity"},
+		{KindCrossCycle, "cross-group-cycle"},
+	}
+	for _, c := range cases {
+		if got := c.kind.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", c.kind, got, c.want)
+		}
+	}
+}
+
+// TestGroupScopedViolationRendersGroup: a per-group 1SR violation found in
+// group mode carries the group id and renders it ahead of the site pair.
+func TestGroupScopedViolationRendersGroup(t *testing.T) {
+	v := &Violation{
+		Kind: KindDivergence, Group: 2, Site: 5, Ref: 4, Pos: 3,
+		Detail: "committed (seq=4 tid=bb), reference committed (seq=4 tid=aa)",
+	}
+	got := v.Error()
+	for _, want := range []string{"divergence", "group 2", "site 5", "site 4", "position 3"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Error() = %q, missing %q", got, want)
+		}
+	}
+}
+
+// TestCrossGroupViolationRendersGroupPair: atomicity and cycle verdicts name
+// two groups, not two sites.
+func TestCrossGroupViolationRendersGroupPair(t *testing.T) {
+	v := &Violation{
+		Kind: KindAtomicity, Site: 1, Ref: 3, Group: 1, Pos: 7,
+		Detail: "tid=2a committed in group 1 but aborted in group 3",
+	}
+	got := v.Error()
+	for _, want := range []string{"atomicity", "group 1 vs group 3", "position 7", "tid=2a"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Error() = %q, missing %q", got, want)
+		}
+	}
+	if strings.Contains(got, "site") {
+		t.Errorf("Error() = %q, cross-group verdict must not render a site pair", got)
+	}
+}
+
+func xrec(tid uint64, commit bool, seq uint64, rs, ws []dbsm.TupleID) trace.XRecord {
+	return trace.XRecord{
+		TID: tid, Commit: commit, Seq: seq,
+		ReadSet: dbsm.NewItemSet(rs...), WriteSet: dbsm.NewItemSet(ws...),
+	}
+}
+
+func TestCrossGroupAgreementIsSafe(t *testing.T) {
+	a := dbsm.MakeTupleID(1, 10)
+	b := dbsm.MakeTupleID(1, 20)
+	groups := []GroupXLog{
+		{Group: 1, Site: 1, Records: []trace.XRecord{
+			xrec(0x10, true, 5, nil, []dbsm.TupleID{a}),
+			xrec(0x20, false, 0, nil, nil),
+		}},
+		{Group: 2, Site: 4, Records: []trace.XRecord{
+			xrec(0x10, true, 9, nil, []dbsm.TupleID{b}),
+			// tid 0x30 is still in flight in group 1: missing there, not a
+			// violation here.
+			xrec(0x30, true, 10, nil, nil),
+		}},
+	}
+	if v := CrossGroup(groups); v != nil {
+		t.Fatalf("consistent streams flagged: %v", v)
+	}
+}
+
+func TestAtomicityViolationDetected(t *testing.T) {
+	groups := []GroupXLog{
+		{Group: 1, Site: 1, Records: []trace.XRecord{xrec(0x2a, true, 5, nil, nil)}},
+		{Group: 3, Site: 7, Records: []trace.XRecord{xrec(0x2a, false, 0, nil, nil)}},
+	}
+	v := CrossGroup(groups)
+	if v == nil || v.Kind != KindAtomicity {
+		t.Fatalf("want atomicity violation, got %v", v)
+	}
+	for _, want := range []string{"tid=2a", "committed in group 1", "aborted in group 3"} {
+		if !strings.Contains(v.Detail, want) {
+			t.Errorf("Detail = %q, missing %q", v.Detail, want)
+		}
+	}
+	if !strings.Contains(v.Error(), "group 1 vs group 3") {
+		t.Errorf("Error() = %q, missing group pair", v.Error())
+	}
+}
+
+// TestCrossCycleDetected: two groups install the same conflicting pair in
+// opposite orders — the minimal unserializable interleaving.
+func TestCrossCycleDetected(t *testing.T) {
+	x := dbsm.MakeTupleID(2, 7)
+	groups := []GroupXLog{
+		{Group: 1, Site: 1, Records: []trace.XRecord{
+			xrec(0xa, true, 1, nil, []dbsm.TupleID{x}),
+			xrec(0xb, true, 2, nil, []dbsm.TupleID{x}),
+		}},
+		{Group: 2, Site: 4, Records: []trace.XRecord{
+			xrec(0xb, true, 1, nil, []dbsm.TupleID{x}),
+			xrec(0xa, true, 2, nil, []dbsm.TupleID{x}),
+		}},
+	}
+	v := CrossGroup(groups)
+	if v == nil || v.Kind != KindCrossCycle {
+		t.Fatalf("want cross-group cycle, got %v", v)
+	}
+	if !strings.Contains(v.Detail, "opposite orders") {
+		t.Errorf("Detail = %q, missing opposite-orders wording", v.Detail)
+	}
+	for _, want := range []string{"tid=a", "tid=b"} {
+		if !strings.Contains(v.Detail, want) {
+			t.Errorf("Detail = %q, missing %q", v.Detail, want)
+		}
+	}
+	if !strings.Contains(v.Error(), "cross-group-cycle") {
+		t.Errorf("Error() = %q, missing kind", v.Error())
+	}
+}
+
+func TestCrossGroupDuplicateCarriesGroup(t *testing.T) {
+	groups := []GroupXLog{
+		{Group: 2, Site: 4, Records: []trace.XRecord{
+			xrec(0x5, true, 1, nil, nil),
+			xrec(0x5, true, 2, nil, nil),
+		}},
+	}
+	v := CrossGroup(groups)
+	if v == nil || v.Kind != KindDuplicate {
+		t.Fatalf("want duplicate, got %v", v)
+	}
+	if v.Group != 2 {
+		t.Errorf("Group = %d, want 2", v.Group)
+	}
+	if !strings.Contains(v.Error(), "group 2") {
+		t.Errorf("Error() = %q, group id not rendered", v.Error())
+	}
+}

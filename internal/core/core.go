@@ -28,6 +28,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/tpcc"
 	"repro/internal/trace"
+	"repro/internal/xgroup"
 )
 
 // Protocol selects the replication termination variant.
@@ -52,8 +53,19 @@ func Protocols() []Protocol { return []Protocol{ProtocolConservative, ProtocolOp
 // Config describes one experiment run.
 type Config struct {
 	// Sites is the number of replicas; 1 runs the centralized baseline
-	// without any replication protocol.
+	// without any replication protocol. When Groups > 1, Sites is the
+	// number of replicas per group and the model runs Groups×Sites sites
+	// in total.
 	Sites int
+	// Groups partitions the replicas into this many independent
+	// replication groups (partial replication). Each group runs its own
+	// group-communication stack and certifies only its own warehouses'
+	// transactions; a transaction spanning groups runs the cross-group
+	// atomic-commit round (internal/replica, xcommit.go). 0 or 1 runs the
+	// classic single-group model. Incompatible with DedicatedSequencer,
+	// ReplicationDegree, ReadSetThreshold, and crash recovery
+	// (Faults.Recovers); requires Sites >= 2 per group.
+	Groups int
 	// Protocol selects the termination variant (default conservative).
 	// Ignored when Sites == 1 (no replication protocol runs at all).
 	Protocol Protocol
@@ -232,6 +244,11 @@ type Model struct {
 	lan     *simnet.LAN
 	members []runtimeapi.NodeID // full group universe (rebuilt stacks need it)
 
+	// Group-mode shape: groups is 1 for the classic model; perGroup is the
+	// per-group site count (== cfg.Sites in either mode).
+	groups   int
+	perGroup int
+
 	sites     []*Site
 	dedicated *Site // dedicated sequencer member, when configured
 	clients   []*tpcc.Client
@@ -255,26 +272,55 @@ type Model struct {
 // New builds a model from a config.
 func New(cfg Config) (*Model, error) {
 	cfg.fill()
-	if cfg.Sites < 1 || cfg.Sites > 32 {
-		return nil, fmt.Errorf("core: unsupported site count %d", cfg.Sites)
+	groups := cfg.Groups
+	if groups < 1 {
+		groups = 1
+	}
+	total := cfg.Sites * groups
+	if cfg.Sites < 1 || total > 32 {
+		return nil, fmt.Errorf("core: unsupported site count %d (%d groups of %d)", total, groups, cfg.Sites)
 	}
 	if cfg.Protocol != ProtocolConservative && cfg.Protocol != ProtocolOptimistic {
 		return nil, fmt.Errorf("core: unknown protocol %q", cfg.Protocol)
 	}
-	m := &Model{cfg: cfg, k: sim.NewKernel(), rng: sim.NewRNG(cfg.Seed)}
+	if groups > 1 {
+		// The cross-group commit path composes with the plain per-group
+		// protocol only; the orthogonal single-group features stay out of
+		// scope and are rejected rather than silently ignored.
+		switch {
+		case cfg.Sites < 2:
+			return nil, fmt.Errorf("core: groups need at least 2 sites each, got %d", cfg.Sites)
+		case cfg.DedicatedSequencer:
+			return nil, fmt.Errorf("core: dedicated sequencer is incompatible with %d groups", groups)
+		case cfg.ReplicationDegree > 0:
+			return nil, fmt.Errorf("core: replication degree is incompatible with %d groups", groups)
+		case cfg.ReadSetThreshold > 0:
+			return nil, fmt.Errorf("core: table-lock upgrade is incompatible with %d groups", groups)
+		case len(cfg.Faults.Recovers) > 0:
+			return nil, fmt.Errorf("core: crash recovery is incompatible with %d groups", groups)
+		}
+	}
+	m := &Model{cfg: cfg, k: sim.NewKernel(), rng: sim.NewRNG(cfg.Seed),
+		groups: groups, perGroup: cfg.Sites}
 	m.net = simnet.NewNetwork(m.k, m.rng.Fork("net"))
 	m.lan = m.net.NewLAN(cfg.LAN)
 
-	members := make([]runtimeapi.NodeID, cfg.Sites)
+	members := make([]runtimeapi.NodeID, total)
 	for i := range members {
 		members[i] = runtimeapi.NodeID(i + 1)
 	}
-	if cfg.DedicatedSequencer && cfg.Sites > 1 {
+	if cfg.DedicatedSequencer && total > 1 && groups == 1 {
 		// Node 0 sorts first in the view, making it the sequencer.
 		members = append([]runtimeapi.NodeID{0}, members...)
 	}
 	m.members = members
-	m.net.SetGroup(1, members)
+	if groups == 1 {
+		m.net.SetGroup(1, members)
+	} else {
+		for g := 1; g <= groups; g++ {
+			m.net.SetGroup(runtimeapi.Group(g), m.groupMembers(g))
+		}
+	}
 
 	warehouses := cfg.Warehouses
 	if warehouses == 0 {
@@ -404,26 +450,57 @@ func New(cfg Config) (*Model, error) {
 			}
 		}
 		disabled := map[int32]bool{}
+		perG := make([]int, m.groups+1)
+		mark := func(sid int32) {
+			if !disabled[sid] {
+				disabled[sid] = true
+				if g := m.siteGroup(sid); g >= 1 && g <= m.groups {
+					perG[g]++
+				}
+			}
+		}
 		for _, cr := range cfg.Faults.Crashes {
-			disabled[cr.Site] = true
+			mark(cr.Site)
 		}
 		for _, pt := range parts {
 			for _, sid := range pt.Sites {
-				disabled[sid] = true
+				mark(sid)
 			}
 		}
-		if 2*len(disabled) >= cfg.Sites {
-			return nil, fmt.Errorf("core: crashes and partitions disable %d of %d sites; a strict majority must survive",
-				len(disabled), cfg.Sites)
+		// The majority rule is per replication group: each group runs its
+		// own view, so each one individually must keep a strict majority.
+		for g := 1; g <= m.groups; g++ {
+			if 2*perG[g] >= m.perGroup {
+				if m.groups == 1 {
+					return nil, fmt.Errorf("core: crashes and partitions disable %d of %d sites; a strict majority must survive",
+						perG[g], m.perGroup)
+				}
+				return nil, fmt.Errorf("core: crashes and partitions disable %d of group %d's %d sites; a strict majority must survive in every group",
+					perG[g], g, m.perGroup)
+			}
 		}
 	}
 	for _, pt := range cfg.Faults.Partitions {
 		if len(pt.Sites) == 0 {
 			return nil, fmt.Errorf("core: partition isolates no sites")
 		}
-		if 2*len(pt.Sites) >= cfg.Sites {
-			return nil, fmt.Errorf("core: partition isolates %d of %d sites; the isolated side must be a strict minority",
-				len(pt.Sites), cfg.Sites)
+		cnt := make([]int, m.groups+1)
+		for _, sid := range pt.Sites {
+			if idx := int(sid) - 1; idx < 0 || idx >= total {
+				return nil, fmt.Errorf("core: partition targets unknown site %d", sid)
+			}
+			cnt[m.siteGroup(sid)]++
+		}
+		for g := 1; g <= m.groups; g++ {
+			if 2*cnt[g] < m.perGroup {
+				continue
+			}
+			if m.groups == 1 {
+				return nil, fmt.Errorf("core: partition isolates %d of %d sites; the isolated side must be a strict minority",
+					cnt[g], m.perGroup)
+			}
+			return nil, fmt.Errorf("core: partition isolates %d of group %d's %d sites; the isolated side must be a strict minority in every group",
+				cnt[g], g, m.perGroup)
 		}
 		if pt.Heal != 0 && pt.Heal <= pt.At {
 			return nil, fmt.Errorf("core: partition heals at %v, not after its start %v", pt.Heal, pt.At)
@@ -486,13 +563,19 @@ func New(cfg Config) (*Model, error) {
 	// between sites — the replication effect of Table 1. Under partial
 	// replication, clients are instead routed to the primary site of
 	// their home warehouse, which stores their data.
+	// Under group mode, clients live at their home warehouse's group — the
+	// only sites storing their data; cross-group traffic then comes from
+	// payment's remote warehouse and new-order's remote stock lines.
 	partial := cfg.ReplicationDegree > 0 && cfg.ReplicationDegree < cfg.Sites
 	for i := 0; i < cfg.Clients; i++ {
 		var site *Site
-		if partial {
+		switch {
+		case m.groups > 1:
+			site = m.sites[xgroup.HomeSite(i/tpcc.ClientsPerWarehouse, m.groups, m.perGroup)-1]
+		case partial:
 			site = m.sites[primarySiteIndex(i/tpcc.ClientsPerWarehouse, cfg.Sites)]
-		} else {
-			site = m.sites[i%cfg.Sites]
+		default:
+			site = m.sites[i%len(m.sites)]
 		}
 		cl := &tpcc.Client{
 			ID:     i,
@@ -584,10 +667,15 @@ func (m *Model) onDone(c *tpcc.Client, t *db.Txn, o db.Outcome) {
 // time (joining false) or for a fresh incarnation rejoining after a crash
 // (joining true).
 func (m *Model) buildStack(s *Site, joining bool) error {
+	group, members := 1, m.members
+	if m.groups > 1 {
+		group = m.siteGroup(int32(s.ID))
+		members = m.groupMembers(group)
+	}
 	gcfg := gcs.Config{
 		Self:         runtimeapi.NodeID(s.ID),
-		Members:      m.members,
-		Group:        1,
+		Members:      members,
+		Group:        runtimeapi.Group(group),
 		UseMulticast: true,
 		Joining:      joining,
 		// Partitions need the primary-component rule: the minority side
@@ -613,6 +701,12 @@ func (m *Model) buildReplica(s *Site, recovering bool) {
 		ScanCertifier:    m.cfg.ScanCertifier,
 		Replicates:       replicatesFunc(int(s.ID)-1, m.cfg.Sites, m.cfg.ReplicationDegree),
 		Recovering:       recovering,
+	}
+	if m.groups > 1 {
+		opts.Group = m.siteGroup(int32(s.ID))
+		opts.GroupCount = m.groups
+		opts.SitesPerGroup = m.perGroup
+		opts.GroupOf = warehouseClassifier(m.groups)
 	}
 	if ad := m.cfg.Admission; ad != nil {
 		opts.BacklogHigh, opts.BacklogLow = ad.BacklogHigh, ad.BacklogLow

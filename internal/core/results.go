@@ -36,6 +36,8 @@ type ClassResult struct {
 // SiteResult summarizes one replica.
 type SiteResult struct {
 	Site dbsm.SiteID
+	// Group is the site's replication group (0 under full replication).
+	Group int
 	// State is the lifecycle state at the end of the run (up, crashed,
 	// recovering). Crashed is kept as the terminal-crash shorthand.
 	State   string
@@ -150,6 +152,20 @@ type Results struct {
 	DeltaApplied     int64
 	RejoinViolations int64
 	RejoinErr        error
+	// Partial-replication (group mode) detail. Groups echoes the group
+	// count (0 for the classic model). MultiGroupTxns counts cross-group
+	// commit rounds initiated; MultiGroupCommitted/MultiGroupAborted count
+	// their decisions as recorded by the home group's canonical stream;
+	// MultiGroupPct is the committed-transaction share that spanned groups.
+	// XRetries counts coordinator retransmit ticks, XHandovers coordinator
+	// takeovers after a crash — both diagnostics, not errors.
+	Groups              int
+	MultiGroupTxns      int64
+	MultiGroupCommitted int64
+	MultiGroupAborted   int64
+	MultiGroupPct       float64
+	XRetries            int64
+	XHandovers          int64
 	// GCS aggregates protocol counters over all stacks.
 	GCS gcs.Stats
 	// SafetyErr is the off-line commit-sequence comparison verdict
@@ -193,8 +209,13 @@ func (m *Model) results() *Results {
 	for _, s := range m.sites {
 		sub, com, ab, rej := s.Server.Totals()
 		life := s.Life
+		group := 0
+		if m.groups > 1 {
+			group = m.siteGroup(int32(s.ID))
+		}
 		sr := SiteResult{
 			Site:          s.ID,
+			Group:         group,
 			State:         life.State().String(),
 			Crashed:       life.State() == recovery.StateCrashed,
 			Recovered:     life.Recoveries() > 0,
@@ -234,6 +255,9 @@ func (m *Model) results() *Results {
 		r.PreApplied += repStats.PreApplied
 		r.PreApplyWasted += repStats.PreApplyWasted
 		r.DeltaApplied += repStats.DeltaApplied
+		r.MultiGroupTxns += repStats.XInitiated
+		r.XRetries += repStats.XRetries
+		r.XHandovers += repStats.XHandovers
 		sr.DeltaApplied = repStats.DeltaApplied
 		sr.BacklogPeak = repStats.BacklogPeak
 		if repStats.BacklogPeak > r.BacklogPeak {
@@ -333,8 +357,56 @@ func (m *Model) results() *Results {
 
 	// Off-line safety check over commit logs (replicated runs only):
 	// crashed sites and partitioned-minority sites are held to the prefix
-	// condition, everyone else must agree exactly.
-	if len(m.sites) > 1 {
+	// condition, everyone else must agree exactly. Under group mode the
+	// one-copy condition holds per replication group (each group runs its
+	// own certified order); the cross-group conditions — atomic decisions
+	// and an acyclic cross-group serialization graph — are checked on top,
+	// over one canonical record stream per group.
+	if m.groups > 1 {
+		r.Groups = m.groups
+		var xlogs []check.GroupXLog
+		for g := 1; g <= m.groups; g++ {
+			var siteLogs []check.SiteLog
+			var canonical *Site
+			for _, s := range m.sites {
+				if m.siteGroup(int32(s.ID)) != g {
+					continue
+				}
+				siteLogs = append(siteLogs, check.SiteLog{
+					Site:        s.ID,
+					Operational: s.operational(),
+					Recovered:   s.Life.Recoveries() > 0,
+					Entries:     s.Replica.CommitLog().Entries(),
+				})
+				if canonical == nil && s.operational() {
+					canonical = s
+				}
+			}
+			if v := check.Logs(siteLogs); v != nil && r.SafetyErr == nil {
+				v.Group = g
+				r.SafetyErr = v
+			}
+			if canonical == nil {
+				continue // whole group down: nothing canonical to compare
+			}
+			records := canonical.Replica.XRecords()
+			xlogs = append(xlogs, check.GroupXLog{Group: g, Site: canonical.ID, Records: records})
+			for _, rec := range records {
+				if rec.HomeGroup != g {
+					continue
+				}
+				if rec.Commit {
+					r.MultiGroupCommitted++
+				} else {
+					r.MultiGroupAborted++
+				}
+			}
+		}
+		if v := check.CrossGroup(xlogs); v != nil && r.SafetyErr == nil {
+			r.SafetyErr = v
+		}
+		r.MultiGroupPct = metrics.Rate(r.MultiGroupCommitted, r.Committed)
+	} else if len(m.sites) > 1 {
 		siteLogs := make([]check.SiteLog, 0, len(m.sites))
 		for _, s := range m.sites {
 			siteLogs = append(siteLogs, check.SiteLog{
@@ -347,11 +419,11 @@ func (m *Model) results() *Results {
 		if v := check.Logs(siteLogs); v != nil {
 			r.SafetyErr = v
 		}
-		if r.SafetyErr == nil && r.RejoinErr != nil {
-			// An install-time prefix violation is a safety violation even
-			// if the final logs happen to line up.
-			r.SafetyErr = r.RejoinErr
-		}
+	}
+	if len(m.sites) > 1 && r.SafetyErr == nil && r.RejoinErr != nil {
+		// An install-time prefix violation is a safety violation even
+		// if the final logs happen to line up.
+		r.SafetyErr = r.RejoinErr
 	}
 	return r
 }
@@ -397,6 +469,11 @@ func accumulateReplica(dst *replica.Stats, s replica.Stats) {
 	dst.DeltaApplied += s.DeltaApplied
 	dst.MulticastRefused += s.MulticastRefused
 	dst.Backpressure += s.Backpressure
+	dst.XInitiated += s.XInitiated
+	dst.XCommitted += s.XCommitted
+	dst.XAborted += s.XAborted
+	dst.XRetries += s.XRetries
+	dst.XHandovers += s.XHandovers
 	if s.BacklogPeak > dst.BacklogPeak {
 		dst.BacklogPeak = s.BacklogPeak
 	}
@@ -433,6 +510,10 @@ func (r *Results) Summary() string {
 	if r.Recoveries > 0 {
 		fmt.Fprintf(&b, " recoveries=%d recovery=%.0fms transfer=%.0fKB delta=%d",
 			r.Recoveries, r.MeanRecoveryMS, float64(r.TransferBytes)/1024, r.DeltaApplied)
+	}
+	if r.Groups > 1 {
+		fmt.Fprintf(&b, " groups=%d multigroup=%.2f%% (x: %d committed, %d aborted, %d retries, %d handovers)",
+			r.Groups, r.MultiGroupPct, r.MultiGroupCommitted, r.MultiGroupAborted, r.XRetries, r.XHandovers)
 	}
 	if r.Rejected > 0 || r.Retries > 0 {
 		fmt.Fprintf(&b, " rejected=%d retries=%d giveups=%d backlogpeak=%d",
@@ -529,6 +610,12 @@ type Aggregate struct {
 	TransferKB       Stat
 	DeltaApplied     Stat
 	RejoinViolations int64
+	// Partial-replication detail: the committed-transaction share that
+	// spanned groups, plus the cross-group round's retransmit and
+	// coordinator-handover diagnostics.
+	MultiGroupPct Stat
+	XRetries      Stat
+	XHandovers    Stat
 	// Classes aggregates abort-rate rows — Tables 1 and 2.
 	Classes []ClassAggregate
 	// Pooled latency samples over all replications — Figures 4 and 7.
@@ -598,6 +685,9 @@ func AggregateRuns(runs []*Results) *Aggregate {
 	a.MeanDowntimeMS = col(func(r *Results) float64 { return r.MeanDowntimeMS })
 	a.TransferKB = col(func(r *Results) float64 { return float64(r.TransferBytes) / 1024 })
 	a.DeltaApplied = col(func(r *Results) float64 { return float64(r.DeltaApplied) })
+	a.MultiGroupPct = col(func(r *Results) float64 { return r.MultiGroupPct })
+	a.XRetries = col(func(r *Results) float64 { return float64(r.XRetries) })
+	a.XHandovers = col(func(r *Results) float64 { return float64(r.XHandovers) })
 
 	for _, r := range runs {
 		for _, v := range r.LatCommitted.Values() {

@@ -183,6 +183,12 @@ type Certifier struct {
 	// replica prunes identically; a transaction whose snapshot predates
 	// the retained window aborts deterministically (conservative).
 	MaxHistory int
+	// Veto, if set, is consulted before the conflict test; returning true
+	// aborts the transaction regardless of its sets. The cross-group
+	// commit path uses it to block transactions conflicting with a pending
+	// reservation — the predicate must be a pure function of state derived
+	// from the certified stream, so every replica vetoes identically.
+	Veto func(*TxnCert) bool
 
 	scan bool
 	// undoEnabled records index restore logs with each history entry.
@@ -263,6 +269,9 @@ func (c *Certifier) HistoryLen() int { return len(c.history) }
 //
 //hot:path
 func (c *Certifier) Certify(t *TxnCert) Outcome {
+	if c.Veto != nil && c.Veto(t) {
+		return Outcome{Commit: false}
+	}
 	if t.LastCommitted < c.pruned && len(t.ReadSet) > 0 {
 		// Entries possibly concurrent with this transaction were
 		// pruned: conflicts can no longer be ruled out. Abort —

@@ -246,6 +246,10 @@ type Stats struct {
 	// counts views this stack was admitted into as a joiner (0 or 1).
 	JoinRequests int64
 	Joins        int64
+	// RelaysSent and RelaysRecv count point-to-point relay payloads (the
+	// cross-group commit round's unordered control traffic).
+	RelaysSent int64
+	RelaysRecv int64
 }
 
 // Stack is one member's group communication endpoint.
@@ -260,6 +264,7 @@ type Stack struct {
 	onOptDiscard func(OptDelivery)
 	onView       func(View)
 	onJoined     func(joinSeq uint64)
+	onRelay      func(src NodeID, payload []byte)
 
 	rm    *relMcast
 	stab  *stability
@@ -331,6 +336,12 @@ func (s *Stack) OnOptimisticDiscard(fn func(OptDelivery)) { s.onOptDiscard = fn 
 
 // OnViewChange installs the view installation upcall.
 func (s *Stack) OnViewChange(fn func(View)) { s.onView = fn }
+
+// OnRelay installs the upcall for point-to-point relay payloads (see Relay).
+// The payload slice aliases the received datagram per the zero-copy contract;
+// the consumer must copy anything it retains past the upcall. Must be set
+// before Start.
+func (s *Stack) OnRelay(fn func(src NodeID, payload []byte)) { s.onRelay = fn }
 
 // OnJoined installs the recovery-join upcall: it fires once, when a joining
 // stack has been admitted to a view and learned its catch-up sequence. Every
@@ -554,6 +565,13 @@ func (s *Stack) receive(src NodeID, data []byte) {
 			s.to.advanceAnnounceSafe()
 			s.rm.drain()
 		}
+	case kindRelay:
+		if s.onRelay == nil {
+			s.stats.ParseErrors++
+			return
+		}
+		s.stats.RelaysRecv++
+		s.onRelay(src, data[1:])
 	default:
 		// Unknown message kind: equally a wire-format regression.
 		s.stats.ParseErrors++
@@ -577,6 +595,24 @@ func (s *Stack) transmit(wire []byte) {
 		//lint:bufown-ok exclusive branch with Multicast above; receivers share wire read-only per the zero-copy contract
 		_ = s.rt.Send(m, wire)
 	}
+}
+
+// Relay unicasts an application payload to one node, outside the ordered
+// stream — the destination may belong to a different group. Delivery is
+// best-effort datagram: no ordering and no retransmission; the cross-group
+// commit round layers its own retransmit-until-resolved loop on top. The
+// payload is copied into a fresh wire buffer, so the caller keeps ownership.
+func (s *Stack) Relay(dst NodeID, payload []byte) {
+	if s.stopped || dst == s.cfg.Self {
+		return
+	}
+	//lint:hotalloc-ok relays are rare (multi-group commit control traffic), one wire buffer each
+	wire := make([]byte, 0, 1+len(payload))
+	wire = append(wire, kindRelay)
+	wire = append(wire, payload...)
+	s.stats.RelaysSent++
+	s.memb.sentSomething()
+	_ = s.rt.Send(dst, wire)
 }
 
 // transmitTo unicasts a raw wire message.

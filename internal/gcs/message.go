@@ -22,6 +22,7 @@ const (
 	kindJoinReq                   // recovery: a restarted node asks to be admitted
 	kindJoinSync                  // recovery: sequencer tells a joiner its catch-up sequence
 	kindAssignAck                 // receiver acks the sequencer's stream (uniform delivery)
+	kindRelay                     // point-to-point cross-group payload (no ordering)
 )
 
 // Payload kinds carried inside data chunks.
@@ -587,6 +588,8 @@ func kindName(k byte) string {
 		return "joinsync"
 	case kindAssignAck:
 		return "assignack"
+	case kindRelay:
+		return "relay"
 	default:
 		return fmt.Sprintf("kind(%d)", k)
 	}

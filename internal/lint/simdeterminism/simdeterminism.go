@@ -5,8 +5,8 @@
 // over maps are forbidden.
 //
 // The rule applies to the packages that execute under the simulation
-// kernel: sim, simnet, gcs, dbsm, core, campaign, faults, csrt, db, and
-// replica. Code with a vetted reason opts out per line with
+// kernel: sim, simnet, gcs, dbsm, core, campaign, faults, csrt, db,
+// replica, and xgroup. Code with a vetted reason opts out per line with
 //
 //	//lint:simdeterminism-ok <reason>
 //
@@ -50,6 +50,7 @@ var Analyzer = &analysis.Analyzer{
 var deterministicPkgs = map[string]bool{
 	"sim": true, "simnet": true, "gcs": true, "dbsm": true, "core": true,
 	"campaign": true, "faults": true, "csrt": true, "db": true, "replica": true,
+	"xgroup": true,
 }
 
 // bannedTime are time-package functions that read or wait on the wall

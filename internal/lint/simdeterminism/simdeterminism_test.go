@@ -16,6 +16,10 @@ func TestExemptPackage(t *testing.T) {
 	linttest.Run(t, simdeterminism.Analyzer, "other")
 }
 
+func TestXGroupPackage(t *testing.T) {
+	linttest.Run(t, simdeterminism.Analyzer, "xgroup")
+}
+
 func TestBareDirective(t *testing.T) {
 	diags := linttest.Diagnostics(t, simdeterminism.Analyzer, "db")
 	if len(diags) != 1 || !strings.Contains(diags[0], "requires a reason") {

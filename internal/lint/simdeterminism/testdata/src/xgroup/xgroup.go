@@ -1,0 +1,42 @@
+// Package xgroup mirrors the cross-group commit helpers: it carries
+// per-round vote maps, so the order-sensitive map-iteration rules matter
+// here — a decision assembled in iteration order would diverge between
+// replays.
+package xgroup
+
+import "time"
+
+type round struct {
+	votes map[int]bool
+}
+
+// decide counts voters (integer accumulation, allowed) but folds the vote
+// map and records the last vote by assignment — both leak iteration order,
+// which is why the real decision code walks group ids in sorted order.
+func (r *round) decide() (bool, int) {
+	commit := true
+	n := 0
+	var last bool
+	for _, v := range r.votes {
+		commit = commit && v // want `order-sensitive write to "commit"`
+		n++
+		last = v // want `order-sensitive write to "last"`
+	}
+	_ = last
+	return commit, n
+}
+
+func timestamps() time.Duration {
+	t := time.Now() // want `time.Now in deterministic package`
+	_ = t
+	return 2 * time.Millisecond // duration arithmetic is fine
+}
+
+// voters collects then sorts: the canonical order-free idiom.
+func (r *round) voters() []int {
+	var ids []int
+	for g := range r.votes {
+		ids = append(ids, g) // collect idiom: fine
+	}
+	return ids
+}

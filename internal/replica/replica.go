@@ -26,6 +26,7 @@ import (
 	"repro/internal/runtimeapi"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/xgroup"
 )
 
 // Options tune the replica glue.
@@ -72,6 +73,22 @@ type Options struct {
 	// drains to Low. BacklogHigh == 0 disables the gauge.
 	BacklogHigh int
 	BacklogLow  int
+
+	// Group mode (partial replication by replication group). GroupCount > 1
+	// enables it: this stack orders only its own group's transactions,
+	// stream payloads carry a one-byte xgroup tag, and multi-group
+	// transactions run the cross-group commit round (see xcommit.go).
+	// Group is this site's 1-based group; SitesPerGroup fixes the
+	// contiguous site numbering (group g owns sites (g-1)·S+1 .. g·S);
+	// GroupOf classifies a tuple's owning group (0 = replicated catalog).
+	// Incompatible with Replicates and Recovering.
+	Group         int
+	GroupCount    int
+	SitesPerGroup int
+	GroupOf       func(dbsm.TupleID) int
+	// XRetryPeriod is the cross-group coordinator's retransmit period.
+	// Defaults to 100ms.
+	XRetryPeriod sim.Time
 }
 
 func (o *Options) fill() {
@@ -122,6 +139,16 @@ type Stats struct {
 	// BacklogPeak is the high-water mark of the in-flight termination
 	// backlog.
 	BacklogPeak int64
+	// Cross-group commit round counters (group mode only). XInitiated
+	// counts multi-group transactions this site coordinated; XCommitted
+	// and XAborted count cross-group decisions applied at this site;
+	// XRetries counts coordinator retransmit ticks; XHandovers counts
+	// rounds inherited from a dead coordinator.
+	XInitiated int64
+	XCommitted int64
+	XAborted   int64
+	XRetries   int64
+	XHandovers int64
 }
 
 // tentTxn is the replica-side state of one tentatively-delivered message.
@@ -140,6 +167,9 @@ type Replica struct {
 	spec   *dbsm.SpecCertifier // optimistic variant only
 	site   dbsm.SiteID
 	opts   Options
+
+	// x runs the cross-group commit round in group mode (nil otherwise).
+	x *xmgr
 
 	tent map[uint64]*tentTxn // TID -> outstanding tentative state
 	// done marks messages finalized before their tentative job ran. At the
@@ -218,6 +248,13 @@ func New(rt runtimeapi.Runtime, stack *gcs.Stack, server *db.Server, opts Option
 	}
 	server.SetTerminator(r.terminate)
 	stack.OnDeliver(r.onDeliver)
+	if opts.GroupCount > 1 {
+		r.x = newXmgr(r)
+		r.cert.Veto = r.x.veto
+		stack.OnRelay(r.x.onRelay)
+		stack.OnViewChange(r.x.onViewChange)
+		server.SectorFilter = r.x.localSectors
+	}
 	if opts.Replicates != nil {
 		server.SectorFilter = func(ws dbsm.ItemSet) int {
 			n := r.replicatedCount(ws)
@@ -277,7 +314,23 @@ func (r *Replica) Stats() Stats {
 		s.Tentative = r.spec.Tentatives
 		s.Rollbacks = r.spec.Rollbacks
 	}
+	if r.x != nil {
+		s.XInitiated = r.x.initiated
+		s.XCommitted = r.x.committedX
+		s.XAborted = r.x.abortedX
+		s.XRetries = r.x.retries
+		s.XHandovers = r.x.handovers
+	}
 	return s
+}
+
+// XRecords exposes this site's cross-group transaction records for the
+// off-line cross-group serialization check (nil outside group mode).
+func (r *Replica) XRecords() []trace.XRecord {
+	if r.x == nil {
+		return nil
+	}
+	return r.x.records
 }
 
 // Recovering reports whether the replica is still buffering deliveries for
@@ -467,6 +520,10 @@ func (r *Replica) terminate(t *db.Txn) {
 
 func stageTerminate(r *Replica, t *db.Txn, _ []byte) {
 	tc := t.CertInfo(r.site, r.opts.ReadSetThreshold)
+	if r.x != nil {
+		r.x.terminate(t, tc)
+		return
+	}
 	wire := tc.MarshalTo(r.scratch)
 	r.scratch = wire
 	r.rt.Charge(sim.Time(r.opts.MarshalCostPerByte * float64(len(wire))))
@@ -511,6 +568,16 @@ func (r *Replica) tentative(payload []byte) {
 		// and certified at install, so skipping here loses nothing.
 		return
 	}
+	if r.x != nil {
+		// Group mode: prepares and decisions are final-only events — they
+		// mutate the reservation table, which tentative outcomes depend
+		// on, so speculating on them would be unsound. Only plain
+		// transactions speculate.
+		if len(payload) == 0 || payload[0] != xgroup.MsgTxn {
+			return
+		}
+		payload = payload[1:]
+	}
 	tid, err := dbsm.PeekTID(payload)
 	if err != nil {
 		r.drops++
@@ -552,6 +619,12 @@ func stageDiscard(r *Replica, _ *db.Txn, payload []byte) { r.discard(payload) }
 func (r *Replica) discard(payload []byte) {
 	if r.stopped || r.recovering {
 		return // no speculation exists while recovering
+	}
+	if r.x != nil {
+		if len(payload) == 0 || payload[0] != xgroup.MsgTxn {
+			return // prepares/decisions were never speculated on
+		}
+		payload = payload[1:]
 	}
 	//lint:statcount-ok the tentative stage saw the same bytes and counted the drop
 	tid, err := dbsm.PeekTID(payload)
@@ -604,17 +677,37 @@ func (r *Replica) onDeliver(d gcs.Delivery) {
 	if d.Global > r.lastGlobal {
 		r.lastGlobal = d.Global
 	}
+	payload := d.Payload
+	if r.x != nil {
+		// Group mode: dispatch on the stream tag. Prepares and decisions
+		// are cross-group events; plain transactions continue below.
+		if len(payload) == 0 {
+			r.drops++
+			return
+		}
+		switch payload[0] {
+		case xgroup.MsgTxn:
+			payload = payload[1:]
+		case xgroup.MsgPrepare, xgroup.MsgDecide:
+			r.delivered++
+			r.x.onStream(payload)
+			return
+		default:
+			r.drops++
+			return
+		}
+	}
 	if r.spec != nil {
-		r.finalize(d)
+		r.finalize(payload)
 		return
 	}
-	tc, err := dbsm.Unmarshal(d.Payload)
+	tc, err := dbsm.Unmarshal(payload)
 	if err != nil {
 		r.drops++
 		return
 	}
 	r.delivered++
-	r.chargeUnmarshal(len(d.Payload))
+	r.chargeUnmarshal(len(payload))
 	out := r.cert.Certify(tc)
 	r.resolve(tc, out, false)
 }
@@ -622,14 +715,15 @@ func (r *Replica) onDeliver(d gcs.Delivery) {
 // finalize is stage two of the optimistic pipeline: confirm the queued
 // tentative verdict when the final order matches (the fast path decodes
 // nothing and certifies nothing), or roll the speculation back and
-// re-certify when it diverges.
-func (r *Replica) finalize(d gcs.Delivery) {
+// re-certify when it diverges. payload is the certification message bytes
+// (group-mode stream tag already stripped).
+func (r *Replica) finalize(payload []byte) {
 	// Malformed payloads are not counted here: the tentative stage sees
 	// every payload this one does (same bytes) and already counted the
 	// drop — counting both stages would inflate CertDrops 2x relative to
 	// the conservative protocol.
 	//lint:statcount-ok tentative stage sees the same bytes and already counted
-	tid, err := dbsm.PeekTID(d.Payload)
+	tid, err := dbsm.PeekTID(payload)
 	if err != nil {
 		return
 	}
@@ -645,11 +739,11 @@ func (r *Replica) finalize(d gcs.Delivery) {
 		// done[tid] stays unset, so the late tentative job decodes the
 		// same bytes, fails the same way, and counts the drop once.
 		//lint:statcount-ok the late tentative job re-decodes and counts this drop
-		tc, err = dbsm.Unmarshal(d.Payload)
+		tc, err = dbsm.Unmarshal(payload)
 		if err != nil {
 			return
 		}
-		r.chargeUnmarshal(len(d.Payload))
+		r.chargeUnmarshal(len(payload))
 		r.done[tid] = true
 	}
 	r.delivered++

@@ -1,0 +1,681 @@
+package replica
+
+import (
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/dbsm"
+	"repro/internal/gcs"
+	"repro/internal/runtimeapi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/xgroup"
+)
+
+// xmgr runs the cross-group commit round of partial replication (the
+// ISSUE 8 tentpole). Each replication group orders only its own group's
+// transactions; a multi-group transaction is decided by a vote/decide round
+// whose every state change rides the involved groups' existing total-order
+// streams, so group state stays a pure function of each group's delivered
+// stream and replay is byte-identical:
+//
+//  1. The coordinator — the transaction's home site — splits the
+//     certification message into per-group parts and multicasts the full
+//     prepare on its home group's ordered stream.
+//  2. At prepare delivery every home member installs a reservation over the
+//     home part and computes the home vote (snapshot staleness via
+//     Certifier.CheckOnly plus reservation conflicts); the coordinator then
+//     relays the restricted prepare (one group's part) to the members of
+//     each remote involved group. Relaying only after home delivery means a
+//     coordinator that dies earlier leaves no remote state behind.
+//  3. A remote group's sequencer re-multicasts the relayed prepare into its
+//     own stream; at delivery every member reserves its part and votes
+//     (reservation conflicts only — remote parts execute at delivery, so
+//     there is no snapshot to stale-check). All members relay their vote to
+//     the coordinator; votes are deterministic per group, so first-per-group
+//     wins and duplicates agree.
+//  4. The decision (AND of one vote per involved group) is multicast on the
+//     home stream and relayed to remote groups, whose sequencer injects it
+//     into their streams. At decide delivery the reservation resolves:
+//     commit force-installs the part (Certifier.ForceCommit — the verdict
+//     was fixed at vote time, while the reservation blocked conflicting
+//     commits) and abort releases it. Remote members ack the coordinator.
+//
+// Relay receipts never mutate certification state — they only trigger sends
+// (re-multicast injection, stored-vote replies) — so group state depends
+// only on stream positions, never on datagram arrival order.
+//
+// Fault handling: the coordinator retransmits relays on a timer until every
+// involved group voted and acked. If the coordinator's site dies, the home
+// group's view change promotes the lowest surviving home member — which
+// holds the full prepare from the home stream — to coordinator; it re-relays
+// with itself as the reply-to, participants answer stored votes (never
+// recomputed) or final decisions, and the AND of the same votes reproduces
+// the same decision. Reservations guarantee that between vote and decide no
+// conflicting transaction commits in any involved group, which is what makes
+// the per-group certified orders composable into one serializable history
+// (checked off-line by internal/check's cross-group pass).
+type xmgr struct {
+	r        *Replica
+	group    int // own 1-based group
+	groups   int
+	perGroup int
+	retry    sim.Time
+
+	pending map[uint64]*xtxn
+	// stash holds decisions that arrived by relay before this member
+	// delivered the prepare on its own stream. It only gates re-injection
+	// (a send), never certification state: the decision takes effect at its
+	// stream delivery like everywhere else.
+	stash map[uint64]bool
+
+	// body is the cert-marshal scratch for the single-group fast path; buf
+	// is the control-message scratch (Relay and Multicast both copy the
+	// payload out before returning).
+	body []byte
+	buf  []byte
+
+	records []trace.XRecord
+
+	initiated  int64
+	committedX int64
+	abortedX   int64
+	retries    int64
+	handovers  int64
+}
+
+// xtxn is one multi-group transaction's state at this site.
+type xtxn struct {
+	tid     uint64
+	home    int
+	coordID runtimeapi.NodeID
+	// prep is the prepare as delivered on this group's stream: full at home
+	// members (the handover inheritance), restricted elsewhere. Released at
+	// decide.
+	prep *xgroup.Prepare
+	part *dbsm.TxnCert // this group's part (nil when the group has none)
+
+	voted bool // prepare delivered on this group's stream
+	vote  bool // this group's stored vote (never recomputed)
+
+	decided bool // decision delivered on this group's stream
+	commit  bool
+	seq     uint64 // group-local install sequence when committed
+
+	// Coordinator-side state (initiating site, or a home member after
+	// handover).
+	coord        bool
+	involved     uint32 // bitmask of involved groups (home members only)
+	votesMask    uint32
+	acksMask     uint32
+	allCommit    bool
+	coordDecided bool // decision fixed (all votes in, or adopted)
+	decideSent   bool // home decide multicast accepted by flow control
+	homeDecided  bool
+	doneC        bool
+}
+
+// reserved reports whether this entry holds an active reservation: a
+// commit-voted, undecided part that the veto predicate must protect.
+func (e *xtxn) reserved() bool { return e.voted && e.vote && !e.decided }
+
+func xbit(g int) uint32 { return 1 << uint(g) }
+
+func newXmgr(r *Replica) *xmgr {
+	x := &xmgr{
+		r:        r,
+		group:    r.opts.Group,
+		groups:   r.opts.GroupCount,
+		perGroup: r.opts.SitesPerGroup,
+		retry:    r.opts.XRetryPeriod,
+		pending:  make(map[uint64]*xtxn),
+		stash:    make(map[uint64]bool),
+	}
+	if x.retry == 0 {
+		x.retry = 100 * sim.Millisecond
+	}
+	return x
+}
+
+func (x *xmgr) self() runtimeapi.NodeID { return x.r.rt.Self() }
+
+// sequencing reports whether this member is its group's current sequencer
+// (lowest view member): the one that injects relayed prepares and decisions
+// into the group's ordered stream.
+func (x *xmgr) sequencing() bool {
+	v := x.r.stack.View()
+	return len(v.Members) > 0 && v.Members[0] == x.self()
+}
+
+// veto is the Certifier.Veto predicate: abort any transaction conflicting
+// with an active reservation. The result is an OR over reservations, so map
+// iteration order cannot affect it; reservations change only at stream
+// deliveries, so every group member vetoes identically at the same position.
+func (x *xmgr) veto(t *dbsm.TxnCert) bool {
+	work := 0
+	hit := false
+	for _, e := range x.pending {
+		if !e.reserved() || e.part == nil {
+			continue
+		}
+		p := e.part
+		work += len(t.ReadSet) + len(t.WriteSet)
+		if t.WriteSet.Intersects(p.WriteSet) || t.WriteSet.Intersects(p.ReadSet) ||
+			t.ReadSet.Intersects(p.WriteSet) {
+			//lint:simdeterminism-ok boolean OR over all reservations is commutative; break only short-circuits
+			hit = true
+			break
+		}
+	}
+	if work > 0 && x.r.cert.Charge != nil {
+		x.r.cert.Charge(work)
+	}
+	return hit
+}
+
+// conflicts reports whether a part conflicts with any other active
+// reservation (the reservation half of the vote).
+func (x *xmgr) conflicts(tid uint64, p *dbsm.TxnCert) bool {
+	hit := false
+	for _, e := range x.pending {
+		if e.tid == tid || !e.reserved() || e.part == nil {
+			continue
+		}
+		o := e.part
+		if p.WriteSet.Intersects(o.WriteSet) || p.WriteSet.Intersects(o.ReadSet) ||
+			p.ReadSet.Intersects(o.WriteSet) {
+			//lint:simdeterminism-ok boolean OR over all reservations is commutative; break only short-circuits
+			hit = true
+			break
+		}
+	}
+	return hit
+}
+
+// terminate is the group-mode termination path: route single-group
+// transactions onto the group's ordered stream, open the cross-group round
+// for multi-group ones.
+func (x *xmgr) terminate(t *db.Txn, tc *dbsm.TxnCert) {
+	r := x.r
+	parts := xgroup.Split(tc, r.opts.GroupOf, x.group)
+	if len(parts) == 1 {
+		// Every tuple is home-owned: the classic path, tagged.
+		x.body = tc.MarshalTo(x.body)
+		wire := append(r.scratch[:0], xgroup.MsgTxn)
+		wire = append(wire, x.body...)
+		r.scratch = wire
+		r.rt.Charge(sim.Time(r.opts.MarshalCostPerByte * float64(len(wire))))
+		if !r.stack.Multicast(wire) {
+			r.refused++
+			r.server.RejectPending(t.TID)
+			return
+		}
+		if r.backlog.Add(1) {
+			r.server.SetBackpressure(r.backlog.Engaged())
+		}
+		return
+	}
+	prep := &xgroup.Prepare{
+		TID:         tc.TID,
+		Coordinator: x.self(),
+		HomeGroup:   x.group,
+		Parts:       parts,
+	}
+	wire := xgroup.AppendPrepare(r.scratch[:0], xgroup.MsgPrepare, prep, 0)
+	r.scratch = wire
+	r.rt.Charge(sim.Time(r.opts.MarshalCostPerByte * float64(len(wire))))
+	if !r.stack.Multicast(wire) {
+		r.refused++
+		r.server.RejectPending(t.TID)
+		return
+	}
+	if r.backlog.Add(1) {
+		r.server.SetBackpressure(r.backlog.Engaged())
+	}
+	x.initiated++
+	e := &xtxn{tid: tc.TID, home: x.group, coordID: x.self(), coord: true, allCommit: true}
+	for i := range parts {
+		e.involved |= xbit(parts[i].Group)
+	}
+	x.pending[tc.TID] = e
+	// Remote relays wait for the home prepare delivery (home-first rule:
+	// a coordinator that dies before then leaves no remote state). The
+	// timer drives retransmission from there on.
+	x.armTimer(e)
+}
+
+// onStream handles a prepare or decide delivered on this group's ordered
+// stream — the only places cross-group state changes. Under the optimistic
+// variant the whole tentative queue is rolled back first: queued verdicts
+// were computed against the pre-event reservation table, and the Final
+// head-match fast path must never serve them after it changes.
+func (x *xmgr) onStream(payload []byte) {
+	r := x.r
+	var rolled []*dbsm.TxnCert
+	if r.spec != nil {
+		rolled = r.spec.InvalidateAll()
+	}
+	switch payload[0] {
+	case xgroup.MsgPrepare:
+		p, err := xgroup.ParsePrepare(payload[1:])
+		if err != nil {
+			r.drops++
+		} else {
+			r.chargeUnmarshal(len(payload))
+			x.prepareDelivered(p)
+		}
+	case xgroup.MsgDecide:
+		tid, commit, err := xgroup.ParseDecision(payload[1:])
+		if err != nil {
+			r.drops++
+		} else {
+			x.decideDelivered(tid, commit)
+		}
+	}
+	r.respeculate(rolled)
+}
+
+// prepareDelivered installs the reservation and computes this group's vote.
+// Runs at the same stream position with identical certifier and reservation
+// state at every group member, so every member stores the same vote.
+func (x *xmgr) prepareDelivered(p *xgroup.Prepare) {
+	r := x.r
+	e := x.pending[p.TID]
+	if e != nil && e.voted {
+		return // duplicate injection; the first delivery settled everything
+	}
+	if e == nil {
+		e = &xtxn{tid: p.TID, home: p.HomeGroup}
+		x.pending[p.TID] = e
+	}
+	e.prep = p
+	e.coordID = p.Coordinator
+	for i := range p.Parts {
+		e.involved |= xbit(p.Parts[i].Group)
+	}
+	if pt := p.PartFor(x.group); pt != nil {
+		e.part = &pt.Cert
+	}
+	vote := true
+	if e.part != nil {
+		vote = !x.conflicts(e.tid, e.part)
+		if vote && x.group == e.home {
+			// Home reads executed against the home snapshot: stale-check
+			// them. Remote parts execute at delivery — nothing to check.
+			vote = r.cert.CheckOnly(e.part)
+		}
+	}
+	e.voted, e.vote = true, vote
+	if e.coord {
+		x.recordVote(e, x.group, vote)
+		if !e.coordDecided {
+			x.sendPrepRelays(e)
+		}
+	} else {
+		x.buf = xgroup.AppendVote(x.buf[:0], xgroup.MsgVote, e.tid, x.group, vote)
+		r.stack.Relay(e.coordID, x.buf)
+	}
+	if commit, ok := x.stash[e.tid]; ok {
+		// The decision already reached this member by relay; now that the
+		// prepare is on the stream the sequencer may inject it.
+		delete(x.stash, e.tid)
+		if x.sequencing() {
+			x.buf = xgroup.AppendDecision(x.buf[:0], xgroup.MsgDecide, e.tid, commit)
+			_ = r.stack.Multicast(x.buf)
+		}
+	}
+}
+
+// decideDelivered resolves the reservation at the decision's stream
+// position: force-install on commit, release on abort. Prepares always
+// precede their decision on every stream (home: sender FIFO; remote: the
+// sequencer only injects a decision after delivering the prepare), so a
+// missing entry is a protocol bug, counted as a drop rather than ignored.
+func (x *xmgr) decideDelivered(tid uint64, commit bool) {
+	r := x.r
+	e := x.pending[tid]
+	if e == nil || !e.voted {
+		r.drops++
+		return
+	}
+	if e.decided {
+		return // duplicate injection
+	}
+	e.decided = true
+	e.commit = commit
+	if commit {
+		x.committedX++
+		var out dbsm.Outcome
+		if e.part != nil {
+			out = r.cert.ForceCommit(e.part)
+		} else {
+			empty := dbsm.TxnCert{TID: tid}
+			out = r.cert.ForceCommit(&empty)
+		}
+		e.seq = out.Seq
+		r.commitLog.Append(out.Seq, tid)
+	} else {
+		x.abortedX++
+	}
+	rec := trace.XRecord{
+		TID:       tid,
+		Group:     x.group,
+		HomeGroup: e.home,
+		Commit:    commit,
+		Seq:       e.seq,
+		Involved:  e.involved,
+	}
+	if e.part != nil {
+		rec.ReadSet, rec.WriteSet = e.part.ReadSet, e.part.WriteSet
+	}
+	x.records = append(x.records, rec)
+	if dbsm.TIDSite(tid) == r.site {
+		if r.server.ResolveLocal(tid, commit, e.seq) {
+			if r.backlog.Add(-1) {
+				r.server.SetBackpressure(r.backlog.Engaged())
+			}
+		} else if commit {
+			// Orphaned local transaction (prior incarnation): install the
+			// part like a remote write-set or this site's storage diverges.
+			x.install(e.part, e.seq)
+		}
+	} else if commit {
+		x.install(e.part, e.seq)
+	}
+	if e.home != x.group {
+		x.buf = xgroup.AppendAck(x.buf[:0], xgroup.MsgAck, tid, x.group)
+		r.stack.Relay(e.coordID, x.buf)
+	} else if e.coord {
+		e.homeDecided = true
+		x.checkComplete(e)
+	}
+	// Reservation resolved: drop the heavy state. The entry itself stays so
+	// duplicate relays get decision replies and re-acks.
+	e.prep = nil
+	e.part = nil
+}
+
+// install writes a committed part's rows back (remote member, or orphaned
+// local transaction).
+func (x *xmgr) install(part *dbsm.TxnCert, seq uint64) {
+	if part == nil || len(part.WriteSet) == 0 {
+		x.r.server.NoteApplied(seq)
+		return
+	}
+	x.r.server.ApplyRemote(part, seq)
+}
+
+// onRelay handles point-to-point cross-group datagrams. Strictly send-only:
+// nothing here mutates certification or reservation state, so datagram
+// arrival order cannot perturb the deterministic stream state.
+func (x *xmgr) onRelay(src runtimeapi.NodeID, payload []byte) {
+	r := x.r
+	if r.stopped || len(payload) == 0 {
+		return
+	}
+	switch payload[0] {
+	case xgroup.MsgPrepare:
+		p, err := xgroup.ParsePrepare(payload[1:])
+		if err != nil {
+			r.drops++
+			return
+		}
+		r.chargeUnmarshal(len(payload))
+		e := x.pending[p.TID]
+		if e == nil {
+			// Not yet on this group's stream: the sequencer injects it.
+			// Multicast copies the payload before returning, so handing it
+			// the relay's bytes (tag included) is safe.
+			if x.sequencing() {
+				_ = r.stack.Multicast(payload)
+			}
+			return
+		}
+		if e.decided {
+			// Probe after resolution (retransmit, or a handed-over
+			// coordinator re-collecting): answer the decision, and re-ack
+			// from remote groups.
+			x.buf = xgroup.AppendDecision(x.buf[:0], xgroup.MsgDecide, e.tid, e.commit)
+			r.stack.Relay(src, x.buf)
+			if e.home != x.group {
+				x.buf = xgroup.AppendAck(x.buf[:0], xgroup.MsgAck, e.tid, x.group)
+				r.stack.Relay(src, x.buf)
+			}
+			return
+		}
+		if e.voted {
+			// Stored vote, never recomputed: the certifier has moved on
+			// since, but the reservation pins the vote's validity.
+			x.buf = xgroup.AppendVote(x.buf[:0], xgroup.MsgVote, e.tid, x.group, e.vote)
+			r.stack.Relay(src, x.buf)
+		}
+	case xgroup.MsgVote:
+		tid, g, commit, err := xgroup.ParseVote(payload[1:])
+		if err != nil {
+			r.drops++
+			return
+		}
+		e := x.pending[tid]
+		if e == nil || !e.coord || e.coordDecided {
+			return
+		}
+		x.recordVote(e, g, commit)
+	case xgroup.MsgDecide:
+		tid, commit, err := xgroup.ParseDecision(payload[1:])
+		if err != nil {
+			r.drops++
+			return
+		}
+		e := x.pending[tid]
+		if e == nil {
+			// Decision outran the prepare at this member; remember it so
+			// the sequencer can inject it once the prepare lands.
+			x.stash[tid] = commit
+			return
+		}
+		if e.coord && !e.coordDecided {
+			// Handover: a participant answered the probe with the decision
+			// the dead coordinator already fixed. Adopt it — it is the AND
+			// of the same stored votes we were re-collecting.
+			x.adoptDecision(e, commit)
+			return
+		}
+		if !e.decided {
+			if x.sequencing() {
+				x.buf = xgroup.AppendDecision(x.buf[:0], xgroup.MsgDecide, tid, commit)
+				_ = r.stack.Multicast(x.buf)
+			}
+		} else if e.home != x.group {
+			x.buf = xgroup.AppendAck(x.buf[:0], xgroup.MsgAck, tid, x.group)
+			r.stack.Relay(src, x.buf)
+		}
+	case xgroup.MsgAck:
+		tid, g, err := xgroup.ParseAck(payload[1:])
+		if err != nil {
+			r.drops++
+			return
+		}
+		e := x.pending[tid]
+		if e == nil || !e.coord {
+			return
+		}
+		e.acksMask |= xbit(g)
+		x.checkComplete(e)
+	default:
+		r.drops++
+	}
+}
+
+// recordVote accumulates one group's vote at the coordinator. First vote per
+// group wins; duplicates are deterministic copies of the same stored value.
+func (x *xmgr) recordVote(e *xtxn, g int, commit bool) {
+	if e.votesMask&xbit(g) != 0 {
+		return
+	}
+	e.votesMask |= xbit(g)
+	e.allCommit = e.allCommit && commit
+	if e.votesMask == e.involved {
+		x.adoptDecision(e, e.allCommit)
+	}
+}
+
+// adoptDecision fixes the decision at the coordinator and broadcasts it:
+// multicast on the home stream, relayed to remote groups for injection.
+func (x *xmgr) adoptDecision(e *xtxn, commit bool) {
+	e.coordDecided = true
+	e.allCommit = commit
+	x.buf = xgroup.AppendDecision(x.buf[:0], xgroup.MsgDecide, e.tid, commit)
+	e.decideSent = x.r.stack.Multicast(x.buf)
+	x.relayDecides(e)
+}
+
+// sendPrepRelays relays the restricted prepare to every member of each
+// remote involved group that has not voted yet. The reply-to coordinator is
+// rewritten to self so votes come back to the current coordinator.
+func (x *xmgr) sendPrepRelays(e *xtxn) {
+	if e.prep == nil {
+		return
+	}
+	mtu := x.r.rt.MTU() - 1 // the gcs relay wire prepends one kind byte
+	for g := 1; g <= x.groups; g++ {
+		if g == e.home || e.involved&xbit(g) == 0 || e.votesMask&xbit(g) != 0 {
+			continue
+		}
+		restricted := e.prep.Restrict(g)
+		restricted.Coordinator = x.self()
+		x.buf = xgroup.AppendPrepare(x.buf[:0], xgroup.MsgPrepare, &restricted, mtu)
+		x.relayToGroup(g, x.buf)
+	}
+}
+
+// relayDecides relays the decision to every member of each remote involved
+// group that has not acked yet.
+func (x *xmgr) relayDecides(e *xtxn) {
+	x.buf = xgroup.AppendDecision(x.buf[:0], xgroup.MsgDecide, e.tid, e.allCommit)
+	for g := 1; g <= x.groups; g++ {
+		if g == e.home || e.involved&xbit(g) == 0 || e.acksMask&xbit(g) != 0 {
+			continue
+		}
+		x.relayToGroup(g, x.buf)
+	}
+}
+
+// relayToGroup unicasts a control payload to every site of a group. Relay
+// copies the payload per send, so the shared scratch is safe to reuse.
+func (x *xmgr) relayToGroup(g int, payload []byte) {
+	lo, hi := xgroup.GroupSites(g, x.perGroup)
+	for m := lo; m <= hi; m++ {
+		x.r.stack.Relay(runtimeapi.NodeID(m), payload)
+	}
+}
+
+// checkComplete retires a coordinator entry once the home stream delivered
+// the decision and every remote involved group acked it.
+func (x *xmgr) checkComplete(e *xtxn) {
+	remote := e.involved &^ xbit(e.home)
+	if e.homeDecided && e.acksMask&remote == remote {
+		e.doneC = true
+	}
+}
+
+// armTimer schedules the coordinator's retransmit tick.
+func (x *xmgr) armTimer(e *xtxn) {
+	x.r.rt.Schedule(x.retry, func() { x.tick(e) })
+}
+
+// tick retransmits whatever the round is still missing: prepares to groups
+// without votes, the home decide if flow control refused it, decisions to
+// groups without acks.
+func (x *xmgr) tick(e *xtxn) {
+	r := x.r
+	if r.stopped || e.doneC || !e.coord {
+		return
+	}
+	x.retries++
+	if !e.coordDecided {
+		if e.voted {
+			x.sendPrepRelays(e)
+		}
+		// Before the home prepare delivers there is nothing to retransmit:
+		// the reliable stream is still carrying it.
+	} else {
+		if !e.decided && !e.decideSent {
+			x.buf = xgroup.AppendDecision(x.buf[:0], xgroup.MsgDecide, e.tid, e.allCommit)
+			e.decideSent = r.stack.Multicast(x.buf)
+		}
+		x.relayDecides(e)
+	}
+	x.armTimer(e)
+}
+
+// onViewChange promotes the lowest surviving home member to coordinator for
+// every round whose coordinator the new view excludes. Home members hold the
+// full prepare from the home stream, so the successor can re-relay it; the
+// participants' stored votes reproduce the same decision.
+func (x *xmgr) onViewChange(v gcs.View) {
+	r := x.r
+	if r.stopped || len(v.Members) == 0 || v.Members[0] != x.self() {
+		return
+	}
+	// Deterministic takeover order: collect and sort before acting — map
+	// iteration order must not shape the send sequence.
+	var tids []uint64
+	for tid, e := range x.pending {
+		if e.coord || e.doneC || !e.voted || e.home != x.group {
+			continue
+		}
+		alive := false
+		for _, m := range v.Members {
+			if m == e.coordID {
+				alive = true
+				break
+			}
+		}
+		if alive {
+			continue
+		}
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		e := x.pending[tid]
+		x.handovers++
+		e.coord = true
+		e.coordID = x.self()
+		if e.decided {
+			// The decision already reached the home stream: only remote
+			// acks can be missing.
+			e.coordDecided = true
+			e.decideSent = true
+			e.homeDecided = true
+			e.allCommit = e.commit
+			x.relayDecides(e)
+			x.checkComplete(e)
+		} else {
+			e.allCommit = true
+			x.recordVote(e, x.group, e.vote)
+			if !e.coordDecided {
+				x.sendPrepRelays(e)
+			}
+		}
+		if !e.doneC {
+			x.armTimer(e)
+		}
+	}
+}
+
+// localSectors counts the write-set rows this site stores under group
+// partitioning: own-group tuples plus the replicated catalog.
+func (x *xmgr) localSectors(ws dbsm.ItemSet) int {
+	n := 0
+	for _, id := range ws {
+		g := x.r.opts.GroupOf(id)
+		if g == 0 || g == x.group {
+			n++
+		}
+	}
+	if n < 1 {
+		n = 1 // the commit record itself
+	}
+	return n
+}

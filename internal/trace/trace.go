@@ -38,6 +38,27 @@ func (l *TxnLog) Records() []Record { return l.records }
 // Len reports the record count.
 func (l *TxnLog) Len() int { return len(l.records) }
 
+// XRecord is one site's record of a cross-group (multi-group) transaction's
+// resolution under partial replication: the group that recorded it, the
+// decision, the install position in that group's certified order, and the
+// group-local read/write sets. The off-line cross-group serialization check
+// (internal/check) consumes one canonical record stream per group.
+type XRecord struct {
+	TID       uint64
+	Group     int
+	HomeGroup int
+	Commit    bool
+	// Seq is the group-local commit sequence assigned at install (0 when
+	// aborted, or when the group's part wrote nothing).
+	Seq uint64
+	// Involved is the bitmask of involved groups (bit 1<<g for group g).
+	// Only home-group records carry it; remote groups see a restricted
+	// prepare.
+	Involved uint32
+	ReadSet  dbsm.ItemSet
+	WriteSet dbsm.ItemSet
+}
+
 // CommitEntry is one committed transaction in a site's certified order.
 type CommitEntry struct {
 	Seq uint64
