@@ -180,15 +180,26 @@ func xSerialization(ordered []GroupXLog) *Violation {
 				stack = append(stack, frame{tid: next})
 			case gray:
 				// Back edge next←…←f.tid plus edge f.tid→next closes the
-				// cycle. Name the two groups that disagree on the pair.
+				// cycle. A two-transaction cycle has both directed edges, so
+				// the verdict names the two groups that installed the pair in
+				// opposite orders. A longer cycle has no reverse edge for this
+				// pair — the zero-value lookup would name a nonexistent group
+				// 0 — so only the closing edge's group is named and the detail
+				// is worded for the general case.
 				g1 := edgeGroup[[2]uint64{f.tid, next}]
-				g2 := edgeGroup[[2]uint64{next, f.tid}]
+				g2, twoCycle := edgeGroup[[2]uint64{next, f.tid}]
+				detail := fmt.Sprintf("tid=%x and tid=%x conflict and installed in opposite orders (cycle of conflicting cross-group commits)",
+					f.tid, next)
+				if !twoCycle {
+					g2 = g1
+					detail = fmt.Sprintf("tid=%x and tid=%x close a cycle of conflicting cross-group commits (no single serial order over the groups' install orders)",
+						f.tid, next)
+				}
 				return &Violation{
 					Kind: KindCrossCycle,
 					Site: dbsm.SiteID(g1), Ref: dbsm.SiteID(g2),
 					Group: g1, Pos: -1,
-					Detail: fmt.Sprintf("tid=%x and tid=%x conflict and installed in opposite orders (cycle of conflicting cross-group commits)",
-						f.tid, next),
+					Detail: detail,
 				}
 			}
 		}

@@ -139,6 +139,48 @@ func TestCrossCycleDetected(t *testing.T) {
 	}
 }
 
+// TestCrossCycleLongerThanTwoDetected: a three-transaction cycle spread over
+// three groups has no reverse edge for the closing pair, so the verdict must
+// name the closing edge's real group (never the nonexistent group 0) and word
+// the detail for a general cycle rather than an opposite-order pair.
+func TestCrossCycleLongerThanTwoDetected(t *testing.T) {
+	x := dbsm.MakeTupleID(3, 1)
+	y := dbsm.MakeTupleID(3, 2)
+	z := dbsm.MakeTupleID(3, 3)
+	groups := []GroupXLog{
+		// a→b in group 1, b→c in group 2, c→a in group 3: a 3-cycle with no
+		// two-transaction subcycle.
+		{Group: 1, Site: 1, Records: []trace.XRecord{
+			xrec(0xa, true, 1, nil, []dbsm.TupleID{x}),
+			xrec(0xb, true, 2, nil, []dbsm.TupleID{x}),
+		}},
+		{Group: 2, Site: 4, Records: []trace.XRecord{
+			xrec(0xb, true, 1, nil, []dbsm.TupleID{y}),
+			xrec(0xc, true, 2, nil, []dbsm.TupleID{y}),
+		}},
+		{Group: 3, Site: 7, Records: []trace.XRecord{
+			xrec(0xc, true, 1, nil, []dbsm.TupleID{z}),
+			xrec(0xa, true, 2, nil, []dbsm.TupleID{z}),
+		}},
+	}
+	v := CrossGroup(groups)
+	if v == nil || v.Kind != KindCrossCycle {
+		t.Fatalf("want cross-group cycle, got %v", v)
+	}
+	if v.Site == 0 || v.Ref == 0 || v.Group == 0 {
+		t.Errorf("verdict names group 0: Site=%d Ref=%d Group=%d", v.Site, v.Ref, v.Group)
+	}
+	if strings.Contains(v.Detail, "opposite orders") {
+		t.Errorf("Detail = %q, pair wording used for a longer cycle", v.Detail)
+	}
+	if !strings.Contains(v.Detail, "cycle of conflicting cross-group commits") {
+		t.Errorf("Detail = %q, missing cycle wording", v.Detail)
+	}
+	if !strings.Contains(v.Error(), "cross-group-cycle") {
+		t.Errorf("Error() = %q, missing kind", v.Error())
+	}
+}
+
 func TestCrossGroupDuplicateCarriesGroup(t *testing.T) {
 	groups := []GroupXLog{
 		{Group: 2, Site: 4, Records: []trace.XRecord{

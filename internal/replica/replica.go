@@ -689,7 +689,8 @@ func (r *Replica) onDeliver(d gcs.Delivery) {
 		case xgroup.MsgTxn:
 			payload = payload[1:]
 		case xgroup.MsgPrepare, xgroup.MsgDecide:
-			r.delivered++
+			// onStream counts delivered only after a successful parse,
+			// mirroring the classic path below.
 			r.x.onStream(payload)
 			return
 		default:

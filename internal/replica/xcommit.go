@@ -62,11 +62,24 @@ type xmgr struct {
 	perGroup int
 	retry    sim.Time
 
+	// pending retains every cross-group transaction this site ever saw, even
+	// after resolution — deliberately. Late retransmitted probes must be
+	// answered with the fixed decision, and pruning a member's entry would
+	// let a delayed relayed prepare be re-injected into the stream and
+	// re-voted after decide (prepareDelivered treats an unknown TID as new).
+	// The heavy state (prep, part) is dropped at decide; the residue is a
+	// few words per multi-group transaction, so growth is linear in run
+	// length — fine for the bounded simulations this repo runs, revisit with
+	// an epoch-based retirement handshake if runs ever become open-ended.
 	pending map[uint64]*xtxn
 	// stash holds decisions that arrived by relay before this member
 	// delivered the prepare on its own stream. It only gates re-injection
 	// (a send), never certification state: the decision takes effect at its
-	// stream delivery like everywhere else.
+	// stream delivery like everywhere else. A fixed decision implies every
+	// involved group delivered the prepare on its stream, so the entry is
+	// cleared when this member reaches that delivery; entries outlive the
+	// run only on members that stop first, which the same bounded-run
+	// argument covers.
 	stash map[uint64]bool
 
 	// body is the cert-marshal scratch for the single-group fast path; buf
@@ -151,24 +164,32 @@ func (x *xmgr) sequencing() bool {
 // with an active reservation. The result is an OR over reservations, so map
 // iteration order cannot affect it; reservations change only at stream
 // deliveries, so every group member vetoes identically at the same position.
+// The work charge is fixed before the scan — reservation count times set
+// size, a full count with no short-circuit — so the simulated CPU time it
+// advances is independent of the randomized map order the conflict scan
+// breaks out of.
 func (x *xmgr) veto(t *dbsm.TxnCert) bool {
-	work := 0
+	reserved := 0
+	for _, e := range x.pending {
+		if e.reserved() && e.part != nil {
+			reserved++
+		}
+	}
+	if reserved > 0 && x.r.cert.Charge != nil {
+		x.r.cert.Charge(reserved * (len(t.ReadSet) + len(t.WriteSet)))
+	}
 	hit := false
 	for _, e := range x.pending {
 		if !e.reserved() || e.part == nil {
 			continue
 		}
 		p := e.part
-		work += len(t.ReadSet) + len(t.WriteSet)
 		if t.WriteSet.Intersects(p.WriteSet) || t.WriteSet.Intersects(p.ReadSet) ||
 			t.ReadSet.Intersects(p.WriteSet) {
 			//lint:simdeterminism-ok boolean OR over all reservations is commutative; break only short-circuits
 			hit = true
 			break
 		}
-	}
-	if work > 0 && x.r.cert.Charge != nil {
-		x.r.cert.Charge(work)
 	}
 	return hit
 }
@@ -261,6 +282,7 @@ func (x *xmgr) onStream(payload []byte) {
 		if err != nil {
 			r.drops++
 		} else {
+			r.delivered++
 			r.chargeUnmarshal(len(payload))
 			x.prepareDelivered(p)
 		}
@@ -269,6 +291,7 @@ func (x *xmgr) onStream(payload []byte) {
 		if err != nil {
 			r.drops++
 		} else {
+			r.delivered++
 			x.decideDelivered(tid, commit)
 		}
 	}

@@ -130,8 +130,13 @@ const partHeader = 1 + 4 + 4
 // certification message embeds value padding sized by its WriteBytes, so the
 // wire message costs what shipping the written values would; when maxSize is
 // positive the padding — and only the padding — is trimmed (newest part
-// first) until the encoding fits, since relayed datagrams cannot exceed the
-// MTU. The true WriteBytes travels alongside and is restored at parse.
+// first) toward fitting relayed datagrams under the MTU. Only padding can be
+// shed: if the headers and item sets alone exceed maxSize the result still
+// exceeds it. simnet transmits oversized frames (they just pay their real
+// serialization time), so today that only costs accuracy, not delivery; a
+// transport that hard-drops oversized frames would need set-level
+// fragmentation here first. The true WriteBytes travels alongside and is
+// restored at parse.
 func AppendPrepare(buf []byte, lead byte, p *Prepare, maxSize int) []byte {
 	total := 1 + prepareHeader
 	for i := range p.Parts {
