@@ -18,10 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/expr"
 	"repro/internal/faults"
 	"repro/internal/profiles"
@@ -39,6 +41,11 @@ func main() {
 	nCampaign := fs.Int("campaign", 0, "run N randomized fault schedules instead of the fixed matrix")
 	baseSeed := fs.Int64("seed", 1, "campaign base seed (schedule i uses a seed derived from it)")
 	replay := fs.Int64("replay", 0, "re-run the single campaign schedule with this seed")
+	replayFile := fs.String("replay-file", "", "replay a saved repro JSON file; exits non-zero when its violation reproduces")
+	doExplore := fs.Bool("explore", false, "run the coverage-guided adversarial explorer instead of the fixed matrix")
+	generations := fs.Int("generations", 8, "explorer generations")
+	population := fs.Int("population", 16, "explorer schedules per generation")
+	corpusDir := fs.String("corpus", "corpus", "explorer output directory (coverage corpus + minimized repros)")
 	list := fs.Bool("list", false, "print the resolved fault matrix or campaign schedule and exit without running")
 	rejoin := fs.Bool("rejoin", false, "force every campaign schedule to include a crash-and-rejoin")
 	overload := fs.Bool("overload", false, "force every campaign schedule to include saturation and a slow-node gray failure")
@@ -68,7 +75,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *groups > 1 && *nCampaign == 0 && *replay == 0 && !*list {
+	if *replayFile != "" {
+		// A saved repro is self-contained (workload, schedule, seed,
+		// expected verdict): replay it and fail when the violation is
+		// still there, independent of every other flag.
+		stopProfiles()
+		os.Exit(runReplayFile(*replayFile))
+	}
+
+	if *groups > 1 && *nCampaign == 0 && *replay == 0 && !*list && !*doExplore {
 		// The fixed matrix encodes single-group assumptions (rejoin rows,
 		// site numbering); group mode runs randomized campaigns only.
 		fmt.Fprintln(os.Stderr, "faultsim: -groups needs -campaign N (or -replay/-list)")
@@ -134,6 +149,8 @@ func main() {
 		repro += " -protocol " + string(p)
 
 		switch {
+		case *doExplore:
+			failures += runExplore(cfg, params, *baseSeed, *generations, *population, *parallel, *corpusDir)
 		case *replay != 0:
 			failures += runCampaign(cfg, []campaign.Schedule{campaign.New(*replay, params)}, *parallel, repro, true)
 		case *nCampaign > 0:
@@ -203,6 +220,12 @@ func matrix() []struct {
 		{"saturation x2 + slow-node x10", faults.Config{
 			Saturation: faults.Saturation{Factor: 2, At: 15 * sim.Second},
 			SlowNodes:  []faults.SlowNode{{Site: 3, Factor: 10, At: 15 * sim.Second}},
+		}},
+		{"duplicate 10% (all)", faults.Config{
+			Duplicate: faults.Duplicate{Rate: 0.10, At: 5 * sim.Second},
+		}},
+		{"reorder 10% (all)", faults.Config{
+			Reorder: faults.Reorder{Rate: 0.10, At: 5 * sim.Second},
 		}},
 	}
 }
@@ -293,6 +316,101 @@ func runCampaign(base core.Config, plan []campaign.Schedule, parallel int, repro
 		fmt.Printf("  %-15s %5d %7d\n", k, t.runs, t.unsafe)
 	}
 	return failures
+}
+
+// runExplore runs the coverage-guided adversarial explorer: generation zero
+// replays the random campaign's schedules, later generations mutate the
+// coverage corpus. Every violation found is delta-debugged to a locally
+// minimal schedule and saved under the corpus directory as a self-contained
+// repro JSON (replayable with -replay-file); the coverage corpus itself is
+// saved as corpus.json.
+func runExplore(base core.Config, params campaign.Params, seed int64, generations, population, parallel int, corpusDir string) int {
+	fmt.Printf("\n=== explore, protocol %s ===\n", base.Protocol)
+	// One corpus per protocol: the searches are independent and would
+	// otherwise overwrite each other's corpus.json.
+	corpusDir = filepath.Join(corpusDir, string(base.Protocol))
+	start := time.Now()
+	space := explore.Space{
+		Sites:   params.Sites,
+		Groups:  params.Groups,
+		Horizon: params.Horizon,
+		Rejoin:  params.Rejoin,
+	}
+	rep, err := explore.Run(explore.Options{
+		Base:        base,
+		Space:       space,
+		Seed:        seed,
+		Generations: generations,
+		Population:  population,
+		Workers:     parallel,
+		Log: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim: explore:", err)
+		return 1
+	}
+	if path, err := rep.WriteCorpus(corpusDir); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim: corpus:", err)
+	} else {
+		fmt.Printf("explore: %d runs, %d coverage buckets, corpus (%d entries) -> %s\n",
+			rep.Runs, rep.Buckets, len(rep.Corpus), path)
+	}
+
+	// Minimize and persist the first few distinct violations; each probe
+	// is a full run, so the shrink budget is bounded.
+	const maxRepros = 3
+	for i, f := range rep.Found {
+		if i >= maxRepros {
+			fmt.Printf("explore: %d further violation(s) not minimized\n", len(rep.Found)-maxRepros)
+			break
+		}
+		fmt.Printf("explore: violation at run %d (seed %d): %s\n", f.Run, f.Seed, f.Detail)
+		min, stats := explore.Minimize(base, space, f.Genes, f.Seed)
+		fmt.Printf("explore: minimized %d -> %d gene(s) in %d probes\n", stats.From, stats.To, stats.Probes)
+		res, err := explore.Rerun(base, space, min, f.Seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultsim: rerun:", err)
+			res = f.Results
+		}
+		r := explore.NewRepro(base, space, min, f.Seed, res)
+		if path, err := r.Save(corpusDir); err != nil {
+			fmt.Fprintln(os.Stderr, "faultsim: repro:", err)
+		} else {
+			fmt.Printf("explore: repro -> %s (replay: faultsim -replay-file %s)\n", path, path)
+		}
+	}
+	fmt.Printf("\nexplore done in %v\n", time.Since(start).Round(time.Millisecond))
+	return len(rep.Found)
+}
+
+// runReplayFile replays a saved repro and reports whether its violation is
+// still present: 1 (with the triage annotation) when it reproduces, 0 when
+// the tree no longer exhibits it, 2 on file or config errors.
+func runReplayFile(path string) int {
+	r, err := explore.LoadRepro(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		return 2
+	}
+	fmt.Printf("replaying %s: protocol=%s sites=%d groups=%d seed=%d expect=%s/%s\n",
+		path, r.Protocol, r.Sites, r.Groups, r.Seed, r.Expect.Verdict, r.Expect.Kind)
+	reproduced, detail, err := r.Replay()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		return 2
+	}
+	if !reproduced {
+		fmt.Printf("did not reproduce: %s\n", detail)
+		return 0
+	}
+	fmt.Printf("REPRODUCED: %s\n", detail)
+	if t := r.Triage; t != nil {
+		fmt.Printf("triage: kind=%s site=%d ref=%d group=%d pos=%d detail=%q\n",
+			t.Kind, t.Site, t.Ref, t.Group, t.Pos, t.Detail)
+	}
+	return 1
 }
 
 // verdictOf classifies one completed grid point.

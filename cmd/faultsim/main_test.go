@@ -1,0 +1,116 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+// goldenRepro is a minimized repro the explorer produced against the
+// pre-PR-7 uniform-delivery bug, resurrected through the test-only
+// NonUniformSequencer hook: one partition gene isolating the sequencer
+// mid-run makes it commit a transaction the survivors renumber. The file is
+// self-contained, so this pins the whole -replay-file path: load, rebuild
+// the config (hook included), replay, classify.
+const goldenRepro = "testdata/repro-conservative-s3-non-prefix--2362459762591223984.json"
+
+func TestGoldenReproReproduces(t *testing.T) {
+	r, err := explore.LoadRepro(goldenRepro)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !r.Hooks.NonUniformSequencer {
+		t.Fatalf("golden repro lost its hook: %+v", r.Hooks)
+	}
+	reproduced, detail, err := r.Replay()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !reproduced {
+		t.Fatalf("golden repro no longer reproduces (verdict %q)", detail)
+	}
+	if r.Expect.Kind != "non-prefix" || r.Triage == nil || r.Triage.Kind != "non-prefix" {
+		t.Fatalf("golden repro triage drifted: expect=%+v triage=%+v", r.Expect, r.Triage)
+	}
+}
+
+// residualWindowRepro is the explorer's minimized reproduction of the
+// residual non-uniform delivery window documented in gcs/totalorder.go: at
+// n=5 an ordering announcement held by only the sequencer and one other
+// member (2 < the majority of 3) lets that member deliver and commit; a
+// partition isolating exactly those two sites then makes the survivors
+// renumber — a non-prefix divergence at the minority member. No simultaneous
+// double crash is needed; one partition gene is the whole schedule.
+const residualWindowRepro = "testdata/repro-conservative-s5-non-prefix--3610918436655193305.json"
+
+// renumberWedgeRepro is an OPEN FINDING the explorer surfaced at n=5 (see
+// ROADMAP.md): when the sequencer dies, survivors renumber the flush-covered
+// leftovers from their local maxAssigned — but the dying sequencer's final
+// announcement batches can have been processed by a strict subset of the
+// survivors before the flush freeze, so the renumbering bases disagree (56
+// vs 44 in this repro) and one member's global->message map is left with
+// permanent holes: it wedges (its log stays a clean prefix) and the
+// end-of-run full-equality condition reports a length mismatch. The guard
+// pins the finding; fixing it means deriving the renumbering base from
+// flush-agreed state instead of local processing progress, at which point
+// this test should flip to asserting the repro no longer reproduces.
+const renumberWedgeRepro = "testdata/repro-conservative-s5-length-mismatch--513150766704571529.json"
+
+// TestResidualWindowReproduces keeps the documented n>=5 window honest: the
+// repro must keep reproducing for exactly as long as the totalorder.go
+// comment documents the window as open. If a change closes it (full uniform
+// delivery at every member), update the comment and flip this guard.
+func TestResidualWindowReproduces(t *testing.T) {
+	r, err := explore.LoadRepro(residualWindowRepro)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if r.Hooks != (core.Hooks{}) {
+		t.Fatalf("residual-window repro must not need any hook: %+v", r.Hooks)
+	}
+	reproduced, detail, err := r.Replay()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !reproduced {
+		t.Fatalf("the documented n>=5 window no longer reproduces (verdict %q) — "+
+			"if it was closed on purpose, update gcs/totalorder.go's comment and this guard", detail)
+	}
+	if r.Triage == nil || r.Triage.Kind != "non-prefix" {
+		t.Fatalf("window repro triage drifted: %+v", r.Triage)
+	}
+}
+
+// TestRenumberWedgeReproduces pins the open renumbering-divergence finding.
+// When the renumbering base is fixed, this repro should stop reproducing —
+// flip the guard and retire the ROADMAP item.
+func TestRenumberWedgeReproduces(t *testing.T) {
+	r, err := explore.LoadRepro(renumberWedgeRepro)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	reproduced, detail, err := r.Replay()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !reproduced {
+		t.Fatalf("renumbering-divergence finding no longer reproduces (verdict %q) — "+
+			"if the renumbering base was fixed, flip this guard and close the ROADMAP item", detail)
+	}
+	if r.Triage == nil || r.Triage.Kind != "length-mismatch" {
+		t.Fatalf("wedge repro triage drifted: %+v", r.Triage)
+	}
+}
+
+// TestRunReplayFile pins the command-level exit codes: 1 when the violation
+// reproduces, 2 on a missing file.
+func TestRunReplayFile(t *testing.T) {
+	if got := runReplayFile(goldenRepro); got != 1 {
+		t.Fatalf("runReplayFile(golden) = %d, want 1 (violation reproduces)", got)
+	}
+	if got := runReplayFile(filepath.Join(t.TempDir(), "missing.json")); got != 2 {
+		t.Fatalf("runReplayFile(missing) = %d, want 2", got)
+	}
+}

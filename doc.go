@@ -65,6 +65,21 @@
 // "shard" table prints the scaling verdict (README.md's "Partial
 // replication" section has the protocol walk-through).
 //
+// Beyond randomized campaigns, cmd/faultsim's -explore mode runs an
+// adversarial search (internal/explore): fault schedules are genomes,
+// coverage is a log2-bucketed fingerprint of the protocol counters the
+// stacks expose (core.Results.Features), and schedules that reach new
+// protocol states are mutated and spliced across generations on the
+// internal/expr pool — deterministically, so the same seed and budget give
+// byte-identical results at any worker count. Every UNSAFE schedule is
+// delta-debugged down to a locally-minimal repro and saved as self-contained
+// JSON (replayed by `faultsim -replay-file`, triaged by internal/check); the
+// search cornered the residual n>=5 non-uniform delivery window documented
+// in gcs/totalorder.go and surfaced the sequencer-handover renumbering
+// divergence tracked in ROADMAP.md, both pinned as guarded repros under
+// cmd/faultsim/testdata (README.md's "Adversarial exploration" section has
+// the model and the corpus-directory convention).
+//
 // The simulation critical path is engineered to allocate nothing in steady
 // state: certification runs against an inverted last-writer index
 // (O(|ReadSet|) per transaction, differential-tested against the paper's

@@ -40,6 +40,11 @@ const (
 	KindPartition  = "partition"
 	KindSaturation = "saturation"
 	KindSlowNode   = "slow-node"
+	// Datagram chaos kinds: receiver-side duplication and reordering of raw
+	// datagrams, aimed at the unordered cross-group relay traffic (ordered
+	// streams dedupe and resequence on their own).
+	KindDuplicate = "dup"
+	KindReorder   = "reorder"
 	// Group-mode (partial replication) structural kinds: a crash of one
 	// group's lowest member (its sequencer, and the handover anchor for
 	// cross-group rounds it coordinated), additional crashes scattered
@@ -52,6 +57,7 @@ const (
 // Kinds lists every fault kind a campaign can inject, in report order.
 func Kinds() []string {
 	return []string{KindDrift, KindLatency, KindLossRandom, KindLossBursty,
+		KindDuplicate, KindReorder,
 		KindCrash, KindRejoin, KindPartition, KindSaturation, KindSlowNode,
 		KindCoordCrash, KindGroupCrash, KindGroupPartition}
 }
@@ -145,6 +151,22 @@ func (s Schedule) Describe() string {
 	case faults.LossBursty:
 		fmt.Fprintf(&b, "    loss-bursty rate=%.3f burst~%.1f\n", f.Loss.Rate, f.Loss.MeanBurst)
 	}
+	if f.Duplicate.Active() {
+		if f.Duplicate.Until != 0 {
+			fmt.Fprintf(&b, "    dup rate=%.3f at %v, until %v\n", f.Duplicate.Rate, f.Duplicate.At, f.Duplicate.Until)
+		} else {
+			fmt.Fprintf(&b, "    dup rate=%.3f at %v (sustained)\n", f.Duplicate.Rate, f.Duplicate.At)
+		}
+	}
+	if f.Reorder.Active() {
+		if f.Reorder.Until != 0 {
+			fmt.Fprintf(&b, "    reorder rate=%.3f delay~%v at %v, until %v\n",
+				f.Reorder.Rate, f.Reorder.Delay, f.Reorder.At, f.Reorder.Until)
+		} else {
+			fmt.Fprintf(&b, "    reorder rate=%.3f delay~%v at %v (sustained)\n",
+				f.Reorder.Rate, f.Reorder.Delay, f.Reorder.At)
+		}
+	}
 	for _, c := range f.Crashes {
 		if rc := f.RecoverOf(c.Site); rc != nil {
 			fmt.Fprintf(&b, "    crash site %d at %v, rejoin at %v\n", c.Site, c.At, rc.At)
@@ -224,6 +246,32 @@ func New(seed int64, p Params) Schedule {
 			MeanBurst: 3 + 5*g.Float64(),
 		}
 		s.Kinds = append(s.Kinds, KindLossBursty)
+	}
+
+	// Datagram chaos composes freely: duplication and reordering target the
+	// unordered relay traffic and never consume quorum budget.
+	if g.Bool(0.2) {
+		d := faults.Duplicate{
+			Rate: 0.02 + 0.10*g.Float64(),
+			At:   g.UniformDur(2*sim.Second, p.Horizon/2),
+		}
+		if g.Bool(0.4) {
+			d.Until = d.At + g.UniformDur(5*sim.Second, 20*sim.Second)
+		}
+		f.Duplicate = d
+		s.Kinds = append(s.Kinds, KindDuplicate)
+	}
+	if g.Bool(0.2) {
+		ro := faults.Reorder{
+			Rate:  0.02 + 0.10*g.Float64(),
+			Delay: g.UniformDur(1*sim.Millisecond, 5*sim.Millisecond),
+			At:    g.UniformDur(2*sim.Second, p.Horizon/2),
+		}
+		if g.Bool(0.4) {
+			ro.Until = ro.At + g.UniformDur(5*sim.Second, 20*sim.Second)
+		}
+		f.Reorder = ro
+		s.Kinds = append(s.Kinds, KindReorder)
 	}
 
 	// Structural faults share the quorum budget. Partition minorities are

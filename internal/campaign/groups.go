@@ -51,6 +51,34 @@ func newGrouped(seed int64, p Params) Schedule {
 		s.Kinds = append(s.Kinds, KindLossBursty)
 	}
 
+	// Datagram chaos: drawn oftener than in the classic generator for the
+	// same reason loss is — the relay round (and its idempotence under
+	// duplicated or reordered prepares, votes, and decides) is exactly what
+	// these faults exercise.
+	if g.Bool(0.3) {
+		d := faults.Duplicate{
+			Rate: 0.02 + 0.10*g.Float64(),
+			At:   g.UniformDur(2*sim.Second, p.Horizon/2),
+		}
+		if g.Bool(0.4) {
+			d.Until = d.At + g.UniformDur(5*sim.Second, 20*sim.Second)
+		}
+		f.Duplicate = d
+		s.Kinds = append(s.Kinds, KindDuplicate)
+	}
+	if g.Bool(0.3) {
+		ro := faults.Reorder{
+			Rate:  0.02 + 0.10*g.Float64(),
+			Delay: g.UniformDur(1*sim.Millisecond, 5*sim.Millisecond),
+			At:    g.UniformDur(2*sim.Second, p.Horizon/2),
+		}
+		if g.Bool(0.4) {
+			ro.Until = ro.At + g.UniformDur(5*sim.Second, 20*sim.Second)
+		}
+		f.Reorder = ro
+		s.Kinds = append(s.Kinds, KindReorder)
+	}
+
 	// Structural faults, per-group budget. used[g] counts disabled sites of
 	// group g; crashed marks sites taken by a crash.
 	used := make([]int, p.Groups+1)

@@ -1,0 +1,40 @@
+package check
+
+import "errors"
+
+// Triage is the serializable first-divergence annotation a saved repro
+// carries: the violation's classification and its exact location, extracted
+// from the checker's verdict. It is the machine-readable form of
+// Violation.Error(), stable enough to embed in repro JSON files.
+type Triage struct {
+	// Kind is the violation kind's stable name (Kind.String()).
+	Kind string `json:"kind"`
+	// Site and Ref are the offending site and the reference site it was
+	// compared against; for cross-group kinds they hold the two group ids.
+	Site int `json:"site"`
+	Ref  int `json:"ref"`
+	// Group is the replication group the violation was detected in (0 under
+	// full replication or for cross-group kinds).
+	Group int `json:"group,omitempty"`
+	// Pos is the first differing position, or -1 when only lengths differ.
+	Pos int `json:"pos"`
+	// Detail is the human-readable elaboration.
+	Detail string `json:"detail"`
+}
+
+// TriageOf extracts the triage annotation from a run's safety verdict, or
+// nil when the error carries no *Violation (or is nil).
+func TriageOf(err error) *Triage {
+	var v *Violation
+	if !errors.As(err, &v) {
+		return nil
+	}
+	return &Triage{
+		Kind:   v.Kind.String(),
+		Site:   int(v.Site),
+		Ref:    int(v.Ref),
+		Group:  v.Group,
+		Pos:    v.Pos,
+		Detail: v.Detail,
+	}
+}

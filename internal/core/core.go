@@ -96,6 +96,9 @@ type Config struct {
 	GCSTweak func(*gcs.Config)
 	// Faults is the fault load.
 	Faults faults.Config
+	// Hooks are test-only protocol switches (see Hooks); the zero value —
+	// every hook off — is the only production configuration.
+	Hooks Hooks
 	// ReadSetThreshold upgrades large read-sets to table locks.
 	ReadSetThreshold int
 	// Admission enables the overload-protection machinery: a per-site
@@ -129,6 +132,22 @@ type Config struct {
 	// CollectTxnLog records every transaction in Results.TxnLog.
 	CollectTxnLog bool
 }
+
+// Hooks re-open fixed protocol holes for the adversarial explorer's
+// self-tests and saved repros: a repro of a historical bug keeps reproducing
+// its violation on a healthy tree by naming the hook that resurrects it.
+// Hooks are serializable (unlike GCSTweak) so repro JSON can carry them.
+// Never set any hook outside tests and saved repros.
+type Hooks struct {
+	// NonUniformSequencer reverts the uniform sequencer delivery fix: the
+	// sequencer delivers its self-assigned messages without waiting for a
+	// majority to hold the assignment, resurrecting the lost-announcement
+	// safety hole (see internal/gcs/totalorder.go).
+	NonUniformSequencer bool `json:"nonUniformSequencer,omitempty"`
+}
+
+// Any reports whether any hook is set.
+func (h Hooks) Any() bool { return h.NonUniformSequencer }
 
 // AdmissionConfig tunes the overload-protection machinery.
 type AdmissionConfig struct {
@@ -386,6 +405,12 @@ func New(cfg Config) (*Model, error) {
 		}
 		if lm := cfg.Faults.Loss.NewModel(); lm != nil {
 			host.SetLoss(lm)
+		}
+		if in := cfg.Faults.Duplicate.NewInjector(); in != nil {
+			host.SetDuplicate(in)
+		}
+		if in := cfg.Faults.Reorder.NewInjector(); in != nil {
+			host.SetReorder(in)
 		}
 		if id == 0 {
 			m.dedicated = site
@@ -681,6 +706,8 @@ func (m *Model) buildStack(s *Site, joining bool) error {
 		// Partitions need the primary-component rule: the minority side
 		// must wedge rather than split-brain.
 		PrimaryComponent: len(m.cfg.Faults.Partitions) > 0,
+
+		NonUniformSequencer: m.cfg.Hooks.NonUniformSequencer,
 	}
 	if m.cfg.GCSTweak != nil {
 		m.cfg.GCSTweak(&gcfg)

@@ -3,6 +3,9 @@ package core
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
 )
 
 // TestSameSeedSameResults is the regression guard for the invariant the
@@ -91,5 +94,60 @@ func TestDifferentSeedDifferentResults(t *testing.T) {
 	a, b := run(1), run(2)
 	if a.TPM == b.TPM && a.MeanLatencyMS == b.MeanLatencyMS && a.Events == b.Events {
 		t.Fatal("two different seeds produced an identical run")
+	}
+}
+
+// TestDatagramChaosSafeAndDeterministic drives the receiver-side datagram
+// chaos injectors — duplication and reordering — hard, in both topologies.
+// Ordered streams dedupe by sequence number and the relay round is
+// idempotent, so the runs must stay safe; and the injectors draw from the
+// per-host RNG streams, so replays must be exact. The fault-free baseline
+// must also be untouched by the injectors' mere presence in the code path.
+func TestDatagramChaosSafeAndDeterministic(t *testing.T) {
+	mk := func(groups int) Config {
+		cfg := Config{Sites: 3, Clients: 30, TotalTxns: 200, Seed: 99}
+		if groups > 1 {
+			cfg.Groups = groups
+			cfg.Sites = 2
+			cfg.Clients = 60
+		}
+		cfg.Faults.Duplicate = faults.Duplicate{Rate: 0.3, At: sim.Second}
+		cfg.Faults.Reorder = faults.Reorder{Rate: 0.3, Delay: 3 * sim.Millisecond, At: sim.Second}
+		return cfg
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"classic", mk(1)},
+		{"grouped", mk(3)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() *Results {
+				m, err := New(tc.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := m.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			}
+			a, b := run(), run()
+			if a.SafetyErr != nil {
+				t.Fatalf("safety under datagram chaos: %v", a.SafetyErr)
+			}
+			if a.Inconsistencies != 0 || a.CertDrops != 0 {
+				t.Fatalf("inconsistencies=%d certdrops=%d", a.Inconsistencies, a.CertDrops)
+			}
+			if a.Committed == 0 {
+				t.Fatal("nothing committed under datagram chaos")
+			}
+			if a.Summary() != b.Summary() || a.Events != b.Events {
+				t.Fatalf("chaos replay diverged:\n  a: %s (%d events)\n  b: %s (%d events)",
+					a.Summary(), a.Events, b.Summary(), b.Events)
+			}
+		})
 	}
 }

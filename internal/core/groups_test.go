@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/faults"
+	"repro/internal/gcs"
 	"repro/internal/sim"
+	"repro/internal/simnet"
 )
 
 func runGroups(t *testing.T, cfg Config) *Results {
@@ -127,5 +129,38 @@ func TestGroupsValidation(t *testing.T) {
 		if _, err := New(cfg); err == nil {
 			t.Errorf("%s: config accepted, want error", name)
 		}
+	}
+}
+
+// TestGroupsSmallMTUFragmentsPrepares squeezes the MTU until prepares
+// no longer fit a single datagram even with their value padding stripped:
+// the relay path must fragment them (MsgPrepFrag), remote members must
+// reassemble and answer, and every safety check must still pass. This is the
+// regression test for the oversize-prepare hole, which used to hand the
+// network an unsendable frame.
+func TestGroupsSmallMTUFragmentsPrepares(t *testing.T) {
+	for _, p := range Protocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			cfg := groupCfg(p, 11)
+			// The relay MTU is the LAN's; keep the stream's chunk bound
+			// (MaxPacket) at the same value so ordered-stream datagrams
+			// still fit their port.
+			cfg.LAN = simnet.LANConfig{MTU: 96}
+			cfg.GCSTweak = func(g *gcs.Config) { g.MaxPacket = 96 }
+			r := runGroups(t, cfg)
+			if r.SafetyErr != nil {
+				t.Fatalf("safety: %v", r.SafetyErr)
+			}
+			if r.Inconsistencies != 0 || r.CertDrops != 0 {
+				t.Fatalf("inconsistencies=%d certdrops=%d", r.Inconsistencies, r.CertDrops)
+			}
+			if r.MultiGroupCommitted == 0 {
+				t.Fatal("no cross-group transaction committed")
+			}
+			if r.XPrepFrags == 0 {
+				t.Fatal("no prepare was ever fragmented at a 96-byte MTU")
+			}
+		})
 	}
 }

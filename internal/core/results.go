@@ -166,6 +166,11 @@ type Results struct {
 	MultiGroupPct       float64
 	XRetries            int64
 	XHandovers          int64
+	// XVetoes counts certifications aborted by the cross-group reservation
+	// veto; XPrepFrags counts oversized prepare relays that had to ship as
+	// fragments. Both diagnostics.
+	XVetoes    int64
+	XPrepFrags int64
 	// GCS aggregates protocol counters over all stacks.
 	GCS gcs.Stats
 	// SafetyErr is the off-line commit-sequence comparison verdict
@@ -258,6 +263,8 @@ func (m *Model) results() *Results {
 		r.MultiGroupTxns += repStats.XInitiated
 		r.XRetries += repStats.XRetries
 		r.XHandovers += repStats.XHandovers
+		r.XVetoes += repStats.XVetoes
+		r.XPrepFrags += repStats.XPrepFrags
 		sr.DeltaApplied = repStats.DeltaApplied
 		sr.BacklogPeak = repStats.BacklogPeak
 		if repStats.BacklogPeak > r.BacklogPeak {
@@ -451,6 +458,8 @@ func accumulateGCS(dst *gcs.Stats, s gcs.Stats) {
 	dst.CreditStalls += s.CreditStalls
 	dst.AssignDeferred += s.AssignDeferred
 	dst.FlowRejected += s.FlowRejected
+	dst.FlushAbandons += s.FlushAbandons
+	dst.UniformStalls += s.UniformStalls
 	// Peak gauges fold with max, not sum.
 	if s.QueuePeakBytes > dst.QueuePeakBytes {
 		dst.QueuePeakBytes = s.QueuePeakBytes
@@ -474,8 +483,51 @@ func accumulateReplica(dst *replica.Stats, s replica.Stats) {
 	dst.XAborted += s.XAborted
 	dst.XRetries += s.XRetries
 	dst.XHandovers += s.XHandovers
+	dst.XVetoes += s.XVetoes
+	dst.XPrepFrags += s.XPrepFrags
 	if s.BacklogPeak > dst.BacklogPeak {
 		dst.BacklogPeak = s.BacklogPeak
+	}
+}
+
+// Features exports the run's protocol-state fingerprint: every counter that
+// marks a rare protocol state, keyed by a stable name. The adversarial
+// explorer (internal/explore) buckets these into its coverage map; anything
+// else wanting a behavioural signature of a run can use them too. Keys are
+// stable across runs and releases — add, don't rename.
+func (r *Results) Features() map[string]int64 {
+	return map[string]int64{
+		// Membership and ordering edges.
+		"viewchanges":   r.GCS.ViewChanges,
+		"quorumlosses":  r.GCS.QuorumLosses,
+		"flushabandons": r.GCS.FlushAbandons,
+		"uniformstalls": r.GCS.UniformStalls,
+		"joinrequests":  r.GCS.JoinRequests,
+		"joins":         r.GCS.Joins,
+		"recoveries":    int64(r.Recoveries),
+		// Reliable-stream stress.
+		"retransmits":    r.GCS.Retransmits,
+		"nacks":          r.GCS.Nacks,
+		"assignacks":     r.GCS.AssignAcks,
+		"creditstalls":   r.GCS.CreditStalls,
+		"assigndeferred": r.GCS.AssignDeferred,
+		"flowrejected":   r.GCS.FlowRejected,
+		// Optimistic-pipeline divergence.
+		"mispredicted": r.GCS.Mispredicted,
+		"rollbacks":    r.Rollbacks,
+		"recertified":  r.Recertified,
+		// Cross-group commit round edges.
+		"xretries":   r.XRetries,
+		"xhandovers": r.XHandovers,
+		"xvetoes":    r.XVetoes,
+		"xprepfrags": r.XPrepFrags,
+		// Overload and recovery load.
+		"rejected":     r.Rejected,
+		"retries":      r.Retries,
+		"giveups":      r.GiveUps,
+		"backlogpeak":  r.BacklogPeak,
+		"queuepeakkb":  r.GCS.QueuePeakBytes / 1024,
+		"deltaapplied": r.DeltaApplied,
 	}
 }
 

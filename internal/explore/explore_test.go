@@ -1,0 +1,205 @@
+package explore
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// The self-test workload: the PR-7 uniform-delivery fix reverted through the
+// test-only NonUniformSequencer hook, under the short-campaign shape. The
+// resurrected bug needs a sequencer crash landing inside the narrow window
+// between the sequencer's non-uniform local delivery and the survivors
+// learning the assignment — exactly the kind of timing coincidence random
+// campaigning almost never draws and coverage-guided mutation homes in on.
+func hookBase() core.Config {
+	return core.Config{
+		Sites: 3, Clients: 60, TotalTxns: 300,
+		Protocol:   core.ProtocolConservative,
+		MaxSimTime: 20 * sim.Minute,
+		Admission:  core.DefaultAdmissionConfig(),
+		Hooks:      core.Hooks{NonUniformSequencer: true},
+	}
+}
+
+func hookSpace() Space { return Space{Sites: 3, Horizon: 15 * sim.Second} }
+
+const hookSeed = 3
+
+// explored caches one exploration per worker count, shared across tests.
+var explored = struct {
+	sync.Mutex
+	reports map[int]*Report
+}{reports: map[int]*Report{}}
+
+func exploreWithWorkers(t *testing.T, workers int) *Report {
+	t.Helper()
+	explored.Lock()
+	defer explored.Unlock()
+	if rep := explored.reports[workers]; rep != nil {
+		return rep
+	}
+	rep, err := Run(Options{
+		Base:        hookBase(),
+		Space:       hookSpace(),
+		Seed:        hookSeed,
+		Generations: 8,
+		Population:  16,
+		Workers:     workers,
+		StopOnFirst: true,
+	})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if len(rep.Found) == 0 {
+		t.Fatalf("explorer found no violation in %d runs", rep.Runs)
+	}
+	explored.reports[workers] = rep
+	return rep
+}
+
+// TestExplorerBeatsRandom is the mutation self-test the issue's acceptance
+// criteria demand: with the uniform-delivery fix reverted behind the hook,
+// the coverage-guided explorer must find the violation in at most half the
+// runs random campaigning needs, under the same run budget and seeds
+// (generation zero IS the random campaign's schedule sequence).
+func TestExplorerBeatsRandom(t *testing.T) {
+	const budget = 100
+	// Random baseline: the campaign's schedules in plan order, exactly the
+	// runs the explorer's generation zero replays.
+	params := campaign.Params{Sites: 3, Horizon: 15 * sim.Second}
+	baselineFirst := budget + 1 // not found within the budget
+	for i, task := range campaign.Tasks(campaign.Plan(hookSeed, budget, params), hookBase()) {
+		m, err := core.New(task.Config)
+		if err != nil {
+			t.Fatalf("baseline run %d: %v", i, err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("baseline run %d: %v", i, err)
+		}
+		if bad, _ := Unsafe(res); bad {
+			baselineFirst = i + 1
+			break
+		}
+	}
+
+	rep := exploreWithWorkers(t, 0)
+	got := rep.Found[0].Run
+	t.Logf("baseline first violation: run %d (of %d budget); explorer: run %d",
+		baselineFirst, budget, got)
+	if 2*got > baselineFirst {
+		t.Fatalf("explorer needed %d runs, more than half the random campaign's %d",
+			got, baselineFirst)
+	}
+}
+
+// TestExploreDeterministicAcrossWorkers pins the search result — the found
+// schedule, its seed, the run index, and the minimized repro's exact bytes —
+// across worker-pool sizes 1, 4, and 8.
+func TestExploreDeterministicAcrossWorkers(t *testing.T) {
+	var repro []byte
+	var run int
+	for _, workers := range []int{1, 4, 8} {
+		rep := exploreWithWorkers(t, workers)
+		f := rep.Found[0]
+		min, _ := Minimize(hookBase(), hookSpace(), f.Genes, f.Seed)
+		res, err := Rerun(hookBase(), hookSpace(), min, f.Seed)
+		if err != nil {
+			t.Fatalf("workers=%d: rerun: %v", workers, err)
+		}
+		b, err := NewRepro(hookBase(), hookSpace(), min, f.Seed, res).Marshal()
+		if err != nil {
+			t.Fatalf("workers=%d: marshal: %v", workers, err)
+		}
+		if repro == nil {
+			repro, run = b, f.Run
+			continue
+		}
+		if f.Run != run {
+			t.Errorf("workers=%d: violation at run %d, workers=1 found it at run %d", workers, f.Run, run)
+		}
+		if !bytes.Equal(b, repro) {
+			t.Errorf("workers=%d: repro bytes differ from workers=1:\n%s\n--- vs ---\n%s", workers, b, repro)
+		}
+	}
+}
+
+// TestMinimizeProperties is the shrinker property test: the minimized
+// schedule still violates, is small, and is locally minimal — removing any
+// single remaining fault makes the violation disappear.
+func TestMinimizeProperties(t *testing.T) {
+	base, space := hookBase(), hookSpace()
+	f := exploreWithWorkers(t, 0).Found[0]
+	min, stats := Minimize(base, space, f.Genes, f.Seed)
+	t.Logf("minimized %d -> %d genes in %d probes", stats.From, stats.To, stats.Probes)
+
+	violates := func(genes []Gene) bool {
+		cfg := base
+		cfg.Seed = f.Seed
+		cfg.Faults = space.ToFaults(genes)
+		m, err := core.New(cfg)
+		if err != nil {
+			return false
+		}
+		res, err := m.Run()
+		if err != nil {
+			return false
+		}
+		bad, _ := Unsafe(res)
+		return bad
+	}
+
+	if !violates(min) {
+		t.Fatalf("minimized schedule no longer violates: %+v", min)
+	}
+	if len(min) > 4 {
+		t.Fatalf("minimized schedule keeps %d faults, want <= 4: %+v", len(min), min)
+	}
+	for i := range min {
+		cand := append(append([]Gene{}, min[:i]...), min[i+1:]...)
+		if violates(space.repair(cand)) {
+			t.Fatalf("not locally minimal: still violates without gene %d (%+v)", i, min[i])
+		}
+	}
+}
+
+// TestReproReplayRoundTrip saves the minimized repro to disk, loads it back,
+// and replays it: the violation must reproduce with its recorded kind, and
+// the reload must be byte-stable.
+func TestReproReplayRoundTrip(t *testing.T) {
+	base, space := hookBase(), hookSpace()
+	f := exploreWithWorkers(t, 0).Found[0]
+	min, _ := Minimize(base, space, f.Genes, f.Seed)
+	res, err := Rerun(base, space, min, f.Seed)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	r := NewRepro(base, space, min, f.Seed, res)
+
+	dir := t.TempDir()
+	path, err := r.Save(dir)
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := LoadRepro(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	a, _ := r.Marshal()
+	b, _ := loaded.Marshal()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("repro not byte-stable across save/load:\n%s\n--- vs ---\n%s", a, b)
+	}
+	reproduced, detail, err := loaded.Replay()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !reproduced {
+		t.Fatalf("saved repro did not reproduce (verdict %q)", detail)
+	}
+}

@@ -1,0 +1,102 @@
+package explore
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/sim"
+)
+
+// TestRepairProducesValidConfigs fuzzes the genome layer: any gene list —
+// random genes, heavy mutation, splices — must repair to a fault
+// configuration the model constructor accepts, in both topologies.
+func TestRepairProducesValidConfigs(t *testing.T) {
+	cases := []struct {
+		name  string
+		space Space
+		base  core.Config
+	}{
+		{"classic", Space{Sites: 3, Horizon: 15 * sim.Second, Rejoin: true},
+			core.Config{Sites: 3, Clients: 30, TotalTxns: 50}},
+		{"grouped", Space{Sites: 3, Groups: 2, Horizon: 15 * sim.Second},
+			core.Config{Sites: 3, Groups: 2, Clients: 30, TotalTxns: 50}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := sim.NewRNG(7).Fork("fuzz")
+			genes := []Gene{}
+			for i := 0; i < 60; i++ {
+				switch g.Intn(3) {
+				case 0: // fresh random genome
+					genes = genes[:0]
+					for n := g.Intn(8); len(genes) <= n; {
+						genes = append(genes, tc.space.randomGene(g))
+					}
+					genes = tc.space.repair(genes)
+				case 1:
+					genes = tc.space.Mutate(g, genes)
+				case 2:
+					other := []Gene{tc.space.randomGene(g), tc.space.randomGene(g)}
+					genes = tc.space.Splice(g, genes, other)
+				}
+				cfg := tc.base
+				cfg.Seed = int64(i + 1)
+				cfg.Faults = tc.space.ToFaults(genes)
+				if _, err := core.New(cfg); err != nil {
+					t.Fatalf("iteration %d: repaired genome rejected: %v\ngenes: %+v", i, err, genes)
+				}
+			}
+		})
+	}
+}
+
+// TestRepairIdempotent checks repair is a normal form: repairing a repaired
+// genome changes nothing, so the shrinker's single-gene removals stay exact.
+func TestRepairIdempotent(t *testing.T) {
+	space := Space{Sites: 3, Groups: 2, Horizon: 15 * sim.Second}
+	g := sim.NewRNG(11).Fork("idem")
+	for i := 0; i < 100; i++ {
+		genes := make([]Gene, 0, 8)
+		for n := g.Intn(8); len(genes) <= n; {
+			genes = append(genes, space.randomGene(g))
+		}
+		once := space.repair(genes)
+		twice := space.repair(once)
+		if !reflect.DeepEqual(once, twice) {
+			t.Fatalf("repair not idempotent:\nonce:  %+v\ntwice: %+v", once, twice)
+		}
+	}
+}
+
+// TestGenomeRoundTrip checks campaign schedules survive the genome encoding:
+// FromFaults then ToFaults reproduces the schedule's fault configuration, so
+// generation zero of the search really replays the random campaign.
+func TestGenomeRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		params campaign.Params
+		space  Space
+	}{
+		{"classic", campaign.Params{Sites: 3, Rejoin: true},
+			Space{Sites: 3, Rejoin: true}},
+		{"grouped", campaign.Params{Sites: 3, Groups: 3},
+			Space{Sites: 3, Groups: 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for i := 0; i < 200; i++ {
+				sched := campaign.New(expr.DeriveSeed(99, i), tc.params)
+				got := tc.space.ToFaults(FromFaults(sched.Faults))
+				a, _ := json.Marshal(sched.Faults)
+				b, _ := json.Marshal(got)
+				if string(a) != string(b) {
+					t.Fatalf("seed %d: round trip changed the schedule:\nwant %s\ngot  %s",
+						sched.Seed, a, b)
+				}
+			}
+		})
+	}
+}

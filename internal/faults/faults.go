@@ -123,6 +123,60 @@ type SlowNode struct {
 	Until sim.Time
 }
 
+// Duplicate re-delivers random datagrams at every receiver: within the
+// window each inbound datagram is independently delivered a second time
+// shortly after the first, as a flapping route or retransmitting middlebox
+// would. Ordered streams dedupe by sequence number, so this fault really
+// targets the raw-datagram relay traffic — the cross-group prepare / vote /
+// decide round must be idempotent under it.
+type Duplicate struct {
+	// Rate is the per-datagram duplication probability; 0 disables.
+	Rate float64
+	// Delay bounds the lag of the duplicate copy (default 2ms).
+	Delay sim.Time
+	// At is the instant duplication begins.
+	At sim.Time
+	// Until is the instant it stops; zero means the rest of the run.
+	Until sim.Time
+}
+
+// Active reports whether the fault injects anything.
+func (d Duplicate) Active() bool { return d.Rate > 0 }
+
+// NewInjector builds the receiver-side injector, or nil when inactive.
+func (d Duplicate) NewInjector() *simnet.Injector {
+	if !d.Active() {
+		return nil
+	}
+	return &simnet.Injector{Rate: d.Rate, Delay: d.Delay, From: d.At, Until: d.Until}
+}
+
+// Reorder delays random datagrams at every receiver: within the window each
+// inbound datagram is independently held back long enough for traffic sent
+// later to overtake it. Like Duplicate this mostly exercises the unordered
+// relay traffic; the ordered streams absorb it as ordinary jitter.
+type Reorder struct {
+	// Rate is the per-datagram reordering probability; 0 disables.
+	Rate float64
+	// Delay bounds the hold-back (default 2ms).
+	Delay sim.Time
+	// At is the instant reordering begins.
+	At sim.Time
+	// Until is the instant it stops; zero means the rest of the run.
+	Until sim.Time
+}
+
+// Active reports whether the fault injects anything.
+func (r Reorder) Active() bool { return r.Rate > 0 }
+
+// NewInjector builds the receiver-side injector, or nil when inactive.
+func (r Reorder) NewInjector() *simnet.Injector {
+	if !r.Active() {
+		return nil
+	}
+	return &simnet.Injector{Rate: r.Rate, Delay: r.Delay, From: r.At, Until: r.Until}
+}
+
 // Config is a complete fault load for one run.
 type Config struct {
 	// ClockDriftRate postpones scheduled events by the factor (1+rate)
@@ -148,13 +202,18 @@ type Config struct {
 	Saturation Saturation
 	// SlowNodes degrade sites into gray failures.
 	SlowNodes []SlowNode
+	// Duplicate re-delivers random datagrams at every receiver.
+	Duplicate Duplicate
+	// Reorder delays random datagrams past later traffic at every receiver.
+	Reorder Reorder
 }
 
 // Any reports whether the configuration injects any fault.
 func (c Config) Any() bool {
 	return c.ClockDriftRate != 0 || c.SchedLatencyMean != 0 ||
 		c.Loss.Kind != LossNone || len(c.Crashes) > 0 || len(c.Partitions) > 0 ||
-		c.Saturation.Active() || len(c.SlowNodes) > 0
+		c.Saturation.Active() || len(c.SlowNodes) > 0 ||
+		c.Duplicate.Active() || c.Reorder.Active()
 }
 
 // RecoverOf returns the recovery scheduled for a site, or nil.

@@ -105,6 +105,14 @@ type Config struct {
 	// continues. Off by default: crash-only runs never lose quorum and
 	// keep the paper's original behaviour.
 	PrimaryComponent bool
+	// NonUniformSequencer is a test-only hook reverting the uniform
+	// sequencer delivery fix: the sequencer delivers self-assigned messages
+	// without waiting for a majority to hold the assignment, resurrecting
+	// the lost-announcement safety hole documented in totalorder.go. It
+	// exists so the adversarial explorer's self-tests and saved repros of
+	// the historical bug keep reproducing on a healthy tree. Never set it
+	// in production configurations.
+	NonUniformSequencer bool
 	// Costs is the deterministic CPU cost model for this real code.
 	Costs CostModel
 }
@@ -250,6 +258,14 @@ type Stats struct {
 	// cross-group commit round's unordered control traffic).
 	RelaysSent int64
 	RelaysRecv int64
+	// FlushAbandons counts flush rounds abandoned because the proposer
+	// itself became suspected mid-flush — a crash landing inside a view
+	// change, the double-fault corner the membership layer restarts from.
+	FlushAbandons int64
+	// UniformStalls counts sequencer deliveries deferred by the uniformity
+	// gate: the message was self-assigned but no majority held the
+	// assignment yet (see totalorder.go).
+	UniformStalls int64
 }
 
 // Stack is one member's group communication endpoint.

@@ -149,6 +149,7 @@ func (mb *membership) fdTick() {
 		mb.state = membStable
 		mb.pendingDecide = nil
 		abandoned = true
+		mb.s.stats.FlushAbandons++
 	}
 	if !changed && !abandoned {
 		return

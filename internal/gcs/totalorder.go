@@ -39,8 +39,18 @@ type totalOrder struct {
 	// past the batch's last stream chunk. Non-sequencer members stay
 	// prompt: a delivery there implies the announcement already reached
 	// two members (itself and the sequencer), the majority for n<=3; for
-	// n>=5 a simultaneous crash of a non-sequencer deliverer and the
-	// sequencer remains a (documented) non-uniform window.
+	// n>=5 that is NOT a majority, and the window is real: the adversarial
+	// explorer (internal/explore) reproduces it at n=5 with a single
+	// partition isolating the sequencer plus one prompt deliverer — the
+	// pair delivers and commits on an announcement only they hold, and the
+	// majority side renumbers (cmd/faultsim/testdata's s5-non-prefix
+	// repro, guarded by TestResidualWindowReproduces; no simultaneous
+	// double crash is needed). The window stays open by design: closing it
+	// means every member gating delivery on majority acks, serializing an
+	// extra round trip into the common path. internal/campaign keeps the
+	// sequencer out of partition minorities precisely because this
+	// divergence is accepted; the explorer's genome deliberately does not,
+	// which is how it cornered the window.
 	announceSafe      uint64 // self-assigned globals <= this are majority-held
 	selfAssignedFloor uint64 // globals <= this predate this sequencer stint
 	unacked           []announceBatch
@@ -301,8 +311,13 @@ func (to *totalOrder) tryDeliver() {
 			break
 		}
 		g := to.nextDeliver + 1
-		if to.s.IsSequencer() && g > to.selfAssignedFloor && g > to.announceSafe {
-			break // uniform delivery: wait for a majority to hold the announcement
+		if to.s.IsSequencer() && g > to.selfAssignedFloor && g > to.announceSafe &&
+			!to.s.cfg.NonUniformSequencer {
+			// Uniform delivery: wait for a majority to hold the
+			// announcement. The NonUniformSequencer escape is a test-only
+			// hook resurrecting the pre-fix behaviour for saved repros.
+			to.s.stats.UniformStalls++
+			break
 		}
 		to.nextDeliver++
 		delete(to.pending, key)

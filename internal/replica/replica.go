@@ -149,6 +149,12 @@ type Stats struct {
 	XAborted   int64
 	XRetries   int64
 	XHandovers int64
+	// XVetoes counts local certifications aborted by the cross-group veto:
+	// a transaction conflicted with an active prepare reservation.
+	XVetoes int64
+	// XPrepFrags counts prepare relay fragments sent because the item sets
+	// alone exceeded the MTU (padding trimming could not fit the frame).
+	XPrepFrags int64
 }
 
 // tentTxn is the replica-side state of one tentatively-delivered message.
@@ -320,6 +326,8 @@ func (r *Replica) Stats() Stats {
 		s.XAborted = r.x.abortedX
 		s.XRetries = r.x.retries
 		s.XHandovers = r.x.handovers
+		s.XVetoes = r.x.vetoes
+		s.XPrepFrags = r.x.prepFrags
 	}
 	return s
 }

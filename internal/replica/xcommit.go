@@ -82,6 +82,14 @@ type xmgr struct {
 	// argument covers.
 	stash map[uint64]bool
 
+	// frags accumulates fragments of oversized relayed prepares (one
+	// assembly per TID) until the whole prepare is restored; asm is the
+	// reassembly scratch. Incomplete assemblies persist like pending
+	// entries do — retransmitted frames complete them eventually, and the
+	// bounded-run argument above covers the residue.
+	frags map[uint64]*fragAsm
+	asm   []byte
+
 	// body is the cert-marshal scratch for the single-group fast path; buf
 	// is the control-message scratch (Relay and Multicast both copy the
 	// payload out before returning).
@@ -95,6 +103,16 @@ type xmgr struct {
 	abortedX   int64
 	retries    int64
 	handovers  int64
+	vetoes     int64
+	prepFrags  int64
+}
+
+// fragAsm is one oversized prepare's reassembly state: fragments land in
+// index order slots until all are present.
+type fragAsm struct {
+	total int
+	got   int
+	parts [][]byte
 }
 
 // xtxn is one multi-group transaction's state at this site.
@@ -143,6 +161,7 @@ func newXmgr(r *Replica) *xmgr {
 		retry:    r.opts.XRetryPeriod,
 		pending:  make(map[uint64]*xtxn),
 		stash:    make(map[uint64]bool),
+		frags:    make(map[uint64]*fragAsm),
 	}
 	if x.retry == 0 {
 		x.retry = 100 * sim.Millisecond
@@ -190,6 +209,9 @@ func (x *xmgr) veto(t *dbsm.TxnCert) bool {
 			hit = true
 			break
 		}
+	}
+	if hit {
+		x.vetoes++
 	}
 	return hit
 }
@@ -454,24 +476,44 @@ func (x *xmgr) onRelay(src runtimeapi.NodeID, payload []byte) {
 			}
 			return
 		}
-		if e.decided {
-			// Probe after resolution (retransmit, or a handed-over
-			// coordinator re-collecting): answer the decision, and re-ack
-			// from remote groups.
-			x.buf = xgroup.AppendDecision(x.buf[:0], xgroup.MsgDecide, e.tid, e.commit)
-			r.stack.Relay(src, x.buf)
-			if e.home != x.group {
-				x.buf = xgroup.AppendAck(x.buf[:0], xgroup.MsgAck, e.tid, x.group)
-				r.stack.Relay(src, x.buf)
-			}
+		x.answerPrepProbe(src, e)
+	case xgroup.MsgPrepFrag:
+		tid, total, idx, chunk, err := xgroup.ParsePrepFrag(payload[1:])
+		if err != nil {
+			r.drops++
 			return
 		}
-		if e.voted {
-			// Stored vote, never recomputed: the certifier has moved on
-			// since, but the reservation pins the vote's validity.
-			x.buf = xgroup.AppendVote(x.buf[:0], xgroup.MsgVote, e.tid, x.group, e.vote)
-			r.stack.Relay(src, x.buf)
+		if e := x.pending[tid]; e != nil {
+			// The prepare already reached this member whole (an earlier
+			// transmission, or the stream): retransmitted fragments are
+			// probes, answered like an intact prepare probe.
+			delete(x.frags, tid)
+			x.answerPrepProbe(src, e)
+			return
 		}
+		a := x.frags[tid]
+		if a == nil || a.total != total {
+			a = &fragAsm{total: total, parts: make([][]byte, total)}
+			x.frags[tid] = a
+		}
+		if a.parts[idx] == nil {
+			// Relay wire buffers are per-send allocations the receiver may
+			// retain read-only, so the chunk can be held as-is.
+			a.parts[idx] = chunk
+			a.got++
+		}
+		if a.got < a.total {
+			return
+		}
+		delete(x.frags, tid)
+		// All fragments present: restore the MsgPrepare payload and handle
+		// it exactly like an intact relayed prepare.
+		whole := append(x.asm[:0], xgroup.MsgPrepare)
+		for _, part := range a.parts {
+			whole = append(whole, part...)
+		}
+		x.asm = whole
+		x.onRelay(src, whole)
 	case xgroup.MsgVote:
 		tid, g, commit, err := xgroup.ParseVote(payload[1:])
 		if err != nil {
@@ -529,6 +571,27 @@ func (x *xmgr) onRelay(src runtimeapi.NodeID, payload []byte) {
 	}
 }
 
+// answerPrepProbe answers a retransmitted prepare (whole or fragmented) for
+// a transaction this member already holds: the fixed decision once decided
+// (plus a re-ack from remote groups), the stored vote — never recomputed —
+// once voted. Strictly send-only, like everything on the relay path.
+func (x *xmgr) answerPrepProbe(src runtimeapi.NodeID, e *xtxn) {
+	r := x.r
+	if e.decided {
+		x.buf = xgroup.AppendDecision(x.buf[:0], xgroup.MsgDecide, e.tid, e.commit)
+		r.stack.Relay(src, x.buf)
+		if e.home != x.group {
+			x.buf = xgroup.AppendAck(x.buf[:0], xgroup.MsgAck, e.tid, x.group)
+			r.stack.Relay(src, x.buf)
+		}
+		return
+	}
+	if e.voted {
+		x.buf = xgroup.AppendVote(x.buf[:0], xgroup.MsgVote, e.tid, x.group, e.vote)
+		r.stack.Relay(src, x.buf)
+	}
+}
+
 // recordVote accumulates one group's vote at the coordinator. First vote per
 // group wins; duplicates are deterministic copies of the same stored value.
 func (x *xmgr) recordVote(e *xtxn, g int, commit bool) {
@@ -567,6 +630,16 @@ func (x *xmgr) sendPrepRelays(e *xtxn) {
 		restricted := e.prep.Restrict(g)
 		restricted.Coordinator = x.self()
 		x.buf = xgroup.AppendPrepare(x.buf[:0], xgroup.MsgPrepare, &restricted, mtu)
+		if frames := xgroup.FragmentPrepare(x.buf, restricted.TID, mtu); frames != nil {
+			// Padding trimming alone could not fit the datagram under the
+			// MTU — the item sets themselves overflow it. Ship fragments;
+			// receivers reassemble before treating it as a prepare.
+			x.prepFrags += int64(len(frames))
+			for _, f := range frames {
+				x.relayToGroup(g, f)
+			}
+			continue
+		}
 		x.relayToGroup(g, x.buf)
 	}
 }

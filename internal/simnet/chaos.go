@@ -1,0 +1,44 @@
+package simnet
+
+import "repro/internal/sim"
+
+// Injector is a receiver-side datagram chaos model: within its window every
+// inbound datagram independently fires with probability Rate. What a firing
+// does is up to the hook point — today it either re-delivers the datagram a
+// second time (duplication) or holds it back so traffic sent later overtakes
+// it (reordering). Injectors are stateless, so one value may be shared by
+// every host; the per-host RNG keeps draws independent and deterministic.
+type Injector struct {
+	// Rate is the per-datagram firing probability; values <= 0 never fire.
+	Rate float64
+	// Delay bounds the extra delay drawn per firing, uniform in (0, Delay];
+	// zero or negative selects the 2ms default — comfortably past a LAN
+	// round trip, so a held-back datagram really is overtaken.
+	Delay sim.Time
+	// From and Until bound the active window; Until zero means the injector
+	// stays active for the rest of the run.
+	From  sim.Time
+	Until sim.Time
+}
+
+const defaultChaosDelay = 2 * sim.Millisecond
+
+// fires reports whether the injector acts on a datagram arriving at the
+// given instant. The RNG is consulted only inside the window, so a schedule
+// whose window is moved or removed leaves every draw outside it untouched —
+// shrunk fault schedules stay comparable to their parents.
+func (in *Injector) fires(at sim.Time, g *sim.RNG) bool {
+	if at < in.From || (in.Until > 0 && at >= in.Until) {
+		return false
+	}
+	return g.Float64() < in.Rate
+}
+
+// drawDelay draws the extra delay of one firing.
+func (in *Injector) drawDelay(g *sim.RNG) sim.Time {
+	d := in.Delay
+	if d <= 0 {
+		d = defaultChaosDelay
+	}
+	return 1 + sim.Time(g.Int63n(int64(d)))
+}

@@ -150,6 +150,8 @@ type Host struct {
 	lan     *LAN
 	deliver DeliverFunc
 	loss    LossModel
+	dup     *Injector
+	reorder *Injector
 	rng     *sim.RNG
 	down    bool
 	// extraDelay is added to every inbound packet's arrival instant —
@@ -170,6 +172,18 @@ func (h *Host) SetDeliver(fn DeliverFunc) { h.deliver = fn }
 // SetLoss installs a receiver-side loss model ("each message is discarded
 // upon reception with the specified probability", Section 5.3).
 func (h *Host) SetLoss(m LossModel) { h.loss = m }
+
+// SetDuplicate installs receiver-side datagram duplication (nil disables):
+// each firing delivers a second copy of the datagram shortly after the
+// first, as a flapping route or a retransmitting middlebox would. Ordered
+// streams dedupe by sequence number; the raw-datagram relay traffic is what
+// this really stresses.
+func (h *Host) SetDuplicate(in *Injector) { h.dup = in }
+
+// SetReorder installs receiver-side datagram reordering (nil disables):
+// each firing holds the datagram back long enough for traffic sent later to
+// overtake it.
+func (h *Host) SetReorder(in *Injector) { h.reorder = in }
 
 // SetDown marks the host crashed (true) or operational (false). A down host
 // silently drops all traffic.
@@ -354,10 +368,29 @@ type arrival struct {
 	fire func()
 }
 
-// scheduleArrival schedules pkt's reception at dst at the given instant.
+// scheduleArrival schedules pkt's reception at dst at the given instant,
+// applying the receiver's chaos injectors first: a reordered datagram's
+// arrival is pushed back so traffic sent later overtakes it, and a
+// duplicated datagram gets a second, later arrival holding its own packet
+// reference. Both decisions are made once, here, so the copies themselves
+// are not re-duplicated.
 //
 //hot:path
 func (n *Network) scheduleArrival(at sim.Time, dst *Host, pkt *Packet) {
+	if in := dst.reorder; in != nil && in.fires(at, dst.rng) {
+		at += in.drawDelay(dst.rng)
+	}
+	if in := dst.dup; in != nil && in.fires(at, dst.rng) {
+		pkt.refs++ //lint:bufown-ok the extra reference is handed to the copy's own scheduled arrival and released in arrive
+		n.enqueueArrival(at+in.drawDelay(dst.rng), dst, pkt)
+	}
+	n.enqueueArrival(at, dst, pkt)
+}
+
+// enqueueArrival binds a pooled arrival thunk and schedules it.
+//
+//hot:path
+func (n *Network) enqueueArrival(at sim.Time, dst *Host, pkt *Packet) {
 	var a *arrival
 	if ln := len(n.freeArr); ln > 0 {
 		a = n.freeArr[ln-1]

@@ -103,11 +103,12 @@ func Split(t *dbsm.TxnCert, classify func(dbsm.TupleID) int, home int) []Part {
 // Message discriminators: the first byte of every group-mode ordered-stream
 // payload and of every relay payload.
 const (
-	MsgTxn     byte = iota + 1 // stream: single-group TxnCert bytes follow
-	MsgPrepare                 // stream + relay: cross-group prepare
-	MsgVote                    // relay: a participant's group vote
-	MsgDecide                  // stream + relay: the coordinator's decision
-	MsgAck                     // relay: a remote member acks the decision
+	MsgTxn      byte = iota + 1 // stream: single-group TxnCert bytes follow
+	MsgPrepare                  // stream + relay: cross-group prepare
+	MsgVote                     // relay: a participant's group vote
+	MsgDecide                   // stream + relay: the coordinator's decision
+	MsgAck                      // relay: a remote member acks the decision
+	MsgPrepFrag                 // relay: one fragment of an oversized prepare
 )
 
 // Prepare is the first round of the cross-group commit: the full split of a
@@ -132,11 +133,9 @@ const partHeader = 1 + 4 + 4
 // positive the padding — and only the padding — is trimmed (newest part
 // first) toward fitting relayed datagrams under the MTU. Only padding can be
 // shed: if the headers and item sets alone exceed maxSize the result still
-// exceeds it. simnet transmits oversized frames (they just pay their real
-// serialization time), so today that only costs accuracy, not delivery; a
-// transport that hard-drops oversized frames would need set-level
-// fragmentation here first. The true WriteBytes travels alongside and is
-// restored at parse.
+// exceeds it, and the caller must split it with FragmentPrepare (the relay
+// path in internal/replica does). The true WriteBytes travels alongside and
+// is restored at parse.
 func AppendPrepare(buf []byte, lead byte, p *Prepare, maxSize int) []byte {
 	total := 1 + prepareHeader
 	for i := range p.Parts {
@@ -207,6 +206,61 @@ func ParsePrepare(b []byte) (*Prepare, error) {
 		p.Parts = append(p.Parts, Part{Group: g, Cert: *c})
 	}
 	return p, nil
+}
+
+// fragHeader is a fragment frame's fixed prefix: lead byte, TID, total
+// fragment count, fragment index.
+const fragHeader = 1 + 8 + 1 + 1
+
+// MaxPrepFrags bounds the fragment count of one prepare; at a 1400-byte MTU
+// that is ~88 KiB of item sets, far past any transaction this model runs.
+const MaxPrepFrags = 64
+
+// FragmentPrepare splits an encoded prepare that still exceeds maxSize after
+// padding trimming (item sets alone overflow the datagram) into MsgPrepFrag
+// frames of at most maxSize bytes each. enc is the AppendPrepare output —
+// lead byte plus body; the lead is dropped and the body chunked, so
+// reassembling the chunks in index order restores a MsgPrepare-shaped
+// payload. Returns nil when enc already fits, or when maxSize is too small
+// (or the body too large) to fragment — callers then fall back to sending
+// enc whole, the pre-fragmentation behaviour.
+func FragmentPrepare(enc []byte, tid uint64, maxSize int) [][]byte {
+	if len(enc) <= maxSize || len(enc) < 1 {
+		return nil
+	}
+	body := enc[1:]
+	chunk := maxSize - fragHeader
+	if chunk <= 0 {
+		return nil
+	}
+	total := (len(body) + chunk - 1) / chunk
+	if total > MaxPrepFrags {
+		return nil
+	}
+	frames := make([][]byte, 0, total)
+	for i := 0; i < total; i++ {
+		part := body[i*chunk : min((i+1)*chunk, len(body))]
+		f := make([]byte, 0, fragHeader+len(part))
+		f = append(f, MsgPrepFrag)
+		f = binary.BigEndian.AppendUint64(f, tid)
+		f = append(f, byte(total), byte(i))
+		frames = append(frames, append(f, part...))
+	}
+	return frames
+}
+
+// ParsePrepFrag decodes a fragment body (the lead byte already consumed).
+// The chunk aliases b.
+func ParsePrepFrag(b []byte) (tid uint64, total, index int, chunk []byte, err error) {
+	if len(b) < fragHeader-1 {
+		return 0, 0, 0, nil, errBadXMsg
+	}
+	tid = binary.BigEndian.Uint64(b[0:8])
+	total, index = int(b[8]), int(b[9])
+	if total < 1 || total > MaxPrepFrags || index >= total {
+		return 0, 0, 0, nil, errBadXMsg
+	}
+	return tid, total, index, b[10:], nil
 }
 
 // PartFor returns the part addressed to a group, or nil.
