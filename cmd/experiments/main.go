@@ -20,6 +20,9 @@
 //	shard      partial replication: group-count sweep at equal per-site
 //	           resources — aggregate throughput, multi-group share, and a
 //	           full-replication comparison row (extension)
+//	clients    population sweep 10^3..10^6 under the aggregate client tier:
+//	           wall clock per simulated minute and memory footprint
+//	           (extension)
 //	all     everything above
 //
 // Every grid point runs -reps independent replications (derived seeds) and
@@ -50,7 +53,7 @@ func main() {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig3|fig4|fig5|fig6|table1|fig7|table2|protocols|recovery|overload|shard|all")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig3|fig4|fig5|fig6|table1|fig7|table2|protocols|recovery|overload|shard|clients|all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -106,11 +109,13 @@ func main() {
 		err = h.overload()
 	case "shard":
 		err = h.shard()
+	case "clients":
+		err = h.clients()
 	case "all":
 		steps := []func() error{
 			h.fig3, h.fig4,
 			func() error { return h.fig5and6(true, true) },
-			h.table1, h.fig7, h.table2, h.protocols, h.recovery, h.overload, h.shard,
+			h.table1, h.fig7, h.table2, h.protocols, h.recovery, h.overload, h.shard, h.clients,
 		}
 		for _, step := range steps {
 			if err = step(); err != nil {

@@ -35,6 +35,7 @@ func main() {
 	seeds := fs.Int("seeds", 3, "seeds per fixed-matrix fault type")
 	txns := fs.Int("txns", 2000, "transactions per run")
 	clients := fs.Int("clients", 300, "clients per run")
+	aggClients := fs.Int("aggregate", 0, "AggregateClients threshold: at or above it the aggregate client tier replaces individual clients (0 = always individual)")
 	sites := fs.Int("sites", 3, "replica count (per group when -groups > 1)")
 	groups := fs.Int("groups", 1, "replication groups (partial replication); campaign mode only")
 	parallel := fs.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -90,11 +91,12 @@ func main() {
 		os.Exit(2)
 	}
 	base := core.Config{
-		Sites:      *sites,
-		Groups:     *groups,
-		Clients:    *clients,
-		TotalTxns:  *txns,
-		MaxSimTime: 20 * sim.Minute,
+		Sites:            *sites,
+		Groups:           *groups,
+		Clients:          *clients,
+		TotalTxns:        *txns,
+		AggregateClients: *aggClients,
+		MaxSimTime:       20 * sim.Minute,
 		// Overload protection on: saturation and slow-node rows must
 		// degrade gracefully (bounded queues, explicit rejections) rather
 		// than thrash, and every other row must stay safe with the
@@ -258,6 +260,23 @@ func runMatrix(base core.Config, seeds, parallel int) int {
 			cfg.Seed = int64(1000*s + 17)
 			cfg.Faults = row.f
 			tasks = append(tasks, expr.Task{Label: row.name, Config: cfg, Reps: 1})
+		}
+	}
+	// The aggregate client tier must stay safe under faults too: re-run a
+	// loss row and a crash row with the tier forced on (unless the whole
+	// matrix already runs aggregated via -aggregate).
+	if base.AggregateClients == 0 {
+		for _, row := range rows {
+			if row.name != "random loss 5%" && row.name != "crash non-sequencer @20s" {
+				continue
+			}
+			for s := 0; s < seeds; s++ {
+				cfg := base
+				cfg.Seed = int64(1000*s + 17)
+				cfg.Faults = row.f
+				cfg.AggregateClients = 1
+				tasks = append(tasks, expr.Task{Label: row.name + " [aggregate]", Config: cfg, Reps: 1})
+			}
 		}
 	}
 	start := time.Now()

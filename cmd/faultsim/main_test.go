@@ -45,17 +45,15 @@ func TestGoldenReproReproduces(t *testing.T) {
 // double crash is needed; one partition gene is the whole schedule.
 const residualWindowRepro = "testdata/repro-conservative-s5-non-prefix--3610918436655193305.json"
 
-// renumberWedgeRepro is an OPEN FINDING the explorer surfaced at n=5 (see
-// ROADMAP.md): when the sequencer dies, survivors renumber the flush-covered
-// leftovers from their local maxAssigned — but the dying sequencer's final
-// announcement batches can have been processed by a strict subset of the
-// survivors before the flush freeze, so the renumbering bases disagree (56
-// vs 44 in this repro) and one member's global->message map is left with
-// permanent holes: it wedges (its log stays a clean prefix) and the
-// end-of-run full-equality condition reports a length mismatch. The guard
-// pins the finding; fixing it means deriving the renumbering base from
-// flush-agreed state instead of local processing progress, at which point
-// this test should flip to asserting the repro no longer reproduces.
+// renumberWedgeRepro is the explorer's minimized reproduction of the FIXED
+// sequencer-handover renumbering divergence (ROADMAP item 0): a member that
+// installed the post-crash view late had processed the new sequencer's first
+// announcements while frozen, anchored its leftover renumbering past them
+// (base 56 vs the survivors' flush-agreed 44), and wedged with permanent
+// holes in its global->message map — a length-mismatch verdict. The fix
+// derives the renumbering base from flush-agreed state only
+// (gcs/totalorder.go onInstall + rollbackUnagreed); this regression guard
+// asserts the repro stays dead.
 const renumberWedgeRepro = "testdata/repro-conservative-s5-length-mismatch--513150766704571529.json"
 
 // TestResidualWindowReproduces keeps the documented n>=5 window honest: the
@@ -83,24 +81,29 @@ func TestResidualWindowReproduces(t *testing.T) {
 	}
 }
 
-// TestRenumberWedgeReproduces pins the open renumbering-divergence finding.
-// When the renumbering base is fixed, this repro should stop reproducing —
-// flip the guard and retire the ROADMAP item.
+// TestRenumberWedgeReproduces is the regression guard for the fixed
+// renumbering-divergence finding: the minimized schedule that used to wedge
+// one survivor must now run to a SAFE verdict (faultsim -replay-file exits 0
+// on it). The repro must not need any resurrection hook — the fix lives in
+// the production path.
 func TestRenumberWedgeReproduces(t *testing.T) {
 	r, err := explore.LoadRepro(renumberWedgeRepro)
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
+	if r.Hooks != (core.Hooks{}) {
+		t.Fatalf("wedge repro must not need any hook: %+v", r.Hooks)
+	}
 	reproduced, detail, err := r.Replay()
 	if err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	if !reproduced {
-		t.Fatalf("renumbering-divergence finding no longer reproduces (verdict %q) — "+
-			"if the renumbering base was fixed, flip this guard and close the ROADMAP item", detail)
+	if reproduced {
+		t.Fatalf("the fixed renumbering divergence reproduced again (%s) — "+
+			"the flush-agreed renumbering base in gcs/totalorder.go regressed", detail)
 	}
-	if r.Triage == nil || r.Triage.Kind != "length-mismatch" {
-		t.Fatalf("wedge repro triage drifted: %+v", r.Triage)
+	if got := runReplayFile(renumberWedgeRepro); got != 0 {
+		t.Fatalf("runReplayFile(wedge) = %d, want 0 (violation fixed)", got)
 	}
 }
 

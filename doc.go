@@ -65,6 +65,18 @@
 // "shard" table prints the scaling verdict (README.md's "Partial
 // replication" section has the protocol walk-through).
 //
+// The emulated population scales to millions of users through the
+// aggregate client tier: above core.Config.AggregateClients, per-client
+// objects are replaced by one calibrated arrival process per site
+// (internal/tpcc.Aggregate) — a state-dependent Poisson stream with a
+// binomially-thinned warmup pool, batched into one simulation event per
+// site per 10ms window, submitting through the identical
+// admission/retry/backpressure path individual clients use. Equivalence is
+// statistical, pinned within CI95 at 500 clients for both protocol
+// variants; memory and wall clock stay O(sites + in-flight) to 10^6
+// clients (cmd/experiments's "clients" table, BENCH_clients.json, and
+// README.md's "Scaling to millions of clients" section).
+//
 // Beyond randomized campaigns, cmd/faultsim's -explore mode runs an
 // adversarial search (internal/explore): fault schedules are genomes,
 // coverage is a log2-bucketed fingerprint of the protocol counters the

@@ -77,6 +77,16 @@ type Config struct {
 	// TotalTxns bounds the run: clients stop issuing after this many
 	// submissions (the paper uses 10000).
 	TotalTxns int
+	// AggregateClients is the population threshold at or above which the
+	// per-client objects are replaced by the aggregate client tier
+	// (internal/tpcc): one calibrated per-site, per-class arrival process
+	// submitting through the identical admission/retry/backpressure path.
+	// Memory and startup cost become O(sites + in-flight) instead of
+	// O(population), making 10^6+ client runs cheap. 0 disables (always
+	// individual clients). Aggregate runs are statistically — not
+	// per-seed — equivalent to individual-client runs; equivalence is
+	// pinned within CI95 at 500 clients by the core tests.
+	AggregateClients int
 	// Seed drives every random stream; same seed, same run.
 	Seed int64
 	// Warehouses overrides the database scale (0 derives clients/10).
@@ -271,6 +281,9 @@ type Model struct {
 	sites     []*Site
 	dedicated *Site // dedicated sequencer member, when configured
 	clients   []*tpcc.Client
+	// aggs replaces clients above the AggregateClients threshold: one
+	// compound arrival process per site with a nonzero population.
+	aggs []*tpcc.Aggregate
 
 	issued   int
 	finished int64
@@ -592,6 +605,10 @@ func New(cfg Config) (*Model, error) {
 	// only sites storing their data; cross-group traffic then comes from
 	// payment's remote warehouse and new-order's remote stock lines.
 	partial := cfg.ReplicationDegree > 0 && cfg.ReplicationDegree < cfg.Sites
+	if cfg.AggregateClients > 0 && cfg.Clients >= cfg.AggregateClients {
+		m.buildAggregates(partial)
+		return m, nil
+	}
 	for i := 0; i < cfg.Clients; i++ {
 		var site *Site
 		switch {
@@ -619,6 +636,79 @@ func New(cfg Config) (*Model, error) {
 	return m, nil
 }
 
+// buildAggregates assembles the aggregate client tier: one compound arrival
+// process per site, standing in for the site's share of the population under
+// the exact client-placement rule the individual tier uses. Each placement
+// mode admits an O(1) dense-index → home-warehouse closure, so no
+// population-sized table is ever materialized:
+//
+//   - round-robin: the clients at site index s are i = s + k·nsites;
+//   - primary-site (partial replication) and group-homed placements assign
+//     whole warehouse blocks of ClientsPerWarehouse clients, and the
+//     warehouses homed at one site form an arithmetic progression (stride
+//     nsites resp. groups·perGroup). Only the globally-last warehouse block
+//     can be partial, and it is the last block of its site's progression,
+//     so dense indexing by k/ClientsPerWarehouse is exact.
+func (m *Model) buildAggregates(partial bool) {
+	cfg := m.cfg
+	nsites := len(m.sites)
+	proc := cfg.Calibration.ArrivalProcess()
+	for idx, site := range m.sites {
+		var pop int
+		var homeWH func(k int) int
+		blockPop := func(start, stride int) int {
+			n := 0
+			for wh := start; wh*tpcc.ClientsPerWarehouse < cfg.Clients; wh += stride {
+				c := cfg.Clients - wh*tpcc.ClientsPerWarehouse
+				if c > tpcc.ClientsPerWarehouse {
+					c = tpcc.ClientsPerWarehouse
+				}
+				n += c
+			}
+			return n
+		}
+		switch {
+		case m.groups > 1:
+			// Invert xgroup.HomeSite: site idx+1 homes the warehouses
+			// wh = groups·(r + j·perGroup) + g0 with g0 = idx/perGroup,
+			// r = idx%perGroup.
+			g0, r := idx/m.perGroup, idx%m.perGroup
+			start, stride := m.groups*r+g0, m.groups*m.perGroup
+			pop = blockPop(start, stride)
+			homeWH = func(k int) int { return start + (k/tpcc.ClientsPerWarehouse)*stride }
+		case partial:
+			// Invert primarySiteIndex: wh ≡ idx (mod sites).
+			start, stride := idx, cfg.Sites
+			pop = blockPop(start, stride)
+			homeWH = func(k int) int { return start + (k/tpcc.ClientsPerWarehouse)*stride }
+		default:
+			if idx < cfg.Clients {
+				pop = (cfg.Clients-1-idx)/nsites + 1
+			}
+			s := idx
+			homeWH = func(k int) int { return (s + k*nsites) / tpcc.ClientsPerWarehouse }
+		}
+		if pop == 0 {
+			continue
+		}
+		a := &tpcc.Aggregate{
+			Server:     site.Server,
+			Gen:        site.Gen,
+			Proc:       proc,
+			Population: pop,
+			HomeWH:     homeWH,
+			Stop:       m.takeTxnSlot,
+		}
+		if cfg.Admission != nil {
+			a.Retry = cfg.Admission.Retry
+		}
+		s := site
+		a.OnDone = func(t *db.Txn, o db.Outcome) { m.onDoneAgg(s, t, o) }
+		m.aggs = append(m.aggs, a)
+		a.Start(m.k, m.rng.Fork(fmt.Sprintf("aggclients-%d", site.ID)))
+	}
+}
+
 // Kernel exposes the simulation kernel (tests, custom drivers).
 func (m *Model) Kernel() *sim.Kernel { return m.k }
 
@@ -631,10 +721,14 @@ func (m *Model) Dedicated() *Site { return m.dedicated }
 // Network exposes the simulated network.
 func (m *Model) Network() *simnet.Network { return m.net }
 
-// setLoadFactor applies a saturation factor to every client.
+// setLoadFactor applies a saturation factor to every client (or, in
+// aggregate mode, every site's arrival process).
 func (m *Model) setLoadFactor(f float64) {
 	for _, c := range m.clients {
 		c.SetLoadFactor(f)
+	}
+	for _, a := range m.aggs {
+		a.SetLoadFactor(f)
 	}
 }
 
@@ -681,6 +775,24 @@ func (m *Model) onDone(c *tpcc.Client, t *db.Txn, o db.Outcome) {
 			Class:   t.Class,
 			Site:    site.ID,
 			Client:  c.ID,
+			Submit:  t.SubmitAt,
+			End:     t.EndAt,
+			Outcome: o,
+		})
+	}
+}
+
+// onDoneAgg is the aggregate tier's completion hook: identical accounting,
+// but no individual client exists — the log records client -1.
+func (m *Model) onDoneAgg(s *Site, t *db.Txn, o db.Outcome) {
+	m.finished++
+	m.lastDone = m.k.Now()
+	if m.cfg.CollectTxnLog {
+		m.txnLog.Add(trace.Record{
+			TID:     t.TID,
+			Class:   t.Class,
+			Site:    s.ID,
+			Client:  -1,
 			Submit:  t.SubmitAt,
 			End:     t.EndAt,
 			Outcome: o,
@@ -865,6 +977,11 @@ func (m *Model) quiesced() bool {
 		// open for the resubmission, or the retried transaction would be
 		// cut off mid-flight.
 		if c.RetryPending() {
+			return false
+		}
+	}
+	for _, a := range m.aggs {
+		if a.RetryPending() {
 			return false
 		}
 	}

@@ -311,6 +311,17 @@ func (m *Model) results() *Results {
 			r.RetryLat.Add(v)
 		}
 	}
+	// The aggregate client tier pools the same counters per site instead of
+	// per client; class-level outcome accounting stays where it always was,
+	// in each server's ClassStats, so no population-indexed structure exists
+	// in either mode.
+	for _, a := range m.aggs {
+		r.Retries += a.Retries()
+		r.GiveUps += a.GiveUps()
+		for _, v := range a.RetryLat().Values() {
+			r.RetryLat.Add(v)
+		}
+	}
 	r.RejoinViolations = m.rejoinViolations
 	r.RejoinErr = m.rejoinViolation
 	if liveSites > 0 {

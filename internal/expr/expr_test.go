@@ -84,6 +84,46 @@ func TestRunnerWorkerCountInvariance(t *testing.T) {
 	}
 }
 
+// TestRunnerWorkerCountInvarianceAggregateClients repeats the invariance
+// check with the aggregate client tier: the batched arrival events draw from
+// per-site forked RNG streams inside each model's own kernel, so worker
+// count must still not leak into results at any pool size.
+func TestRunnerWorkerCountInvarianceAggregateClients(t *testing.T) {
+	var tasks []Task
+	for _, clients := range []int{40, 5000} {
+		tasks = append(tasks, Task{
+			Label: fmt.Sprintf("agg/%dc", clients),
+			Config: core.Config{
+				Sites:            3,
+				Clients:          clients,
+				TotalTxns:        300,
+				AggregateClients: 1,
+				Seed:             11,
+			},
+		})
+	}
+	var points [3][]Point
+	for i, workers := range []int{1, 4, 8} {
+		pts, err := (&Runner{Workers: workers, Reps: 2}).Run(tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		points[i] = pts
+	}
+	for ti := range tasks {
+		base := aggKey(points[0][ti].Agg)
+		for i, workers := range []int{1, 4, 8} {
+			if k := aggKey(points[i][ti].Agg); k != base {
+				t.Errorf("%s: aggregates diverge between worker counts:\n  1 worker: %s\n  %d workers: %s",
+					tasks[ti].Label, base, workers, k)
+			}
+			if !reflect.DeepEqual(points[0][ti].Agg.LatCommitted.Values(), points[i][ti].Agg.LatCommitted.Values()) {
+				t.Errorf("%s: pooled latency samples diverge between 1 and %d workers", tasks[ti].Label, workers)
+			}
+		}
+	}
+}
+
 func TestRunnerReplicationsAggregate(t *testing.T) {
 	tasks := []Task{{
 		Label:  "1s/20c",

@@ -500,12 +500,22 @@ func (mb *membership) checkInstall() {
 		return
 	}
 	mb.s.stab.resetForView()
+	if !inNew[oldSequencer] {
+		// The dying sequencer's final announcement batches can have been
+		// processed by a strict subset of the survivors while frozen. Roll
+		// back everything beyond its flush-agreed target BEFORE unfreezing
+		// (unfreeze can trigger deliveries) so every survivor renumbers
+		// from the same base in onInstall.
+		if t, agreed := targets[oldSequencer]; agreed {
+			mb.s.to.rollbackUnagreed(oldSequencer, t)
+		}
+	}
 	// Unfreeze before the ordering layer runs: deliveries paused for the
 	// view change resume only once the reliable layer accepts traffic
 	// again, and the deferred assignments made in onInstall must be able
 	// to drain.
 	mb.s.rm.unfreeze()
-	mb.s.to.onInstall(!inNew[oldSequencer], targets)
+	mb.s.to.onInstall(oldSequencer, !inNew[oldSequencer], targets)
 	if m.Proposer != mb.s.cfg.Self {
 		ack := installedMsg{NewViewID: m.NewViewID}
 		mb.s.transmitTo(m.Proposer, ack.marshal(make([]byte, 0, 5)))

@@ -471,7 +471,7 @@ func (rm *relMcast) complete(sender NodeID, msgID, lastSeq uint64, payloadKind b
 			return
 		}
 		rm.s.to.assignScratch = assigns
-		rm.s.to.onAssigns(assigns)
+		rm.s.to.onAssigns(sender, lastSeq, assigns)
 		if sender != rm.s.cfg.Self {
 			rm.sendAssignAck(sender, lastSeq)
 		}

@@ -19,6 +19,21 @@ type totalOrder struct {
 	assigned    map[msgKey]bool
 	pending     map[msgKey]pendingMsg
 
+	// annOf records the provenance of every undelivered remote assignment:
+	// which announcer's stream carried it and in which chunk. A view change
+	// that drops the announcer uses it to roll back assignments carried by
+	// chunks beyond the flush-agreed target — chunks a strict subset of the
+	// survivors may have processed mid-freeze — so every survivor renumbers
+	// from the same flush-agreed base (see rollbackUnagreed and onInstall).
+	annOf map[uint64]annMeta
+
+	// renumberedTo is the highest global produced by install-time
+	// renumbering: those assignments are flush-agreed (every survivor made
+	// them identically from flush-covered state) but carry no annOf
+	// provenance, so the next sequencer handover anchors its renumbering
+	// base here when the dying sequencer assigned nothing beyond it.
+	renumberedTo uint64
+
 	// deferred holds messages the sequencer declined to assign because the
 	// assigned-but-undelivered span hit AssignWindow; they are assigned in
 	// arrival order as delivery catches up.
@@ -77,6 +92,13 @@ type pendingMsg struct {
 	lastSeq uint64 // sequence number of the message's last chunk
 }
 
+// annMeta is one assignment's provenance: the member that announced it and
+// the last stream chunk of the announcement batch that carried it.
+type annMeta struct {
+	announcer NodeID
+	chunkSeq  uint64
+}
+
 // announceBatch tracks one multicast assignment batch awaiting majority
 // acknowledgement: delivery of self-assigned globals up to maxGlobal is held
 // until the sequencer's stream is acked through lastSeq by a majority.
@@ -92,6 +114,7 @@ func newTotalOrder(s *Stack) *totalOrder {
 		assigned: make(map[msgKey]bool),
 		pending:  make(map[msgKey]pendingMsg),
 		optIndex: make(map[msgKey]uint64),
+		annOf:    make(map[uint64]annMeta),
 	}
 	to.flushFn = to.flushBatch
 	return to
@@ -263,8 +286,11 @@ func (to *totalOrder) majorityHolds(lastSeq uint64) bool {
 	return have >= need
 }
 
-// onAssigns records ordering announcements from the sequencer.
-func (to *totalOrder) onAssigns(assigns []seqAssign) {
+// onAssigns records ordering announcements from the sequencer. announcer and
+// chunkSeq identify the stream chunk that carried the batch: each recorded
+// assignment remembers them so a view change that drops the announcer can
+// roll back the assignments its survivors did not flush-agree on.
+func (to *totalOrder) onAssigns(announcer NodeID, chunkSeq uint64, assigns []seqAssign) {
 	for _, a := range assigns {
 		key := msgKey{sender: a.Sender, msgID: a.Seq}
 		if a.Global <= to.nextDeliver || to.assigned[key] {
@@ -284,11 +310,58 @@ func (to *totalOrder) onAssigns(assigns []seqAssign) {
 		}
 		to.order[a.Global] = key
 		to.assigned[key] = true
+		to.annOf[a.Global] = annMeta{announcer: announcer, chunkSeq: chunkSeq}
 		if a.Global > to.maxAssigned {
 			to.maxAssigned = a.Global
 		}
 	}
 	to.tryDeliver()
+}
+
+// rollbackUnagreed undoes assignments announced by a member leaving the view
+// in stream chunks beyond its flush-agreed target. The flush targets are
+// snapshotted from the members' acks, but the reliable layer keeps handing up
+// announcement chunks while frozen — so a strict subset of the survivors can
+// have processed the dying sequencer's final batches and raised maxAssigned
+// past the others'. Every chunk at or below the target is held (and processed)
+// by every survivor before install; every chunk beyond it is rolled back
+// identically everywhere, so the renumbering base in onInstall agrees.
+//
+// The rolled-back assignments are provably undelivered: a beyond-target chunk
+// can only have arrived after this member's flush ack, i.e. while the layer
+// was frozen, and tryDeliver never runs frozen. They also form a suffix of
+// the assigned globals — announcements travel FIFO on the announcer's stream
+// with monotonically increasing globals — so removal leaves no holes.
+func (to *totalOrder) rollbackUnagreed(announcer NodeID, target uint64) {
+	var rollback []uint64
+	for g, meta := range to.annOf {
+		if meta.announcer == announcer && meta.chunkSeq > target {
+			rollback = append(rollback, g)
+		}
+	}
+	if len(rollback) == 0 {
+		return
+	}
+	// The collected order is whatever the map range produced, but the
+	// deletions commute: each global removes its own order/assigned/annOf
+	// entries and nothing reads them in between.
+	for _, g := range rollback {
+		key := to.order[g]
+		delete(to.order, g)
+		delete(to.assigned, key)
+		delete(to.annOf, g)
+	}
+	// Recompute the assignment high-water mark from what survived: delivery
+	// is contiguous, so everything delivered is <= nextDeliver and the rest
+	// is keyed in order.
+	max := to.nextDeliver
+	for g := range to.order {
+		if g > max {
+			//lint:simdeterminism-ok max fold over map keys is commutative
+			max = g
+		}
+	}
+	to.maxAssigned = max
 }
 
 // tryDeliver hands messages to the application in global sequence order,
@@ -322,6 +395,7 @@ func (to *totalOrder) tryDeliver() {
 		to.nextDeliver++
 		delete(to.pending, key)
 		delete(to.order, to.nextDeliver)
+		delete(to.annOf, to.nextDeliver)
 		// The reliable layer never hands the same message up twice (its
 		// FIFO cursor filters duplicates), so the assignment marker has
 		// served its purpose: dropping it keeps the map sized to
@@ -373,6 +447,7 @@ func (to *totalOrder) skipTo(seq uint64) {
 		delete(to.assigned, key)
 		delete(to.pending, key)
 		delete(to.optIndex, key)
+		delete(to.annOf, g)
 	}
 	if seq > to.nextDeliver {
 		to.nextDeliver = seq
@@ -389,6 +464,7 @@ func (to *totalOrder) releaseAll() {
 	to.assigned = nil
 	to.pending = nil
 	to.optIndex = nil
+	to.annOf = nil
 	to.batch = nil
 	to.deferred = nil
 	to.unacked = nil
@@ -400,17 +476,47 @@ func (to *totalOrder) releaseAll() {
 // and the new sequencer takes over numbering. Messages from excluded members
 // beyond the flush target are discarded identically everywhere.
 //
+// The renumbering base is flush-agreed state, not local processing progress:
+// local maxAssigned can run ahead of the other survivors' in two ways, both
+// from chunks processed while frozen. First, the dying sequencer's final
+// announcement batches can land at a strict subset of the survivors after
+// the flush snapshot — rollbackUnagreed removes those before install.
+// Second, a member that installs late can have processed the NEW sequencer's
+// first post-install announcements, which are numbered relative to a
+// renumbering this member has not performed yet; anchoring its own
+// renumbering past them would put the same leftovers at different globals
+// than everyone else (the explorer's length-mismatch repro). So the base is
+// computed from agreed state only: the delivery floor, the previous
+// install's renumbering floor, and the old sequencer's flush-covered
+// assignments — never from announcements by other members.
+//
 // A joined-but-unsynced member (admitted by a recovery view change, catch-up
 // sequence not yet learned) must not take part in the renumbering: it missed
 // the old view's assignments, so its maxAssigned disagrees with the
 // survivors'. Its copy of the leftovers stays pending; they are covered by
 // the snapshot its donor exports (the donor delivers them before reaching
 // the joiner's catch-up sequence), and the skipTo at sync discards them.
-func (to *totalOrder) onInstall(oldSequencerGone bool, targets map[NodeID]uint64) {
+func (to *totalOrder) onInstall(oldSequencer NodeID, oldSequencerGone bool, targets map[NodeID]uint64) {
 	if !to.s.joinSynced {
 		return
 	}
 	if oldSequencerGone {
+		// Flush-agreed renumbering base: every survivor holds exactly the
+		// same flush-covered chunks of the old sequencer's stream (the
+		// install waited for repair to the targets, and rollbackUnagreed
+		// dropped everything beyond them), so the maximum over its
+		// recorded assignments — floored by delivery progress and by the
+		// previous handover's renumbering — is identical everywhere.
+		base := to.nextDeliver
+		if to.renumberedTo > base {
+			base = to.renumberedTo
+		}
+		for g, meta := range to.annOf {
+			if meta.announcer == oldSequencer && g > base {
+				//lint:simdeterminism-ok max fold over map keys is commutative
+				base = g
+			}
+		}
 		var leftovers []msgKey
 		for key, pm := range to.pending {
 			if to.assigned[key] {
@@ -428,11 +534,17 @@ func (to *totalOrder) onInstall(oldSequencerGone bool, targets map[NodeID]uint64
 		}
 		sortKeys(leftovers)
 		for _, key := range leftovers {
-			to.maxAssigned++
-			to.order[to.maxAssigned] = key
+			base++
+			to.order[base] = key
 			to.assigned[key] = true
+			if base > to.maxAssigned {
+				to.maxAssigned = base
+			}
 		}
-		to.nextGlobal = to.maxAssigned
+		to.renumberedTo = base
+		if to.nextGlobal < to.maxAssigned {
+			to.nextGlobal = to.maxAssigned
+		}
 		// Everything renumbered here (and everything the old sequencer
 		// announced) is flush-guaranteed at every survivor, so the new
 		// sequencer's uniformity gate restarts above it. Old unacked

@@ -91,6 +91,93 @@ func (g *RNG) NormalDur(mean, sd Time) Time {
 	return Time(d)
 }
 
+// Poisson returns a draw from a Poisson distribution with the given mean.
+// Small means use Knuth's product-of-uniforms inversion; large means use
+// Hörmann's PTRS transformed-rejection sampler, so the cost per draw is
+// O(1) regardless of the mean — the property the aggregate client tier
+// depends on when one draw covers thousands of simulated users. Both
+// branches consume only this stream, so runs remain reproducible.
+func (g *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k, p := 0, 1.0
+		for {
+			p *= g.r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// PTRS (Hörmann 1993, "The transformed rejection method for
+	// generating Poisson random variables").
+	b := 0.931 + 2.53*math.Sqrt(mean)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logMean := math.Log(mean)
+	for {
+		u := g.r.Float64() - 0.5
+		v := g.r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := int(math.Floor((2*a/us+b)*u + mean + 0.43))
+		if us >= 0.07 && v <= vr {
+			return k
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(float64(k) + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= float64(k)*logMean-mean-lg {
+			return k
+		}
+	}
+}
+
+// Binomial returns a draw from a Binomial(n, p) distribution. Small means
+// use CDF-inversion (O(n·p) per draw); large means use the clamped normal
+// approximation, whose error is negligible once n·p·(1−p) is in the
+// hundreds. The aggregate client tier uses this to thin its warmup pool —
+// each emulated user fires its first transaction uniformly in the think
+// interval, exactly like an individual client's de-synchronized start.
+func (g *RNG) Binomial(n int, p float64) int {
+	switch {
+	case n <= 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	case p > 0.5:
+		// Keep p small so the inversion walk stays short and stable.
+		return n - g.Binomial(n, 1-p)
+	}
+	np := float64(n) * p
+	if np < 500 {
+		q := 1 - p
+		r := p / q
+		f := math.Exp(float64(n) * math.Log(q)) // pmf(0)
+		u := g.r.Float64()
+		acc := f
+		k := 0
+		for u > acc && k < n {
+			f *= r * float64(n-k) / float64(k+1)
+			k++
+			acc += f
+		}
+		return k
+	}
+	d := math.Round(g.r.NormFloat64()*math.Sqrt(np*(1-p)) + np)
+	if d < 0 {
+		return 0
+	}
+	if d > float64(n) {
+		return n
+	}
+	return int(d)
+}
+
 // Shuffle permutes the first n elements using swap, Fisher-Yates style.
 func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
 

@@ -107,6 +107,79 @@ func TestRNGUniformDurProperty(t *testing.T) {
 	}
 }
 
+// TestRNGPoissonMoments checks both samplers — Knuth inversion below mean
+// 30 and PTRS above — against the Poisson identities mean = variance = λ.
+func TestRNGPoissonMoments(t *testing.T) {
+	for _, mean := range []float64{0.2, 5, 50, 500} {
+		g := NewRNG(17)
+		const n = 100000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := float64(g.Poisson(mean))
+			if v < 0 {
+				t.Fatalf("Poisson(%v) returned negative %v", mean, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / n
+		v := sumSq/n - m*m
+		if relErr := math.Abs(m-mean) / mean; relErr > 0.02 {
+			t.Fatalf("Poisson(%v) sample mean %v (rel err %v)", mean, m, relErr)
+		}
+		if relErr := math.Abs(v-mean) / mean; relErr > 0.05 {
+			t.Fatalf("Poisson(%v) sample variance %v (rel err %v)", mean, v, relErr)
+		}
+	}
+	if NewRNG(1).Poisson(0) != 0 || NewRNG(1).Poisson(-3) != 0 {
+		t.Fatal("Poisson of non-positive mean must be 0")
+	}
+}
+
+// TestRNGBinomialMoments checks the inversion walk, the symmetry branch,
+// and the large-mean normal approximation against mean np and variance
+// np(1-p), plus the degenerate edges.
+func TestRNGBinomialMoments(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{
+		{100, 0.3},     // inversion
+		{50, 0.9},      // symmetry branch
+		{100000, 0.02}, // normal approximation (np = 2000)
+	} {
+		g := NewRNG(23)
+		const reps = 50000
+		var sum, sumSq float64
+		for i := 0; i < reps; i++ {
+			v := g.Binomial(tc.n, tc.p)
+			if v < 0 || v > tc.n {
+				t.Fatalf("Binomial(%d, %v) out of range: %d", tc.n, tc.p, v)
+			}
+			f := float64(v)
+			sum += f
+			sumSq += f * f
+		}
+		wantMean := float64(tc.n) * tc.p
+		wantVar := wantMean * (1 - tc.p)
+		m := sum / reps
+		v := sumSq/reps - m*m
+		if relErr := math.Abs(m-wantMean) / wantMean; relErr > 0.02 {
+			t.Fatalf("Binomial(%d, %v) sample mean %v, want ~%v", tc.n, tc.p, m, wantMean)
+		}
+		if relErr := math.Abs(v-wantVar) / wantVar; relErr > 0.05 {
+			t.Fatalf("Binomial(%d, %v) sample variance %v, want ~%v", tc.n, tc.p, v, wantVar)
+		}
+	}
+	g := NewRNG(1)
+	if g.Binomial(10, 0) != 0 || g.Binomial(0, 0.5) != 0 || g.Binomial(-1, 0.5) != 0 {
+		t.Fatal("degenerate Binomial must be 0")
+	}
+	if g.Binomial(10, 1) != 10 || g.Binomial(10, 1.5) != 10 {
+		t.Fatal("Binomial with p >= 1 must be n")
+	}
+}
+
 func TestEmpiricalQuantiles(t *testing.T) {
 	e := NewEmpirical([]float64{10, 20, 30, 40, 50})
 	if e.Quantile(0) != 10 {

@@ -1,0 +1,184 @@
+package tpcc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/csrt"
+	"repro/internal/db"
+	"repro/internal/sim"
+)
+
+func newAggUnderTest(k *sim.Kernel, server *db.Server, pop int, retry RetryPolicy) *Aggregate {
+	cal := DefaultCalibration()
+	gen := NewGenerator(1, Warehouses(pop), cal, sim.NewRNG(7).Fork("gen"))
+	return &Aggregate{
+		Server:     server,
+		Gen:        gen,
+		Proc:       cal.ArrivalProcess(),
+		Retry:      retry,
+		Population: pop,
+		HomeWH:     func(k int) int { return k / ClientsPerWarehouse },
+	}
+}
+
+func newAggServer(k *sim.Kernel) *db.Server {
+	cpus := csrt.NewCPUSet(1, k, nil)
+	st := db.NewStorage(k, db.StorageConfig{}, sim.NewRNG(3))
+	return db.NewServer(k, 1, cpus, st)
+}
+
+// TestAggregateWarmupDrains pins the de-synchronized start: every emulated
+// user fires its first transaction within one think interval (uniformly,
+// like an individual client's deferred first issue), so by t = Think the
+// warmup pool is empty and at least Population transactions were submitted.
+func TestAggregateWarmupDrains(t *testing.T) {
+	k := sim.NewKernel()
+	a := newAggUnderTest(k, newAggServer(k), 200, RetryPolicy{})
+	a.Start(k, sim.NewRNG(11).Fork("agg"))
+	if err := k.RunUntil(a.Proc.Think + 2*a.Window); err != nil {
+		t.Fatal(err)
+	}
+	if a.unfired != 0 {
+		t.Fatalf("warmup pool not drained after one think interval: %d unfired", a.unfired)
+	}
+	if a.Issued() < 200 {
+		t.Fatalf("only %d submissions after warmup, want >= population 200", a.Issued())
+	}
+}
+
+// TestAggregatePoolConservation checks the bookkeeping invariant: every
+// user is always in exactly one of the pools — unfired, thinking, or in
+// flight (submitted and not finally resolved) — at every point of the run.
+func TestAggregatePoolConservation(t *testing.T) {
+	k := sim.NewKernel()
+	a := newAggUnderTest(k, newAggServer(k), 100, RetryPolicy{})
+	var done int64
+	a.OnDone = func(t *db.Txn, o db.Outcome) { done++ }
+	a.Start(k, sim.NewRNG(13).Fork("agg"))
+	for i := 0; i < 40; i++ {
+		if err := k.RunUntil(sim.Time(i) * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		inFlight := a.Issued() - done
+		if got := int64(a.unfired+a.thinking) + inFlight; got != 100 {
+			t.Fatalf("t=%ds: pools unbalanced: unfired=%d thinking=%d inflight=%d (sum %d, want 100)",
+				i, a.unfired, a.thinking, inFlight, got)
+		}
+	}
+}
+
+// TestAggregateRetryAndGiveUp drives the aggregate against a server with a
+// tiny admission cap: rejections must be retried with backoff through the
+// same RetryPolicy contract a Client honors, exhausted budgets counted as
+// give-ups, and OnDone fired exactly once per transaction.
+func TestAggregateRetryAndGiveUp(t *testing.T) {
+	k := sim.NewKernel()
+	server := newAggServer(k)
+	server.MaxActive = 1
+	retry := RetryPolicy{MaxAttempts: 3, BaseBackoff: 20 * sim.Millisecond, MaxBackoff: 200 * sim.Millisecond}
+	a := newAggUnderTest(k, server, 150, retry)
+	var done int64
+	budget := 300
+	a.Stop = func() bool {
+		if budget == 0 {
+			return true
+		}
+		budget--
+		return false
+	}
+	a.OnDone = func(t *db.Txn, o db.Outcome) { done++ }
+	a.Start(k, sim.NewRNG(29).Fork("agg"))
+	if err := k.RunUntil(10 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if a.RetryPending() {
+		t.Fatal("retry still pending after a drained run")
+	}
+	if a.Retries() == 0 {
+		t.Fatal("admission cap of 1 produced no retries")
+	}
+	if a.GiveUps() == 0 {
+		t.Fatal("admission cap of 1 produced no give-ups")
+	}
+	if done != a.Issued() {
+		t.Fatalf("OnDone fired %d times for %d issued transactions", done, a.Issued())
+	}
+	if a.Issued() != 300 {
+		t.Fatalf("issued %d, want the full budget of 300", a.Issued())
+	}
+	sub, _, _, rej := server.Totals()
+	if sub != a.Issued()+a.Retries() {
+		t.Fatalf("server saw %d submissions, want issued %d + retries %d",
+			sub, a.Issued(), a.Retries())
+	}
+	if rej == 0 {
+		t.Fatal("no rejections recorded at the server")
+	}
+}
+
+// TestAggregateClassMix pins the per-class thinning: issued counts per
+// top-level class must match the calibrated mix weights.
+func TestAggregateClassMix(t *testing.T) {
+	k := sim.NewKernel()
+	a := newAggUnderTest(k, newAggServer(k), 3000, RetryPolicy{})
+	a.Start(k, sim.NewRNG(31).Fork("agg"))
+	if err := k.RunUntil(2 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	total := a.Issued()
+	if total < 10000 {
+		t.Fatalf("only %d transactions issued, want a sample of >= 10000", total)
+	}
+	for c := ArrivalNewOrder; c < NumArrivalClasses; c++ {
+		got := float64(a.IssuedOfClass(c)) / float64(total)
+		want := a.Proc.Weights[c]
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("class %d share %.3f, want ~%.3f", c, got, want)
+		}
+	}
+}
+
+// TestAggregateDeterministic pins reproducibility: the same seed drives the
+// identical arrival sequence.
+func TestAggregateDeterministic(t *testing.T) {
+	run := func() (int64, [NumArrivalClasses]int64, int64) {
+		k := sim.NewKernel()
+		a := newAggUnderTest(k, newAggServer(k), 500, RetryPolicy{})
+		a.Start(k, sim.NewRNG(43).Fork("agg"))
+		if err := k.RunUntil(time30s()); err != nil {
+			t.Fatal(err)
+		}
+		return a.Issued(), a.issuedByClass, k.Executed()
+	}
+	i1, c1, e1 := run()
+	i2, c2, e2 := run()
+	if i1 != i2 || c1 != c2 || e1 != e2 {
+		t.Fatalf("same seed diverged: issued %d/%d classes %v/%v events %d/%d", i1, i2, c1, c2, e1, e2)
+	}
+}
+
+func time30s() sim.Time { return 30 * sim.Second }
+
+// TestAggregateDrawPathZeroAlloc pins the zero-allocation property of the
+// per-window draw path: the Poisson and Binomial samplers, the class
+// thinning, and the home-warehouse closure must not allocate. The per
+// transaction cost (building the db.Txn) is shared with individual mode
+// and is out of scope here.
+func TestAggregateDrawPathZeroAlloc(t *testing.T) {
+	rng := sim.NewRNG(5)
+	a := &Aggregate{
+		Proc:       DefaultCalibration().ArrivalProcess(),
+		Population: 100000,
+		HomeWH:     func(k int) int { return k / ClientsPerWarehouse },
+		rng:        rng,
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = rng.Poisson(370)
+		_ = rng.Binomial(100000, 0.001)
+		_ = a.classOf()
+		_ = a.HomeWH(rng.Intn(a.Population))
+	}); n != 0 {
+		t.Fatalf("draw path allocates %v times per window", n)
+	}
+}

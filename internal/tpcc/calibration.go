@@ -161,6 +161,51 @@ func DefaultCalibration() *Calibration {
 	}
 }
 
+// ArrivalClass indexes the top-level transaction classes of the submission
+// mix — the granularity at which clients choose what to run. The long/short
+// variants of payment and orderstatus are picked inside the generator (they
+// model conditional code paths, not client intent), so the arrival process
+// works at this coarser level.
+type ArrivalClass int
+
+// The top-level mix classes, in submission-mix order.
+const (
+	ArrivalNewOrder ArrivalClass = iota
+	ArrivalPayment
+	ArrivalOrderStatus
+	ArrivalDelivery
+	ArrivalStockLevel
+	NumArrivalClasses
+)
+
+// ArrivalProcess is the parameter set the aggregate client tier draws from:
+// the per-class mix weights and the mean think time. It is extracted from a
+// Calibration so the aggregate process and the individual clients answer to
+// the same calibrated workload definition.
+type ArrivalProcess struct {
+	// Weights are the per-class submission probabilities; they sum to 1.
+	Weights [NumArrivalClasses]float64
+	// Think is the mean client think time.
+	Think sim.Time
+}
+
+// ArrivalProcess extracts the compound arrival-process parameters from the
+// calibration. The stocklevel weight is the mix remainder, exactly as
+// Generator.Next computes it.
+func (c *Calibration) ArrivalProcess() ArrivalProcess {
+	p := ArrivalProcess{Think: c.ThinkTime}
+	p.Weights[ArrivalNewOrder] = c.MixNewOrder
+	p.Weights[ArrivalPayment] = c.MixPayment
+	p.Weights[ArrivalOrderStatus] = c.MixOrderStatus
+	p.Weights[ArrivalDelivery] = c.MixDelivery
+	rest := 1 - c.MixNewOrder - c.MixPayment - c.MixOrderStatus - c.MixDelivery
+	if rest < 0 {
+		rest = 0
+	}
+	p.Weights[ArrivalStockLevel] = rest
+	return p
+}
+
 // Warehouses returns the database scale for a client count.
 func Warehouses(clients int) int {
 	w := clients / ClientsPerWarehouse

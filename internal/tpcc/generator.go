@@ -52,6 +52,31 @@ func (g *Generator) Next(homeWH int) *db.Txn {
 	}
 }
 
+// NextOfClass draws the next transaction of a fixed top-level class for a
+// client homed at homeWH. The aggregate client tier uses this after its own
+// per-class thinning of the arrival process; the long/short variant choice
+// and every other keying decision still come from this generator's stream,
+// exactly as under Next.
+//
+//hot:path
+func (g *Generator) NextOfClass(class ArrivalClass, homeWH int) *db.Txn {
+	if homeWH >= g.warehouses {
+		homeWH = homeWH % g.warehouses
+	}
+	switch class {
+	case ArrivalNewOrder:
+		return g.newOrder(homeWH)
+	case ArrivalPayment:
+		return g.payment(homeWH)
+	case ArrivalOrderStatus:
+		return g.orderStatus(homeWH)
+	case ArrivalDelivery:
+		return g.delivery(homeWH)
+	default:
+		return g.stockLevel(homeWH)
+	}
+}
+
 func (g *Generator) nextTID() uint64 {
 	g.tidCounter++
 	return dbsm.MakeTID(g.site, g.tidCounter)
